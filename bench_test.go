@@ -1,0 +1,206 @@
+// The benchmark harness: one benchmark per table and figure of the
+// paper (E01–E20, see DESIGN.md's per-experiment index) plus ablation
+// benches for the design choices DESIGN.md calls out. Each benchmark
+// regenerates its artifact from scratch and reports the headline
+// measured values via b.ReportMetric, failing if any paper-vs-measured
+// check does not hold. Run with:
+//
+//	go test -bench=. -benchmem
+package sdnbugs
+
+import (
+	"strconv"
+	"testing"
+)
+
+// benchSuite is shared so corpora and NLP fits amortize across benches.
+var benchSuite = NewSuite(1)
+
+// runExperiment executes one experiment per iteration and asserts its
+// checks, then lets the bench report headline metrics.
+func runExperiment(b *testing.B, run func() (ExperimentResult, error), metrics func(*testing.B, ExperimentResult)) {
+	b.Helper()
+	var last ExperimentResult
+	for i := 0; i < b.N; i++ {
+		res, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range res.Checks {
+			if !c.Holds {
+				b.Fatalf("%s check failed: %s — paper %q, measured %q",
+					res.ID, c.Metric, c.Paper, c.Measured)
+			}
+		}
+		last = res
+	}
+	if metrics != nil {
+		metrics(b, last)
+	}
+}
+
+// pctMetric extracts the numeric value of a "xx.x%" string (-1 when
+// the string is not a percentage).
+func pctMetric(s string) float64 {
+	if len(s) == 0 || s[len(s)-1] != '%' {
+		return -1
+	}
+	v, err := strconv.ParseFloat(s[:len(s)-1], 64)
+	if err != nil {
+		return -1
+	}
+	return v
+}
+
+// findCheck returns the measured value of a check by metric name.
+func findCheck(res ExperimentResult, metric string) string {
+	for _, c := range res.Checks {
+		if c.Metric == metric {
+			return c.Measured
+		}
+	}
+	return ""
+}
+
+func BenchmarkE01_CorpusMining(b *testing.B) {
+	runExperiment(b, benchSuite.E01CorpusMining, func(b *testing.B, res ExperimentResult) {
+		b.ReportMetric(pctMetric(findCheck(res, "bugs created within 45d after a release")), "release_burst_%")
+	})
+}
+
+func BenchmarkE02_Determinism(b *testing.B) {
+	runExperiment(b, benchSuite.E02Determinism, func(b *testing.B, res ExperimentResult) {
+		b.ReportMetric(pctMetric(findCheck(res, "FAUCET deterministic")), "FAUCET_det_%")
+		b.ReportMetric(pctMetric(findCheck(res, "ONOS deterministic")), "ONOS_det_%")
+		b.ReportMetric(pctMetric(findCheck(res, "CORD deterministic")), "CORD_det_%")
+	})
+}
+
+func BenchmarkE03_Symptoms(b *testing.B) {
+	runExperiment(b, benchSuite.E03Symptoms, func(b *testing.B, res ExperimentResult) {
+		b.ReportMetric(pctMetric(findCheck(res, "byzantine")), "byzantine_%")
+		b.ReportMetric(pctMetric(findCheck(res, "fail-stop")), "failstop_%")
+	})
+}
+
+func BenchmarkE04_RootCauseBySymptom(b *testing.B) {
+	runExperiment(b, benchSuite.E04RootCauseBySymptom, func(b *testing.B, res ExperimentResult) {
+		b.ReportMetric(pctMetric(findCheck(res, "FAUCET fail-stop from human+ecosystem")), "faucet_failstop_humaneco_%")
+	})
+}
+
+func BenchmarkE05_Triggers(b *testing.B) {
+	runExperiment(b, benchSuite.E05Triggers, func(b *testing.B, res ExperimentResult) {
+		b.ReportMetric(pctMetric(findCheck(res, "configuration")), "config_trigger_%")
+		b.ReportMetric(pctMetric(findCheck(res, "network-event")), "network_trigger_%")
+	})
+}
+
+func BenchmarkE06_ConfigSubcategories(b *testing.B) {
+	runExperiment(b, benchSuite.E06ConfigSubcategories, func(b *testing.B, res ExperimentResult) {
+		b.ReportMetric(pctMetric(findCheck(res, "ONOS controller-config")), "onos_controller_scope_%")
+	})
+}
+
+func BenchmarkE07_FixAnalysis(b *testing.B) {
+	runExperiment(b, benchSuite.E07FixAnalysis, func(b *testing.B, res ExperimentResult) {
+		b.ReportMetric(pctMetric(findCheck(res, "config bugs fixed by config change")), "config_fixed_by_config_%")
+		b.ReportMetric(pctMetric(findCheck(res, "external-call compatibility/upgrade fixes")), "external_compat_fixes_%")
+	})
+}
+
+func BenchmarkE08_ResolutionCDF(b *testing.B) {
+	runExperiment(b, benchSuite.E08ResolutionCDF, nil)
+}
+
+func BenchmarkE09_NLPValidation(b *testing.B) {
+	runExperiment(b, benchSuite.E09NLPValidation, func(b *testing.B, res ExperimentResult) {
+		b.ReportMetric(pctMetric(findCheck(res, "SVM bug-type accuracy")), "svm_type_acc_%")
+		b.ReportMetric(pctMetric(findCheck(res, "SVM symptom accuracy")), "svm_symptom_acc_%")
+		b.ReportMetric(pctMetric(findCheck(res, "fix prediction is poor")), "svm_fix_acc_%")
+	})
+}
+
+func BenchmarkE10_CorrelationCDF(b *testing.B) {
+	runExperiment(b, benchSuite.E10CorrelationCDF, func(b *testing.B, res ExperimentResult) {
+		b.ReportMetric(pctMetric(findCheck(res, "strongly correlated pair share")), "strong_pairs_%")
+	})
+}
+
+func BenchmarkE11_TopicUniqueness(b *testing.B) {
+	runExperiment(b, benchSuite.E11TopicUniqueness, nil)
+}
+
+func BenchmarkE12_FullDatasetPrediction(b *testing.B) {
+	runExperiment(b, benchSuite.E12FullDatasetPrediction, func(b *testing.B, res ExperimentResult) {
+		b.ReportMetric(pctMetric(findCheck(res, "configuration is the dominant predicted trigger")), "pred_config_%")
+		b.ReportMetric(pctMetric(findCheck(res, "network events contribute a small part")), "pred_network_%")
+	})
+}
+
+func BenchmarkE13_SmellTrend(b *testing.B) {
+	runExperiment(b, benchSuite.E13SmellTrend, nil)
+}
+
+func BenchmarkE14_CommitsPerRelease(b *testing.B) {
+	runExperiment(b, benchSuite.E14CommitsPerRelease, nil)
+}
+
+func BenchmarkE15_FaucetBurn(b *testing.B) {
+	runExperiment(b, benchSuite.E15FaucetBurn, func(b *testing.B, res ExperimentResult) {
+		b.ReportMetric(pctMetric(findCheck(res, "configuration")), "config_commits_%")
+	})
+}
+
+func BenchmarkE16_DependencyBurn(b *testing.B) {
+	runExperiment(b, benchSuite.E16DependencyBurn, nil)
+}
+
+func BenchmarkE17_VulnerabilityScan(b *testing.B) {
+	runExperiment(b, benchSuite.E17VulnerabilityScan, nil)
+}
+
+func BenchmarkE18_ControllerSelection(b *testing.B) {
+	runExperiment(b, benchSuite.E18ControllerSelection, func(b *testing.B, res ExperimentResult) {
+		b.ReportMetric(pctMetric(findCheck(res, "FAUCET missing-logic share")), "faucet_missing_logic_%")
+	})
+}
+
+func BenchmarkE19_RecoveryCoverage(b *testing.B) {
+	runExperiment(b, benchSuite.E19RecoveryCoverage, nil)
+}
+
+func BenchmarkE20_CrossDomainComparison(b *testing.B) {
+	runExperiment(b, benchSuite.E20CrossDomainComparison, func(b *testing.B, res ExperimentResult) {
+		b.ReportMetric(pctMetric(findCheck(res, "SDN fail-stop share below cloud and BGP")), "sdn_failstop_%")
+		b.ReportMetric(pctMetric(findCheck(res, "SDN byzantine share above cloud and BGP")), "sdn_byzantine_%")
+	})
+}
+
+func BenchmarkAblation_Features(b *testing.B) {
+	runExperiment(b, benchSuite.AblationFeatures, nil)
+}
+
+func BenchmarkAblation_Scaling(b *testing.B) {
+	runExperiment(b, benchSuite.AblationScaling, nil)
+}
+
+func BenchmarkAblation_NMFRank(b *testing.B) {
+	runExperiment(b, benchSuite.AblationNMFRank, nil)
+}
+
+func BenchmarkAblation_TransformScope(b *testing.B) {
+	runExperiment(b, benchSuite.AblationTransformScope, nil)
+}
+
+func BenchmarkAblation_TopicModel(b *testing.B) {
+	runExperiment(b, benchSuite.AblationTopicModel, nil)
+}
+
+func BenchmarkAblation_Prediction(b *testing.B) {
+	runExperiment(b, benchSuite.AblationPrediction, nil)
+}
+
+func BenchmarkAblation_Layering(b *testing.B) {
+	runExperiment(b, benchSuite.AblationLayering, nil)
+}

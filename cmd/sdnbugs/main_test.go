@@ -1,0 +1,53 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunUsage(t *testing.T) {
+	if code := run(nil); code != 2 {
+		t.Errorf("no args exit code = %d, want 2", code)
+	}
+	if code := run([]string{"nosuchcmd"}); code != 2 {
+		t.Errorf("unknown cmd exit code = %d, want 2", code)
+	}
+}
+
+func TestGenerateWritesCorpus(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "corpus.json")
+	if code := run([]string{"generate", "-seed", "3", "-out", out}); code != 0 {
+		t.Fatalf("generate exit code = %d", code)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire struct {
+		Issues []struct {
+			ID         string `json:"id"`
+			Controller string `json:"controller"`
+		} `json:"issues"`
+		ManualIDs []string `json:"manual_ids"`
+	}
+	if err := json.Unmarshal(data, &wire); err != nil {
+		t.Fatal(err)
+	}
+	if len(wire.Issues) != 795 {
+		t.Errorf("issues = %d, want 795", len(wire.Issues))
+	}
+	if len(wire.ManualIDs) != 150 {
+		t.Errorf("manual ids = %d, want 150", len(wire.ManualIDs))
+	}
+	if wire.Issues[0].Controller == "" || wire.Issues[0].ID == "" {
+		t.Errorf("issue serialization incomplete: %+v", wire.Issues[0])
+	}
+}
+
+func TestClassifyRequiresText(t *testing.T) {
+	if code := run([]string{"classify"}); code != 1 {
+		t.Errorf("classify without -text exit code = %d, want 1", code)
+	}
+}

@@ -1,0 +1,81 @@
+// Command trackersim serves the study's bug corpus behind the JIRA-like
+// and GitHub-like REST APIs, so the mining pipeline (or curl) can be
+// exercised against live endpoints:
+//
+//	trackersim -seed 1 -jira :8081 -github :8082
+//
+// Try:
+//
+//	curl 'http://localhost:8081/rest/api/2/search?project=ONOS&maxResults=2'
+//	curl 'http://localhost:8082/repos/faucetsdn/faucet/issues?per_page=2'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"sdnbugs/internal/corpus"
+	"sdnbugs/internal/ghsim"
+	"sdnbugs/internal/jirasim"
+	"sdnbugs/internal/tracker"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "trackersim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	seed := flag.Int64("seed", 1, "corpus seed")
+	jiraAddr := flag.String("jira", ":8081", "JIRA simulator listen address")
+	ghAddr := flag.String("github", ":8082", "GitHub simulator listen address")
+	flag.Parse()
+
+	corp, err := corpus.Generate(*seed)
+	if err != nil {
+		return err
+	}
+	jiraStore := tracker.NewStore()
+	ghStore := tracker.NewStore()
+	for _, iss := range corp.Issues {
+		store := ghStore
+		if tracker.TrackerFor(iss.Controller) == tracker.KindJIRA {
+			store = jiraStore
+		}
+		if err := store.Put(iss); err != nil {
+			return err
+		}
+	}
+
+	jiraSrv := &http.Server{Addr: *jiraAddr, Handler: jirasim.NewHandler(jiraStore), ReadHeaderTimeout: 5 * time.Second}
+	ghSrv := &http.Server{Addr: *ghAddr, Handler: ghsim.NewHandler(ghStore, "faucetsdn", "faucet"), ReadHeaderTimeout: 5 * time.Second}
+
+	errc := make(chan error, 2)
+	go func() { errc <- jiraSrv.ListenAndServe() }()
+	go func() { errc <- ghSrv.ListenAndServe() }()
+	fmt.Printf("trackersim: JIRA (%d issues) on %s, GitHub (%d issues) on %s\n",
+		jiraStore.Len(), *jiraAddr, ghStore.Len(), *ghAddr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	_ = jiraSrv.Shutdown(shutdownCtx)
+	_ = ghSrv.Shutdown(shutdownCtx)
+	return nil
+}

@@ -1,0 +1,30 @@
+// Package sdnbugs is a full reproduction of "A Comprehensive Study of
+// Bugs in Software Defined Networks" (Bhardwaj, Zhou, Benson — DSN
+// 2021) as a Go library.
+//
+// The paper mined ~800 critical bugs from the FAUCET, ONOS and CORD
+// issue trackers, manually labeled 150 of them along a five-dimension
+// taxonomy, scaled the labels with an NLP pipeline, and analyzed the
+// result to answer five research questions about SDN controller bugs.
+// This module rebuilds that study end to end on synthetic-but-
+// calibrated substrates:
+//
+//   - internal/taxonomy        — Table I's dimensions and labels
+//   - internal/corpus,textgen  — the calibrated synthetic bug corpus
+//   - internal/jirasim,ghsim   — JIRA/GitHub-like tracker simulators
+//   - internal/nlp/*, ml/*     — TF-IDF, NMF, Word2Vec, SVM, trees,
+//     PCA, AdaBoost from scratch
+//   - internal/study           — the RQ1–RQ5 analysis engine
+//   - internal/openflow,sdn    — an OpenFlow-subset controller +
+//     dataplane simulator
+//   - internal/faultlab        — the taxonomy-driven fault injector
+//   - internal/recovery        — Table VII's framework models and the
+//     empirical coverage evaluator
+//   - internal/codemodel,smell — the Designite-style analysis of §VI-A
+//   - internal/vcs,burn        — the burn analysis of §VI-B
+//   - internal/depscan         — the dependency-vulnerability scan
+//
+// The Suite type in this package runs every experiment (E01–E20, one
+// per table/figure — see DESIGN.md) and reports paper-vs-measured
+// checks; bench_test.go regenerates each artifact as a benchmark.
+package sdnbugs

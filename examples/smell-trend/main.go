@@ -1,0 +1,85 @@
+// Smell-trend: the §VI-A software-engineering analysis as a sparkline
+// report — six smells across the ONOS release train, with the paper's
+// reading of each trend.
+//
+//	go run ./examples/smell-trend
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"sdnbugs/internal/codemodel"
+	"sdnbugs/internal/smell"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "smell-trend:", err)
+		os.Exit(1)
+	}
+}
+
+// spark renders an integer series as a unicode sparkline.
+func spark(vals []int) string {
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		idx := 0
+		if hi > lo {
+			idx = (v - lo) * (len(ramp) - 1) / (hi - lo)
+		}
+		b.WriteRune(ramp[idx])
+	}
+	return b.String()
+}
+
+func run() error {
+	pts, err := smell.Trend(codemodel.ONOSReleases(), 1)
+	if err != nil {
+		return err
+	}
+	var versions []string
+	series := map[smell.Kind][]int{}
+	for _, p := range pts {
+		versions = append(versions, p.Version)
+		for _, k := range smell.Kinds() {
+			series[k] = append(series[k], p.Counts[k])
+		}
+	}
+	fmt.Printf("ONOS releases: %s\n\n", strings.Join(versions, " → "))
+
+	readings := map[smell.Kind]string{
+		smell.GodComponent:               "constant: technical debt is not being paid down",
+		smell.UnstableDependency:         "declining: dependencies became safer to change",
+		smell.InsufficientModularization: "spike then plateau: early prototyping bloat never refactored",
+		smell.BrokenHierarchy:            "spike then recovery: the ONOS-6594 hierarchy cleanup",
+		smell.HubLikeModularization:      "low and flat",
+		smell.MissingHierarchy:           "low and flat",
+	}
+	for _, k := range smell.Kinds() {
+		vals := series[k]
+		class := "design      "
+		if k.Architecture() {
+			class = "architecture"
+		}
+		fmt.Printf("%-28s [%s]  %s  %v\n    ↳ %s\n",
+			k, class, spark(vals), vals, readings[k])
+	}
+
+	first, last := pts[0], pts[len(pts)-1]
+	fmt.Printf("\nClasses grew %d → %d while god components stayed ~constant —\n",
+		first.Classes, last.Classes)
+	fmt.Println("the paper's sign that growth concentrates in already-oversized components.")
+	return nil
+}

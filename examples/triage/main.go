@@ -1,0 +1,84 @@
+// Triage: the §VII-B operator-diagnosis workflow. An incoming bug
+// report is auto-classified by the NLP pipeline, then the strong
+// category correlations narrow down likely root causes and fixes —
+// the "decision tree for diagnosis" the paper anticipates.
+//
+//	go run ./examples/triage
+//	go run ./examples/triage -text "controller crashed after reloading the YAML config"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"sdnbugs"
+	"sdnbugs/internal/report"
+	"sdnbugs/internal/taxonomy"
+	"sdnbugs/internal/tracker"
+)
+
+const defaultReport = `The controller process crashes and must be restarted; ` +
+	`we observed a hard crash with the stack trace attached. The faulty behaviour ` +
+	`starts right after a config push and is reliably reproducible every time. ` +
+	`A null pointer dereference is involved.`
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "triage:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	text := flag.String("text", defaultReport, "incoming bug report text")
+	seed := flag.Int64("seed", 1, "suite seed")
+	flag.Parse()
+
+	suite := sdnbugs.NewSuite(*seed)
+	fmt.Println("Training the NLP pipeline on the manual-analysis set (150 bugs)...")
+	p, err := suite.Pipeline()
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nIncoming report:\n  %q\n\n", *text)
+	label, err := p.Predict(tracker.Issue{Description: *text})
+	if err != nil {
+		return err
+	}
+	tbl := &report.Table{Title: "Predicted classification",
+		Headers: []string{"dimension", "prediction"}}
+	for _, d := range taxonomy.Dimensions() {
+		_ = tbl.AddRow(d.String(), label.Tag(d))
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	// Diagnosis shortcuts: strong correlations involving the predicted
+	// tags (the paper: e.g. third-party calls ↔ add-compatibility).
+	manual, err := suite.Manual()
+	if err != nil {
+		return err
+	}
+	predicted := map[string]bool{}
+	for _, d := range taxonomy.Dimensions() {
+		predicted[label.Tag(d)] = true
+	}
+	hints := &report.Table{Title: "Correlation hints for this class (§VII-B)",
+		Headers: []string{"if", "then likely", "phi"}}
+	n := 0
+	for _, pair := range manual.StrongPairs(0.25) {
+		if n >= 6 {
+			break
+		}
+		if predicted[pair.TagA] || predicted[pair.TagB] {
+			_ = hints.AddRow(pair.TagA, pair.TagB, fmt.Sprintf("%.2f", math.Abs(pair.Phi)))
+			n++
+		}
+	}
+	fmt.Println()
+	return hints.Render(os.Stdout)
+}

@@ -1,0 +1,3 @@
+module sdnbugs
+
+go 1.24

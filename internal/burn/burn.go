@@ -1,0 +1,186 @@
+// Package burn implements the burn analysis of §VI-B over vcs
+// histories: classifying commits into the three functional subsystems
+// of a controller (Figure 11), counting commits per release window
+// (Figure 10), and deriving the dependency version-change burn-down
+// (Table IV).
+package burn
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"time"
+
+	"sdnbugs/internal/vcs"
+)
+
+// Subsystem is one of the three functional areas of Figure 11.
+type Subsystem int
+
+// Subsystem values.
+const (
+	SubsystemUnknown Subsystem = iota
+	Configuration
+	NetworkFunctionality
+	ExternalAbstraction
+)
+
+// Subsystems lists the three areas.
+func Subsystems() []Subsystem {
+	return []Subsystem{Configuration, NetworkFunctionality, ExternalAbstraction}
+}
+
+func (s Subsystem) String() string {
+	switch s {
+	case Configuration:
+		return "configuration"
+	case NetworkFunctionality:
+		return "network-functionality"
+	case ExternalAbstraction:
+		return "external-abstraction"
+	default:
+		return "unknown"
+	}
+}
+
+// ClassifyFile maps a file path to its subsystem by path heuristics —
+// the same style of classification the paper applied to FAUCET.
+func ClassifyFile(path string) Subsystem {
+	lower := strings.ToLower(path)
+	switch {
+	case strings.Contains(lower, "requirements"),
+		strings.Contains(lower, "setup.py"),
+		strings.Contains(lower, "gauge"),
+		strings.Contains(lower, "prom_client"),
+		strings.Contains(lower, "ryuapp"):
+		return ExternalAbstraction
+	case strings.Contains(lower, "config"),
+		strings.Contains(lower, "conf"),
+		strings.Contains(lower, ".yaml"),
+		strings.Contains(lower, "acl"):
+		return Configuration
+	case strings.Contains(lower, "valve"),
+		strings.Contains(lower, "vlan"),
+		strings.Contains(lower, "route"),
+		strings.Contains(lower, "router"),
+		strings.Contains(lower, "dot1x"),
+		strings.Contains(lower, "table"):
+		return NetworkFunctionality
+	default:
+		return SubsystemUnknown
+	}
+}
+
+// ClassifyCommit returns the majority subsystem of a commit's files;
+// ties resolve in Subsystems() order.
+func ClassifyCommit(c vcs.Commit) Subsystem {
+	counts := map[Subsystem]int{}
+	for _, f := range c.Files {
+		counts[ClassifyFile(f)]++
+	}
+	best, bestN := SubsystemUnknown, 0
+	for _, s := range Subsystems() {
+		if counts[s] > bestN {
+			best, bestN = s, counts[s]
+		}
+	}
+	return best
+}
+
+// ErrEmpty is returned by analyses of empty histories.
+var ErrEmpty = errors.New("burn: empty history")
+
+// Distribution returns the share of commits per subsystem — Figure 11.
+// Unclassifiable commits are excluded from the denominator.
+func Distribution(h *vcs.History) (map[Subsystem]float64, error) {
+	if h == nil || len(h.Commits) == 0 {
+		return nil, ErrEmpty
+	}
+	counts := map[Subsystem]int{}
+	total := 0
+	for _, c := range h.Commits {
+		s := ClassifyCommit(c)
+		if s == SubsystemUnknown {
+			continue
+		}
+		counts[s]++
+		total++
+	}
+	if total == 0 {
+		return nil, ErrEmpty
+	}
+	out := map[Subsystem]float64{}
+	for _, s := range Subsystems() {
+		out[s] = float64(counts[s]) / float64(total)
+	}
+	return out, nil
+}
+
+// CommitsPerRelease counts commits landing before each release date
+// and after the previous one — Figure 10's series.
+func CommitsPerRelease(h *vcs.History, releases []time.Time) ([]int, error) {
+	if h == nil || len(h.Commits) == 0 {
+		return nil, ErrEmpty
+	}
+	if len(releases) == 0 {
+		return nil, errors.New("burn: no releases")
+	}
+	rel := append([]time.Time(nil), releases...)
+	sort.Slice(rel, func(i, j int) bool { return rel[i].Before(rel[j]) })
+	out := make([]int, len(rel))
+	for _, c := range h.Commits {
+		for i, r := range rel {
+			var lo time.Time
+			if i > 0 {
+				lo = rel[i-1]
+			}
+			if (i == 0 || c.Time.After(lo)) && !c.Time.After(r) {
+				out[i]++
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// DependencyBurn counts version changes per dependency across the
+// history — Table IV. The counts come from the commits' structured
+// bump records.
+func DependencyBurn(h *vcs.History) (map[string]int, error) {
+	if h == nil || len(h.Commits) == 0 {
+		return nil, ErrEmpty
+	}
+	out := map[string]int{}
+	for _, c := range h.Commits {
+		if c.Bump != nil {
+			out[c.Bump.Dep]++
+		}
+	}
+	return out, nil
+}
+
+// BurnDownRow is one Table IV row.
+type BurnDownRow struct {
+	Dependency string
+	Changes    int
+}
+
+// BurnDownTable returns the dependency burn-down sorted by descending
+// change count then name.
+func BurnDownTable(h *vcs.History) ([]BurnDownRow, error) {
+	counts, err := DependencyBurn(h)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BurnDownRow, 0, len(counts))
+	for dep, n := range counts {
+		out = append(out, BurnDownRow{Dependency: dep, Changes: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Changes != out[j].Changes {
+			return out[i].Changes > out[j].Changes
+		}
+		return out[i].Dependency < out[j].Dependency
+	})
+	return out, nil
+}

@@ -1,0 +1,389 @@
+// Package codemodel defines a structural model of a Java-style codebase
+// (packages, classes, methods, dependencies, type hierarchies) — the
+// input the smell analyzer (internal/smell) operates on — plus a
+// generator that synthesizes an ONOS-like codebase evolving across the
+// release train the paper analyzes (1.12 → 2.3, §VI-A). The generator
+// builds real structure (classes with methods, hierarchy links, and
+// package dependency edges); the analyzer then *recomputes* every smell
+// from that structure, so Figure 8's trends are measured, not asserted.
+package codemodel
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Method is one method of a class.
+type Method struct {
+	Name string
+	LOC  int
+	// Cyclomatic is the method's cyclomatic complexity.
+	Cyclomatic int
+}
+
+// Class is one type in the codebase.
+type Class struct {
+	Name    string
+	Package string
+	Methods []Method
+	Fields  int
+	// SuperType names the extended/implemented type ("" = none).
+	SuperType string
+	// UsesSuperFeatures reports whether the class actually uses or
+	// overrides its supertype's features; false indicates the broken
+	// IS-A relation of the Broken Hierarchy smell (paper's Run /
+	// ElectionOperation example).
+	UsesSuperFeatures bool
+	// TypeSwitches counts switch-on-type-tag occurrences — the classic
+	// indicator of a Missing Hierarchy.
+	TypeSwitches int
+	// FanIn / FanOut are incoming/outgoing class-level references.
+	FanIn, FanOut int
+}
+
+// LOC returns the class's total method lines.
+func (c *Class) LOC() int {
+	var n int
+	for _, m := range c.Methods {
+		n += m.LOC
+	}
+	return n
+}
+
+// Package is one package/component.
+type Package struct {
+	Name    string
+	Classes []*Class
+	// DependsOn lists package-level efferent dependencies.
+	DependsOn []string
+}
+
+// LOC returns the package's total lines.
+func (p *Package) LOC() int {
+	var n int
+	for _, c := range p.Classes {
+		n += c.LOC()
+	}
+	return n
+}
+
+// Codebase is one analyzed snapshot (a release).
+type Codebase struct {
+	Name     string
+	Version  string
+	packages map[string]*Package
+}
+
+// NewCodebase returns an empty snapshot.
+func NewCodebase(name, version string) *Codebase {
+	return &Codebase{Name: name, Version: version, packages: make(map[string]*Package)}
+}
+
+// ErrNoPackage is returned when a named package does not exist.
+var ErrNoPackage = errors.New("codemodel: no such package")
+
+// AddPackage registers (or returns the existing) package.
+func (cb *Codebase) AddPackage(name string) *Package {
+	if p, ok := cb.packages[name]; ok {
+		return p
+	}
+	p := &Package{Name: name}
+	cb.packages[name] = p
+	return p
+}
+
+// Package returns a package by name.
+func (cb *Codebase) Package(name string) (*Package, error) {
+	p, ok := cb.packages[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoPackage, name)
+	}
+	return p, nil
+}
+
+// Packages returns all packages sorted by name.
+func (cb *Codebase) Packages() []*Package {
+	names := make([]string, 0, len(cb.packages))
+	for n := range cb.packages {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Package, len(names))
+	for i, n := range names {
+		out[i] = cb.packages[n]
+	}
+	return out
+}
+
+// Classes returns every class in the codebase.
+func (cb *Codebase) Classes() []*Class {
+	var out []*Class
+	for _, p := range cb.Packages() {
+		out = append(out, p.Classes...)
+	}
+	return out
+}
+
+// ClassCount returns the number of classes.
+func (cb *Codebase) ClassCount() int {
+	n := 0
+	for _, p := range cb.packages {
+		n += len(p.Classes)
+	}
+	return n
+}
+
+// Afferent returns the number of packages depending on pkg.
+func (cb *Codebase) Afferent(pkg string) int {
+	n := 0
+	for _, p := range cb.packages {
+		for _, d := range p.DependsOn {
+			if d == pkg {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// Instability returns Martin's instability metric I = Ce / (Ca + Ce)
+// for the package (0 = maximally stable, 1 = maximally unstable).
+func (cb *Codebase) Instability(pkg string) (float64, error) {
+	p, err := cb.Package(pkg)
+	if err != nil {
+		return 0, err
+	}
+	ce := float64(len(p.DependsOn))
+	ca := float64(cb.Afferent(pkg))
+	if ca+ce == 0 {
+		return 0, nil
+	}
+	return ce / (ca + ce), nil
+}
+
+// ReleaseProfile steers the generator toward one release's published
+// characteristics (Figure 8 and §VI-A).
+type ReleaseProfile struct {
+	Version string
+	// Commits is the release's commit count (Figure 10).
+	Commits int
+	// IntentImplClasses is the class count of net.intent.impl (the
+	// paper: 49 at 1.12 growing to 107 at 2.3).
+	IntentImplClasses int
+	// GodComponents is the number of oversized packages.
+	GodComponents int
+	// UnstableDeps is the number of stable→unstable dependency edges.
+	UnstableDeps int
+	// InsufficientlyModularized is the number of oversized classes.
+	InsufficientlyModularized int
+	// BrokenHierarchies is the number of classes with a broken IS-A.
+	BrokenHierarchies int
+	// HubClasses is the number of hub-like classes.
+	HubClasses int
+	// MissingHierarchies is the number of type-switch-heavy classes.
+	MissingHierarchies int
+}
+
+// ONOSReleases returns the calibrated release train 1.12 → 2.3:
+// commits decline; god components stay constant; unstable dependencies
+// decline steadily; design smells spike across 1.12–1.14 and then
+// plateau (insufficient modularization) or recede (broken hierarchy,
+// fixed around ONOS-6594).
+func ONOSReleases() []ReleaseProfile {
+	return []ReleaseProfile{
+		{Version: "1.12", Commits: 4200, IntentImplClasses: 49, GodComponents: 12, UnstableDeps: 40, InsufficientlyModularized: 60, BrokenHierarchies: 20, HubClasses: 4, MissingHierarchies: 3},
+		{Version: "1.13", Commits: 3900, IntentImplClasses: 58, GodComponents: 12, UnstableDeps: 37, InsufficientlyModularized: 75, BrokenHierarchies: 28, HubClasses: 5, MissingHierarchies: 3},
+		{Version: "1.14", Commits: 3300, IntentImplClasses: 66, GodComponents: 13, UnstableDeps: 34, InsufficientlyModularized: 85, BrokenHierarchies: 34, HubClasses: 5, MissingHierarchies: 4},
+		{Version: "1.15", Commits: 2800, IntentImplClasses: 74, GodComponents: 12, UnstableDeps: 31, InsufficientlyModularized: 84, BrokenHierarchies: 30, HubClasses: 4, MissingHierarchies: 4},
+		{Version: "2.0", Commits: 2400, IntentImplClasses: 83, GodComponents: 12, UnstableDeps: 28, InsufficientlyModularized: 83, BrokenHierarchies: 24, HubClasses: 4, MissingHierarchies: 3},
+		{Version: "2.1", Commits: 2100, IntentImplClasses: 91, GodComponents: 13, UnstableDeps: 26, InsufficientlyModularized: 84, BrokenHierarchies: 18, HubClasses: 5, MissingHierarchies: 3},
+		{Version: "2.2", Commits: 2000, IntentImplClasses: 99, GodComponents: 12, UnstableDeps: 24, InsufficientlyModularized: 83, BrokenHierarchies: 14, HubClasses: 4, MissingHierarchies: 3},
+		{Version: "2.3", Commits: 1950, IntentImplClasses: 107, GodComponents: 12, UnstableDeps: 22, InsufficientlyModularized: 84, BrokenHierarchies: 12, HubClasses: 4, MissingHierarchies: 3},
+	}
+}
+
+// Thresholds shared with the smell analyzer; the generator synthesizes
+// structures on the correct side of each.
+const (
+	// GodComponentClasses is the class count above which a package is
+	// a god component.
+	GodComponentClasses = 30
+	// InsufficientMethods is the method count above which a class is
+	// insufficiently modularized.
+	InsufficientMethods = 30
+	// HubFan is the fan-in AND fan-out above which a class is hub-like.
+	HubFan = 20
+	// MissingHierarchySwitches is the type-switch count above which a
+	// class indicates a missing hierarchy.
+	MissingHierarchySwitches = 4
+)
+
+// Generate synthesizes the snapshot for one release profile. The same
+// profile and seed always produce the identical codebase.
+func Generate(p ReleaseProfile, seed int64) *Codebase {
+	rng := rand.New(rand.NewSource(seed))
+	cb := NewCodebase("onos", p.Version)
+
+	// Core packages, always present.
+	core := []string{
+		"net.intent.impl", "net.flow", "net.topology", "net.host",
+		"store.primitives", "cli", "rest", "provider.of",
+		"app.fwd", "app.routing", "security", "metrics",
+	}
+	for _, name := range core {
+		cb.AddPackage(name)
+	}
+
+	// net.intent.impl grows per the paper.
+	intent := cb.AddPackage("net.intent.impl")
+	for i := 0; i < p.IntentImplClasses; i++ {
+		intent.Classes = append(intent.Classes, normalClass(rng, "Intent", "net.intent.impl", i))
+	}
+
+	// God components: oversized packages beyond the threshold.
+	// net.intent.impl (49–107 classes) is itself one of them, so only
+	// the remainder are synthesized as dedicated giants.
+	for g := 0; g < p.GodComponents-1; g++ {
+		name := fmt.Sprintf("giant.component%d", g)
+		pkg := cb.AddPackage(name)
+		n := GodComponentClasses + 5 + rng.Intn(10)
+		for i := 0; i < n; i++ {
+			pkg.Classes = append(pkg.Classes, normalClass(rng, "Giant", name, i))
+		}
+	}
+
+	// Fill the remaining core packages with modest class counts.
+	for _, name := range core[1:] {
+		pkg := cb.AddPackage(name)
+		n := 8 + rng.Intn(10)
+		for i := 0; i < n; i++ {
+			pkg.Classes = append(pkg.Classes, normalClass(rng, "Cls", name, i))
+		}
+	}
+
+	// Insufficiently modularized classes: too many methods.
+	placeSpecial(cb, rng, p.InsufficientlyModularized, func(pkg *Package, i int) {
+		c := normalClass(rng, "Bloated", pkg.Name, i)
+		for len(c.Methods) <= InsufficientMethods+rng.Intn(20) {
+			c.Methods = append(c.Methods, Method{
+				Name: fmt.Sprintf("op%d", len(c.Methods)), LOC: 20 + rng.Intn(40),
+				Cyclomatic: 2 + rng.Intn(8),
+			})
+		}
+		pkg.Classes = append(pkg.Classes, c)
+	})
+
+	// Broken hierarchies: subtype ignores its supertype's features.
+	placeSpecial(cb, rng, p.BrokenHierarchies, func(pkg *Package, i int) {
+		c := normalClass(rng, "Run", pkg.Name, i)
+		c.SuperType = "ElectionOperation"
+		c.UsesSuperFeatures = false
+		pkg.Classes = append(pkg.Classes, c)
+	})
+
+	// Hub-like classes: high fan-in and fan-out.
+	placeSpecial(cb, rng, p.HubClasses, func(pkg *Package, i int) {
+		c := normalClass(rng, "Hub", pkg.Name, i)
+		c.FanIn = HubFan + 3 + rng.Intn(10)
+		c.FanOut = HubFan + 2 + rng.Intn(10)
+		pkg.Classes = append(pkg.Classes, c)
+	})
+
+	// Missing hierarchies: type-switch-riddled classes.
+	placeSpecial(cb, rng, p.MissingHierarchies, func(pkg *Package, i int) {
+		c := normalClass(rng, "Dispatcher", pkg.Name, i)
+		c.TypeSwitches = MissingHierarchySwitches + 1 + rng.Intn(4)
+		pkg.Classes = append(pkg.Classes, c)
+	})
+
+	// Dependency structure: wire a base DAG, then add the profile's
+	// number of unstable edges (stable package depending on a less
+	// stable one).
+	wireDependencies(cb, rng, p.UnstableDeps)
+	return cb
+}
+
+// normalClass builds an unremarkable healthy class.
+func normalClass(rng *rand.Rand, prefix, pkg string, i int) *Class {
+	c := &Class{
+		Name:    fmt.Sprintf("%s%s%d", prefix, suffixOf(pkg), i),
+		Package: pkg,
+		Fields:  1 + rng.Intn(6),
+		// Healthy subtype: uses its supertype.
+		UsesSuperFeatures: true,
+		FanIn:             rng.Intn(6),
+		FanOut:            rng.Intn(6),
+	}
+	n := 3 + rng.Intn(10)
+	for m := 0; m < n; m++ {
+		c.Methods = append(c.Methods, Method{
+			Name: fmt.Sprintf("m%d", m), LOC: 5 + rng.Intn(30), Cyclomatic: 1 + rng.Intn(5),
+		})
+	}
+	return c
+}
+
+func suffixOf(pkg string) string {
+	out := make([]rune, 0, len(pkg))
+	for _, r := range pkg {
+		if r != '.' {
+			out = append(out, r)
+		}
+	}
+	if len(out) > 6 {
+		out = out[len(out)-6:]
+	}
+	return string(out)
+}
+
+// placeSpecial distributes n special classes across packages,
+// skipping net.intent.impl so its published class count stays exact.
+func placeSpecial(cb *Codebase, rng *rand.Rand, n int, add func(*Package, int)) {
+	var pkgs []*Package
+	for _, p := range cb.Packages() {
+		if p.Name != "net.intent.impl" {
+			pkgs = append(pkgs, p)
+		}
+	}
+	for i := 0; i < n; i++ {
+		add(pkgs[rng.Intn(len(pkgs))], i)
+	}
+}
+
+// wireDependencies creates a layered dependency DAG plus exactly
+// nUnstable violations of the Stable Dependencies Principle: edges
+// from the (stable) kernel package onto dedicated experimental leaves
+// that are less stable than it.
+func wireDependencies(cb *Codebase, rng *rand.Rand, nUnstable int) {
+	pkgs := cb.Packages()
+	// The kernel is the foundation everything depends on: large
+	// afferent coupling keeps its instability low.
+	kernel := cb.AddPackage("kernel.core")
+	kernel.Classes = append(kernel.Classes, normalClass(rng, "Kernel", "kernel.core", 0))
+	// Base mesh: each package depends on its 3 cyclic successors and on
+	// the kernel, giving every core package identical coupling
+	// (Ca = 3, Ce = 4) and hence identical instability 4/7 — far above
+	// the kernel's, so no base edge violates the SDP.
+	for i, p := range pkgs {
+		for k := 1; k <= 3; k++ {
+			q := pkgs[(i+k)%len(pkgs)]
+			if q != p {
+				p.DependsOn = append(p.DependsOn, q.Name)
+			}
+		}
+		p.DependsOn = append(p.DependsOn, "kernel.core")
+	}
+	// SDP violations: the stable kernel depends on unstable leaves.
+	// Each leaf has Ce = Ca = 1, so I(leaf) = 0.5, while the kernel's
+	// instability stays below 0.5 thanks to its afferent weight.
+	for v := 0; v < nUnstable; v++ {
+		leafName := fmt.Sprintf("experimental.leaf%d", v)
+		leaf := cb.AddPackage(leafName)
+		leaf.Classes = append(leaf.Classes, normalClass(rng, "Leaf", leafName, v))
+		leaf.DependsOn = append(leaf.DependsOn, "kernel.core")
+		kernel.DependsOn = append(kernel.DependsOn, leafName)
+	}
+}

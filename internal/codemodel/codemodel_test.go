@@ -1,0 +1,156 @@
+package codemodel
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestCodebaseBasics(t *testing.T) {
+	cb := NewCodebase("demo", "0.1")
+	p := cb.AddPackage("net")
+	if again := cb.AddPackage("net"); again != p {
+		t.Error("AddPackage should be idempotent")
+	}
+	got, err := cb.Package("net")
+	if err != nil || got != p {
+		t.Errorf("Package: %v %v", got, err)
+	}
+	if _, err := cb.Package("nosuch"); !errors.Is(err, ErrNoPackage) {
+		t.Errorf("want ErrNoPackage, got %v", err)
+	}
+	p.Classes = append(p.Classes, &Class{
+		Name: "A", Package: "net",
+		Methods: []Method{{Name: "m", LOC: 10}, {Name: "n", LOC: 5}},
+	})
+	if p.LOC() != 15 || cb.ClassCount() != 1 {
+		t.Errorf("LOC=%d classes=%d", p.LOC(), cb.ClassCount())
+	}
+	if len(cb.Classes()) != 1 {
+		t.Errorf("Classes() = %d", len(cb.Classes()))
+	}
+}
+
+func TestPackagesSorted(t *testing.T) {
+	cb := NewCodebase("demo", "0.1")
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		cb.AddPackage(n)
+	}
+	pkgs := cb.Packages()
+	if pkgs[0].Name != "alpha" || pkgs[2].Name != "zeta" {
+		t.Errorf("not sorted: %v %v %v", pkgs[0].Name, pkgs[1].Name, pkgs[2].Name)
+	}
+}
+
+func TestInstability(t *testing.T) {
+	cb := NewCodebase("demo", "0.1")
+	a := cb.AddPackage("a")
+	cb.AddPackage("b")
+	c := cb.AddPackage("c")
+	a.DependsOn = []string{"b"}
+	c.DependsOn = []string{"b"}
+	// b: Ca=2, Ce=0 -> I=0. a: Ca=0, Ce=1 -> I=1.
+	ib, err := cb.Instability("b")
+	if err != nil || ib != 0 {
+		t.Errorf("I(b)=%v err=%v", ib, err)
+	}
+	ia, _ := cb.Instability("a")
+	if ia != 1 {
+		t.Errorf("I(a)=%v", ia)
+	}
+	// Isolated package: defined as 0.
+	iso := cb.AddPackage("iso")
+	_ = iso
+	if v, _ := cb.Instability("iso"); v != 0 {
+		t.Errorf("I(iso)=%v", v)
+	}
+	if _, err := cb.Instability("ghost"); err == nil {
+		t.Error("want error for unknown package")
+	}
+}
+
+func TestAfferent(t *testing.T) {
+	cb := NewCodebase("demo", "0.1")
+	a := cb.AddPackage("a")
+	cb.AddPackage("b")
+	// Duplicate edges from the same package count once.
+	a.DependsOn = []string{"b", "b"}
+	if got := cb.Afferent("b"); got != 1 {
+		t.Errorf("Afferent(b) = %d, want 1", got)
+	}
+}
+
+func TestONOSReleasesShape(t *testing.T) {
+	rels := ONOSReleases()
+	if len(rels) != 8 {
+		t.Fatalf("releases = %d", len(rels))
+	}
+	if rels[0].Version != "1.12" || rels[len(rels)-1].Version != "2.3" {
+		t.Errorf("version range %s..%s", rels[0].Version, rels[len(rels)-1].Version)
+	}
+	// Monotone published series.
+	for i := 1; i < len(rels); i++ {
+		if rels[i].Commits > rels[i-1].Commits {
+			t.Errorf("commits rise at %s", rels[i].Version)
+		}
+		if rels[i].IntentImplClasses <= rels[i-1].IntentImplClasses {
+			t.Errorf("intent.impl classes must grow at %s", rels[i].Version)
+		}
+		if rels[i].UnstableDeps >= rels[i-1].UnstableDeps {
+			t.Errorf("unstable deps must decline at %s", rels[i].Version)
+		}
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	p := ONOSReleases()[0]
+	cb := Generate(p, 1)
+	// net.intent.impl has exactly the published class count.
+	intent, err := cb.Package("net.intent.impl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(intent.Classes) != p.IntentImplClasses {
+		t.Errorf("intent classes = %d, want %d", len(intent.Classes), p.IntentImplClasses)
+	}
+	// Kernel exists and everything core depends on it.
+	if _, err := cb.Package("kernel.core"); err != nil {
+		t.Fatal(err)
+	}
+	if ca := cb.Afferent("kernel.core"); ca < 10 {
+		t.Errorf("kernel afferent coupling = %d, suspiciously low", ca)
+	}
+	// Kernel stays more stable than the experimental leaves.
+	ik, err := cb.Instability("kernel.core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	il, err := cb.Instability("experimental.leaf0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ik < il) {
+		t.Errorf("I(kernel)=%v should be below I(leaf)=%v", ik, il)
+	}
+	if math.Abs(il-0.5) > 1e-9 {
+		t.Errorf("leaf instability = %v, want 0.5", il)
+	}
+}
+
+func TestGenerateDeterministicSameSeed(t *testing.T) {
+	p := ONOSReleases()[4]
+	a := Generate(p, 11)
+	b := Generate(p, 11)
+	if a.ClassCount() != b.ClassCount() {
+		t.Fatal("class counts differ")
+	}
+	pa, pb := a.Packages(), b.Packages()
+	if len(pa) != len(pb) {
+		t.Fatal("package counts differ")
+	}
+	for i := range pa {
+		if pa[i].Name != pb[i].Name || len(pa[i].Classes) != len(pb[i].Classes) {
+			t.Fatalf("package %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,430 @@
+package corpus
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"sdnbugs/internal/taxonomy"
+	"sdnbugs/internal/textgen"
+	"sdnbugs/internal/tracker"
+)
+
+// Corpus is a generated bug data set: the issues as the trackers would
+// expose them, plus the hidden ground-truth labels and the designated
+// manual-analysis subset.
+type Corpus struct {
+	Issues []tracker.Issue
+	// Labels maps issue ID to its ground-truth taxonomy label — the
+	// stand-in for the authors' manual analysis.
+	Labels map[string]taxonomy.Label
+	// ManualIDs is the randomly chosen closed-bug subset (50 per
+	// controller in the paper).
+	ManualIDs []string
+}
+
+// ErrBadSpec is returned when a spec is structurally unusable.
+var ErrBadSpec = errors.New("corpus: bad spec")
+
+// Generate builds the full three-controller corpus with DefaultSpecs.
+func Generate(seed int64) (*Corpus, error) {
+	specs := DefaultSpecs()
+	out := &Corpus{Labels: make(map[string]taxonomy.Label)}
+	for _, c := range tracker.Controllers() {
+		part, err := GenerateController(specs[c], seed+int64(c)*1000)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: %s: %w", c, err)
+		}
+		out.Issues = append(out.Issues, part.Issues...)
+		for id, l := range part.Labels {
+			out.Labels[id] = l
+		}
+		out.ManualIDs = append(out.ManualIDs, part.ManualIDs...)
+	}
+	return out, nil
+}
+
+// GenerateController builds the corpus for a single controller spec.
+func GenerateController(spec Spec, seed int64) (*Corpus, error) {
+	if spec.TotalBugs <= 0 {
+		return nil, fmt.Errorf("%w: TotalBugs %d", ErrBadSpec, spec.TotalBugs)
+	}
+	if spec.ManualCount < 0 || spec.ManualCount > spec.TotalBugs {
+		return nil, fmt.Errorf("%w: ManualCount %d of %d", ErrBadSpec, spec.ManualCount, spec.TotalBugs)
+	}
+	if len(spec.Releases) == 0 {
+		return nil, fmt.Errorf("%w: no releases", ErrBadSpec)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := &Corpus{Labels: make(map[string]taxonomy.Label, spec.TotalBugs)}
+
+	// Triggers, symptoms and byzantine modes are assigned by quota
+	// (largest remainder) so the published marginals are hit exactly;
+	// all conditional structure below them is sampled.
+	triggers, err := quotaSequence(rng, taxonomy.Triggers(), spec.TriggerDist, spec.TotalBugs)
+	if err != nil {
+		return nil, err
+	}
+	symptoms, err := quotaSequence(rng, taxonomy.Symptoms(), spec.SymptomDist, spec.TotalBugs)
+	if err != nil {
+		return nil, err
+	}
+	nByz := 0
+	for _, s := range symptoms {
+		if s == taxonomy.SymptomByzantine {
+			nByz++
+		}
+	}
+	byzModes, err := quotaSequence(rng, taxonomy.ByzantineModes(), spec.ByzantineDist, nByz)
+	if err != nil {
+		return nil, err
+	}
+	byzNext := 0
+
+	// Fixes are quota-allocated per trigger group so §V-A's fix shares
+	// (25 % config-fixed-by-config, 41.4 % compatibility) hold exactly
+	// up to the concurrency→add-synchronization override.
+	fixQueues := make(map[taxonomy.Trigger][]taxonomy.Fix, len(taxonomy.Triggers()))
+	trigCounts := map[taxonomy.Trigger]int{}
+	for _, tr := range triggers {
+		trigCounts[tr]++
+	}
+	for _, tr := range taxonomy.Triggers() {
+		if trigCounts[tr] == 0 {
+			continue
+		}
+		dist, ok := spec.FixByTrigger[tr]
+		if !ok {
+			return nil, fmt.Errorf("%w: no fix distribution for %v", ErrBadSpec, tr)
+		}
+		q, err := quotaSequence(rng, taxonomy.Fixes(), dist, trigCounts[tr])
+		if err != nil {
+			return nil, err
+		}
+		fixQueues[tr] = q
+	}
+
+	var closedIdx []int
+	for i := 0; i < spec.TotalBugs; i++ {
+		var mode taxonomy.ByzantineMode
+		if symptoms[i] == taxonomy.SymptomByzantine {
+			mode = byzModes[byzNext]
+			byzNext++
+		}
+		label, err := sampleLabel(rng, spec, triggers[i], symptoms[i], mode, fixQueues)
+		if err != nil {
+			return nil, err
+		}
+		issue := buildIssue(rng, spec, i+1, label)
+		if issue.Status == tracker.StatusClosed {
+			closedIdx = append(closedIdx, len(out.Issues))
+		}
+		out.Labels[issue.ID] = label
+		out.Issues = append(out.Issues, issue)
+	}
+	// Manual subset: random closed bugs, like the paper's protocol.
+	if len(closedIdx) < spec.ManualCount {
+		return nil, fmt.Errorf("%w: only %d closed bugs for manual sample of %d",
+			ErrBadSpec, len(closedIdx), spec.ManualCount)
+	}
+	rng.Shuffle(len(closedIdx), func(i, j int) {
+		closedIdx[i], closedIdx[j] = closedIdx[j], closedIdx[i]
+	})
+	picked := append([]int(nil), closedIdx[:spec.ManualCount]...)
+	sort.Ints(picked)
+	for _, i := range picked {
+		out.ManualIDs = append(out.ManualIDs, out.Issues[i].ID)
+	}
+	return out, nil
+}
+
+// quotaSequence allocates n draws across categories by the largest-
+// remainder method, then shuffles the sequence. It returns an error for
+// an empty or negative distribution.
+func quotaSequence[T comparable](rng *rand.Rand, cats []T, dist map[T]float64, n int) ([]T, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	var total float64
+	for _, c := range cats {
+		w := dist[c]
+		if w < 0 {
+			return nil, fmt.Errorf("%w: negative weight", ErrBadSpec)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("%w: empty distribution", ErrBadSpec)
+	}
+	counts := make([]int, len(cats))
+	rems := make([]float64, len(cats))
+	assigned := 0
+	for i, c := range cats {
+		exact := dist[c] / total * float64(n)
+		counts[i] = int(exact)
+		rems[i] = exact - float64(counts[i])
+		assigned += counts[i]
+	}
+	for assigned < n {
+		best := 0
+		for i := 1; i < len(rems); i++ {
+			if rems[i] > rems[best] {
+				best = i
+			}
+		}
+		counts[best]++
+		rems[best] = -1
+		assigned++
+	}
+	seq := make([]T, 0, n)
+	for i, c := range cats {
+		for k := 0; k < counts[i]; k++ {
+			seq = append(seq, c)
+		}
+	}
+	rng.Shuffle(len(seq), func(i, j int) { seq[i], seq[j] = seq[j], seq[i] })
+	return seq, nil
+}
+
+func sampleLabel(rng *rand.Rand, spec Spec, trig taxonomy.Trigger, sym taxonomy.Symptom, mode taxonomy.ByzantineMode, fixQueues map[taxonomy.Trigger][]taxonomy.Fix) (taxonomy.Label, error) {
+	var l taxonomy.Label
+
+	l.Trigger = trig
+	switch trig {
+	case taxonomy.TriggerConfiguration:
+		scope, err := weightedConfigScope(rng, spec.ConfigScopeDist)
+		if err != nil {
+			return l, err
+		}
+		l.ConfigScope = scope
+	case taxonomy.TriggerExternalCall:
+		kind, err := weightedExternalKind(rng, spec.ExternalKindDist)
+		if err != nil {
+			return l, err
+		}
+		l.ExternalKind = kind
+	}
+
+	l.Symptom = sym
+	if sym == taxonomy.SymptomByzantine {
+		l.Byzantine = mode
+	}
+
+	causeDist, ok := spec.CauseBySymptom[sym]
+	if !ok {
+		return l, fmt.Errorf("%w: no cause distribution for %v", ErrBadSpec, sym)
+	}
+	cause, err := weightedCause(rng, causeDist)
+	if err != nil {
+		return l, err
+	}
+	l.Cause = cause
+
+	if rng.Float64() < spec.NonDetByCause[cause] {
+		l.Type = taxonomy.NonDeterministic
+	} else {
+		l.Type = taxonomy.Deterministic
+	}
+
+	// Concurrency bugs are overwhelmingly fixed by synchronization,
+	// regardless of trigger (§VII-B correlation); everyone else draws
+	// the next quota-allocated fix for their trigger.
+	if cause == taxonomy.CauseConcurrency && rng.Float64() < 0.8 {
+		l.Fix = taxonomy.FixAddSynchronization
+	} else {
+		q := fixQueues[trig]
+		if len(q) == 0 {
+			return l, fmt.Errorf("%w: fix quota exhausted for %v", ErrBadSpec, trig)
+		}
+		l.Fix = q[0]
+		fixQueues[trig] = q[1:]
+	}
+	if err := l.Validate(); err != nil {
+		return l, fmt.Errorf("corpus: generated invalid label: %w", err)
+	}
+	return l, nil
+}
+
+func buildIssue(rng *rand.Rand, spec Spec, n int, label taxonomy.Label) tracker.Issue {
+	report := textgen.Generate(rng, spec.Controller, label)
+
+	var id string
+	switch tracker.TrackerFor(spec.Controller) {
+	case tracker.KindGitHub:
+		id = fmt.Sprintf("%s#%d", spec.Controller, n)
+	default:
+		id = fmt.Sprintf("%s-%d", spec.Controller, n)
+	}
+
+	created := sampleCreation(rng, spec.Releases)
+	status := tracker.StatusClosed
+	if rng.Float64() < 0.12 {
+		status = tracker.StatusOpen
+	}
+
+	severity := tracker.SeverityCritical
+	if rng.Float64() < 0.2 {
+		severity = tracker.SeverityBlocker
+	}
+
+	issue := tracker.Issue{
+		ID:             id,
+		Controller:     spec.Controller,
+		ControllerName: spec.Controller.String(),
+		Title:          report.Title,
+		Description:    report.Description,
+		Severity:       severity,
+		Status:         status,
+		Created:        created,
+		Labels:         []string{"bug", label.Trigger.String()},
+	}
+	for k, c := range report.Comments {
+		issue.Comments = append(issue.Comments, tracker.Comment{
+			Author:  fmt.Sprintf("dev%d", rng.Intn(20)),
+			Body:    c,
+			Created: created.Add(time.Duration(k+1) * 24 * time.Hour),
+		})
+	}
+	if status == tracker.StatusClosed {
+		// FAUCET is tracked on GitHub, which (as in the paper) does
+		// not expose resolution timestamps to the miner.
+		if tracker.TrackerFor(spec.Controller) != tracker.KindGitHub {
+			ln := spec.ResolutionDays[label.Trigger]
+			issue.Resolved = created.Add(sampleLogNormalDays(rng, ln))
+		}
+		issue.FixRef = fmt.Sprintf("change/%05d", rng.Intn(100000))
+	}
+	return issue
+}
+
+// sampleCreation clusters 70 % of bugs in a burst after a release and
+// spreads the rest uniformly across the study window (§II-B).
+func sampleCreation(rng *rand.Rand, releases []time.Time) time.Time {
+	first := releases[0]
+	last := releases[len(releases)-1].AddDate(0, 3, 0)
+	if rng.Float64() < 0.7 {
+		rel := releases[rng.Intn(len(releases))]
+		offset := rng.NormFloat64()*15 + 10 // days, centered after release
+		t := rel.Add(time.Duration(offset*24) * time.Hour)
+		if t.Before(first) {
+			t = first
+		}
+		if t.After(last) {
+			t = last
+		}
+		return t
+	}
+	span := last.Sub(first)
+	return first.Add(time.Duration(rng.Int63n(int64(span))))
+}
+
+func sampleLogNormalDays(rng *rand.Rand, ln LogNormal) time.Duration {
+	if ln.MedianDays <= 0 {
+		ln.MedianDays = 7
+	}
+	if ln.Sigma <= 0 {
+		ln.Sigma = 1
+	}
+	mu := math.Log(ln.MedianDays)
+	days := math.Exp(mu + ln.Sigma*rng.NormFloat64())
+	if days < 0.04 {
+		days = 0.04 // at least ~1 hour
+	}
+	return time.Duration(days * 24 * float64(time.Hour))
+}
+
+// The weighted samplers iterate categories in canonical enum order so
+// generation is deterministic for a seed.
+
+func weightedPick(rng *rand.Rand, weights []float64) (int, error) {
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			return 0, fmt.Errorf("%w: negative weight", ErrBadSpec)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return 0, fmt.Errorf("%w: empty distribution", ErrBadSpec)
+	}
+	r := rng.Float64() * total
+	for i, w := range weights {
+		r -= w
+		if r < 0 {
+			return i, nil
+		}
+	}
+	return len(weights) - 1, nil
+}
+
+func weightedCause(rng *rand.Rand, dist map[taxonomy.RootCause]float64) (taxonomy.RootCause, error) {
+	cats := taxonomy.RootCauses()
+	ws := make([]float64, len(cats))
+	for i, c := range cats {
+		ws[i] = dist[c]
+	}
+	i, err := weightedPick(rng, ws)
+	if err != nil {
+		return taxonomy.RootCauseUnknown, err
+	}
+	return cats[i], nil
+}
+
+func weightedConfigScope(rng *rand.Rand, dist map[taxonomy.ConfigScope]float64) (taxonomy.ConfigScope, error) {
+	cats := taxonomy.ConfigScopes()
+	ws := make([]float64, len(cats))
+	for i, c := range cats {
+		ws[i] = dist[c]
+	}
+	i, err := weightedPick(rng, ws)
+	if err != nil {
+		return taxonomy.ConfigScopeNone, err
+	}
+	return cats[i], nil
+}
+
+func weightedExternalKind(rng *rand.Rand, dist map[taxonomy.ExternalCallKind]float64) (taxonomy.ExternalCallKind, error) {
+	cats := taxonomy.ExternalCallKinds()
+	ws := make([]float64, len(cats))
+	for i, c := range cats {
+		ws[i] = dist[c]
+	}
+	i, err := weightedPick(rng, ws)
+	if err != nil {
+		return taxonomy.ExternalCallNone, err
+	}
+	return cats[i], nil
+}
+
+// ManualSubset returns the issues (with labels) in the manual set.
+func (c *Corpus) ManualSubset() ([]tracker.Issue, []taxonomy.Label) {
+	byID := make(map[string]tracker.Issue, len(c.Issues))
+	for _, iss := range c.Issues {
+		byID[iss.ID] = iss
+	}
+	issues := make([]tracker.Issue, 0, len(c.ManualIDs))
+	labels := make([]taxonomy.Label, 0, len(c.ManualIDs))
+	for _, id := range c.ManualIDs {
+		iss, ok := byID[id]
+		if !ok {
+			continue
+		}
+		issues = append(issues, iss)
+		labels = append(labels, c.Labels[id])
+	}
+	return issues, labels
+}
+
+// ByController returns the issues belonging to one controller.
+func (c *Corpus) ByController(ctl tracker.Controller) []tracker.Issue {
+	var out []tracker.Issue
+	for _, iss := range c.Issues {
+		if iss.Controller == ctl {
+			out = append(out, iss)
+		}
+	}
+	return out
+}

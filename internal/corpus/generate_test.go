@@ -1,0 +1,351 @@
+package corpus
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sdnbugs/internal/taxonomy"
+	"sdnbugs/internal/tracker"
+)
+
+func fullCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	c, err := Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestGenerateCounts(t *testing.T) {
+	c := fullCorpus(t)
+	// Paper §II-B: FAUCET 251, ONOS 186, CORD 358 critical bugs.
+	wants := map[tracker.Controller]int{
+		tracker.FAUCET: 251,
+		tracker.ONOS:   186,
+		tracker.CORD:   358,
+	}
+	for ctl, want := range wants {
+		if got := len(c.ByController(ctl)); got != want {
+			t.Errorf("%s: %d issues, want %d", ctl, got, want)
+		}
+	}
+	if len(c.Issues) != 795 {
+		t.Errorf("total = %d, want 795", len(c.Issues))
+	}
+	if len(c.ManualIDs) != 150 {
+		t.Errorf("manual set = %d, want 150", len(c.ManualIDs))
+	}
+}
+
+func TestEveryIssueLabeledAndValid(t *testing.T) {
+	c := fullCorpus(t)
+	for _, iss := range c.Issues {
+		l, ok := c.Labels[iss.ID]
+		if !ok {
+			t.Fatalf("issue %s has no label", iss.ID)
+		}
+		if err := l.Validate(); err != nil {
+			t.Fatalf("issue %s label invalid: %v", iss.ID, err)
+		}
+		if !l.Complete() {
+			t.Fatalf("issue %s label incomplete: %+v", iss.ID, l)
+		}
+		if iss.Title == "" || iss.Description == "" {
+			t.Fatalf("issue %s missing text", iss.ID)
+		}
+		if !iss.Severity.Critical() {
+			t.Fatalf("issue %s severity %v not in critical band", iss.ID, iss.Severity)
+		}
+	}
+}
+
+func TestManualSubsetIsClosedBugs(t *testing.T) {
+	c := fullCorpus(t)
+	issues, labels := c.ManualSubset()
+	if len(issues) != 150 || len(labels) != 150 {
+		t.Fatalf("manual subset %d/%d", len(issues), len(labels))
+	}
+	for _, iss := range issues {
+		if iss.Status != tracker.StatusClosed {
+			t.Errorf("manual bug %s is %v, want closed", iss.ID, iss.Status)
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a, err := Generate(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Issues) != len(b.Issues) {
+		t.Fatal("issue counts differ")
+	}
+	for i := range a.Issues {
+		if a.Issues[i].ID != b.Issues[i].ID ||
+			a.Issues[i].Description != b.Issues[i].Description ||
+			!a.Issues[i].Created.Equal(b.Issues[i].Created) {
+			t.Fatalf("issue %d differs between same-seed runs", i)
+		}
+		if a.Labels[a.Issues[i].ID] != b.Labels[b.Issues[i].ID] {
+			t.Fatalf("label %d differs between same-seed runs", i)
+		}
+	}
+}
+
+// fraction computes the share of the controller's bugs satisfying pred.
+func fraction(c *Corpus, ctl tracker.Controller, pred func(taxonomy.Label) bool) float64 {
+	issues := c.ByController(ctl)
+	hits := 0
+	for _, iss := range issues {
+		if pred(c.Labels[iss.ID]) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(issues))
+}
+
+func TestDeterminismCalibration(t *testing.T) {
+	c := fullCorpus(t)
+	// §III: FAUCET 96 %, ONOS 94 %, CORD 94 % deterministic (±4 pts on
+	// a finite sample).
+	targets := map[tracker.Controller]float64{
+		tracker.FAUCET: 0.96, tracker.ONOS: 0.94, tracker.CORD: 0.94,
+	}
+	for ctl, want := range targets {
+		got := fraction(c, ctl, func(l taxonomy.Label) bool { return l.Type == taxonomy.Deterministic })
+		if math.Abs(got-want) > 0.04 {
+			t.Errorf("%s deterministic = %.3f, want ≈ %.2f", ctl, got, want)
+		}
+	}
+}
+
+func TestTriggerCalibration(t *testing.T) {
+	c := fullCorpus(t)
+	// §V-A overall: config 38.8, external 33, network 19.8, reboot 8.4.
+	n := len(c.Issues)
+	counts := map[taxonomy.Trigger]int{}
+	for _, l := range c.Labels {
+		counts[l.Trigger]++
+	}
+	wants := map[taxonomy.Trigger]float64{
+		taxonomy.TriggerConfiguration:  0.388,
+		taxonomy.TriggerExternalCall:   0.33,
+		taxonomy.TriggerNetworkEvent:   0.198,
+		taxonomy.TriggerHardwareReboot: 0.084,
+	}
+	for trig, want := range wants {
+		got := float64(counts[trig]) / float64(n)
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("trigger %v = %.3f, want ≈ %.3f", trig, got, want)
+		}
+	}
+}
+
+func TestSymptomCalibration(t *testing.T) {
+	c := fullCorpus(t)
+	n := len(c.Issues)
+	counts := map[taxonomy.Symptom]int{}
+	for _, l := range c.Labels {
+		counts[l.Symptom]++
+	}
+	wants := map[taxonomy.Symptom]float64{
+		taxonomy.SymptomByzantine:    0.6133,
+		taxonomy.SymptomFailStop:     0.20,
+		taxonomy.SymptomErrorMessage: 0.147,
+		taxonomy.SymptomPerformance:  0.04,
+	}
+	for sym, want := range wants {
+		got := float64(counts[sym]) / float64(n)
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("symptom %v = %.3f, want ≈ %.3f", sym, got, want)
+		}
+	}
+}
+
+func TestRootCauseCalibration(t *testing.T) {
+	c := fullCorpus(t)
+	// §VII-A: FAUCET missing-logic 52.5 %; CORD load 30 % vs ONOS 16 %.
+	ml := fraction(c, tracker.FAUCET, func(l taxonomy.Label) bool { return l.Cause == taxonomy.CauseMissingLogic })
+	if math.Abs(ml-0.525) > 0.07 {
+		t.Errorf("FAUCET missing-logic = %.3f, want ≈ 0.525", ml)
+	}
+	cordLoad := fraction(c, tracker.CORD, func(l taxonomy.Label) bool { return l.Cause == taxonomy.CauseLoad })
+	onosLoad := fraction(c, tracker.ONOS, func(l taxonomy.Label) bool { return l.Cause == taxonomy.CauseLoad })
+	if math.Abs(cordLoad-0.30) > 0.07 {
+		t.Errorf("CORD load = %.3f, want ≈ 0.30", cordLoad)
+	}
+	if math.Abs(onosLoad-0.16) > 0.07 {
+		t.Errorf("ONOS load = %.3f, want ≈ 0.16", onosLoad)
+	}
+	if !(cordLoad > onosLoad) {
+		t.Error("CORD must be more load-prone than ONOS")
+	}
+}
+
+func TestFixCalibration(t *testing.T) {
+	c := fullCorpus(t)
+	var confTotal, confFixedByConfig int
+	var extTotal, extCompat int
+	for _, l := range c.Labels {
+		switch l.Trigger {
+		case taxonomy.TriggerConfiguration:
+			confTotal++
+			if l.Fix == taxonomy.FixConfiguration {
+				confFixedByConfig++
+			}
+		case taxonomy.TriggerExternalCall:
+			extTotal++
+			if l.Fix == taxonomy.FixAddCompatibility || l.Fix == taxonomy.FixUpgradePackages {
+				extCompat++
+			}
+		}
+	}
+	gotConf := float64(confFixedByConfig) / float64(confTotal)
+	if math.Abs(gotConf-0.25) > 0.06 {
+		t.Errorf("config bugs fixed by config change = %.3f, want ≈ 0.25", gotConf)
+	}
+	gotExt := float64(extCompat) / float64(extTotal)
+	if math.Abs(gotExt-0.414) > 0.07 {
+		t.Errorf("external-call compatibility fixes = %.3f, want ≈ 0.414", gotExt)
+	}
+}
+
+func TestResolutionTimesVisibility(t *testing.T) {
+	c := fullCorpus(t)
+	// FAUCET (GitHub) resolution times are hidden; JIRA projects have
+	// them for closed bugs (paper's Figure 7 protocol).
+	for _, iss := range c.ByController(tracker.FAUCET) {
+		if _, ok := iss.ResolutionTime(); ok {
+			t.Fatalf("FAUCET issue %s exposes a resolution time", iss.ID)
+		}
+	}
+	var with int
+	onos := c.ByController(tracker.ONOS)
+	for _, iss := range onos {
+		if _, ok := iss.ResolutionTime(); ok {
+			with++
+		}
+	}
+	if with == 0 {
+		t.Error("ONOS should expose resolution times for closed bugs")
+	}
+}
+
+func TestGenerateControllerErrors(t *testing.T) {
+	spec := DefaultSpecs()[tracker.ONOS]
+	spec.TotalBugs = 0
+	if _, err := GenerateController(spec, 1); err == nil {
+		t.Error("want error for TotalBugs=0")
+	}
+	spec = DefaultSpecs()[tracker.ONOS]
+	spec.ManualCount = spec.TotalBugs + 1
+	if _, err := GenerateController(spec, 1); err == nil {
+		t.Error("want error for ManualCount > TotalBugs")
+	}
+	spec = DefaultSpecs()[tracker.ONOS]
+	spec.Releases = nil
+	if _, err := GenerateController(spec, 1); err == nil {
+		t.Error("want error for no releases")
+	}
+	spec = DefaultSpecs()[tracker.ONOS]
+	spec.TriggerDist = map[taxonomy.Trigger]float64{}
+	if _, err := GenerateController(spec, 1); err == nil {
+		t.Error("want error for empty trigger distribution")
+	}
+}
+
+func TestSpecDistributionsSumToOne(t *testing.T) {
+	for ctl, spec := range DefaultSpecs() {
+		checkSum := func(name string, sum float64) {
+			if math.Abs(sum-1) > 0.01 {
+				t.Errorf("%s: %s sums to %.4f", ctl, name, sum)
+			}
+		}
+		var s float64
+		for _, w := range spec.TriggerDist {
+			s += w
+		}
+		checkSum("TriggerDist", s)
+		s = 0
+		for _, w := range spec.SymptomDist {
+			s += w
+		}
+		checkSum("SymptomDist", s)
+		s = 0
+		for _, w := range spec.ConfigScopeDist {
+			s += w
+		}
+		checkSum("ConfigScopeDist", s)
+		for sym, dist := range spec.CauseBySymptom {
+			s = 0
+			for _, w := range dist {
+				s += w
+			}
+			checkSum("CauseBySymptom["+sym.String()+"]", s)
+		}
+		for trig, dist := range spec.FixByTrigger {
+			s = 0
+			for _, w := range dist {
+				s += w
+			}
+			checkSum("FixByTrigger["+trig.String()+"]", s)
+		}
+	}
+}
+
+func TestCreationTimesWithinWindow(t *testing.T) {
+	c := fullCorpus(t)
+	for _, iss := range c.Issues {
+		if iss.Created.Year() < 2015 || iss.Created.Year() > 2021 {
+			t.Fatalf("issue %s created %v, outside study window", iss.ID, iss.Created)
+		}
+	}
+}
+
+func TestQuotaSequenceProperty(t *testing.T) {
+	// Largest-remainder allocation: counts sum to n and each category's
+	// count is within 1 of its exact share.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(500)
+		cats := taxonomy.Triggers()
+		dist := map[taxonomy.Trigger]float64{}
+		var total float64
+		for _, c := range cats {
+			w := rng.Float64()
+			dist[c] = w
+			total += w
+		}
+		seq, err := quotaSequence(rng, cats, dist, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seq) != n {
+			t.Fatalf("len = %d, want %d", len(seq), n)
+		}
+		counts := map[taxonomy.Trigger]int{}
+		for _, c := range seq {
+			counts[c]++
+		}
+		for _, c := range cats {
+			exact := dist[c] / total * float64(n)
+			if d := float64(counts[c]) - exact; d < -1.0001 || d > 1.0001 {
+				t.Fatalf("category %v count %d deviates %f from exact %f (n=%d)",
+					c, counts[c], d, exact, n)
+			}
+		}
+	}
+	// Degenerate inputs.
+	if _, err := quotaSequence(rng, taxonomy.Triggers(), map[taxonomy.Trigger]float64{}, 5); err == nil {
+		t.Error("want error for empty distribution")
+	}
+	if seq, err := quotaSequence(rng, taxonomy.Triggers(), map[taxonomy.Trigger]float64{taxonomy.TriggerConfiguration: 1}, 0); err != nil || seq != nil {
+		t.Errorf("n=0 should be (nil, nil): %v %v", seq, err)
+	}
+}

@@ -1,0 +1,357 @@
+// Package corpus generates the synthetic bug corpus that stands in for
+// the paper's mined JIRA/GitHub data set. Every published marginal and
+// conditional distribution (Sections II–V, Tables III–VI, Figures 2, 7,
+// 12–14) is a calibration target of the default specs; generation is
+// deterministic for a seed, and each bug carries a hidden ground-truth
+// label that plays the role of the authors' manual analysis.
+package corpus
+
+import (
+	"time"
+
+	"sdnbugs/internal/taxonomy"
+	"sdnbugs/internal/tracker"
+)
+
+// LogNormal parameterizes a lognormal duration distribution by its
+// median (in days) and the σ of the underlying normal.
+type LogNormal struct {
+	MedianDays float64
+	Sigma      float64
+}
+
+// Spec is the calibrated generation recipe for one controller.
+type Spec struct {
+	Controller tracker.Controller
+	// TotalBugs is the size of the full critical-bug set (paper §II-B:
+	// FAUCET 251, ONOS 186, CORD 358).
+	TotalBugs int
+	// ManualCount is the size of the closed-bug manual-analysis sample
+	// (50 per controller).
+	ManualCount int
+
+	// TriggerDist is P(trigger); §V-A's overall split is the weighted
+	// combination of the three controllers.
+	TriggerDist map[taxonomy.Trigger]float64
+	// ConfigScopeDist is P(scope | configuration trigger), Table III.
+	ConfigScopeDist map[taxonomy.ConfigScope]float64
+	// ExternalKindDist is P(kind | external-call trigger), Figure 13.
+	ExternalKindDist map[taxonomy.ExternalCallKind]float64
+	// SymptomDist is P(symptom), §IV.
+	SymptomDist map[taxonomy.Symptom]float64
+	// ByzantineDist is P(mode | byzantine symptom), §IV.
+	ByzantineDist map[taxonomy.ByzantineMode]float64
+	// CauseBySymptom is P(cause | symptom), Figure 2 and §VII-A.
+	CauseBySymptom map[taxonomy.Symptom]map[taxonomy.RootCause]float64
+	// NonDetByCause is P(non-deterministic | cause), §III and the
+	// memory↔deterministic correlation of §VII-B.
+	NonDetByCause map[taxonomy.RootCause]float64
+	// FixByTrigger is P(fix | trigger), §V-A.
+	FixByTrigger map[taxonomy.Trigger]map[taxonomy.Fix]float64
+	// ResolutionDays gives per-trigger resolution-time distributions,
+	// Figure 7.
+	ResolutionDays map[taxonomy.Trigger]LogNormal
+	// Releases are the project's release dates; bug creation bursts
+	// around them (paper §II-B).
+	Releases []time.Time
+}
+
+func quarterly(start time.Time, quarters int) []time.Time {
+	out := make([]time.Time, quarters)
+	for i := range out {
+		out[i] = start.AddDate(0, 3*i, 0)
+	}
+	return out
+}
+
+// DefaultSpecs returns the calibrated spec for every studied
+// controller. The numbers are chosen so the blended manual-set
+// marginals reproduce the paper's published figures:
+//
+//	triggers  38.8 / 33 / 19.8 / 8.4  (config/external/network/reboot)
+//	symptoms  61.33 byzantine, 20 fail-stop, 14.7 error, 4 performance
+//	determinism 96 / 94 / 94 (FAUCET/ONOS/CORD)
+//	missing-logic 52.5 % in FAUCET; load 30 % CORD vs 16 % ONOS
+func DefaultSpecs() map[tracker.Controller]Spec {
+	return map[tracker.Controller]Spec{
+		tracker.FAUCET: {
+			Controller:  tracker.FAUCET,
+			TotalBugs:   251,
+			ManualCount: 50,
+			TriggerDist: map[taxonomy.Trigger]float64{
+				taxonomy.TriggerConfiguration:  0.40,
+				taxonomy.TriggerExternalCall:   0.36,
+				taxonomy.TriggerNetworkEvent:   0.20,
+				taxonomy.TriggerHardwareReboot: 0.04,
+			},
+			ConfigScopeDist: map[taxonomy.ConfigScope]float64{
+				taxonomy.ConfigController: 0.529,
+				taxonomy.ConfigDataPlane:  0.117,
+				taxonomy.ConfigThirdParty: 0.354,
+			},
+			ExternalKindDist: defaultExternalKinds(),
+			SymptomDist: map[taxonomy.Symptom]float64{
+				taxonomy.SymptomByzantine:    0.60,
+				taxonomy.SymptomFailStop:     0.20,
+				taxonomy.SymptomErrorMessage: 0.16,
+				taxonomy.SymptomPerformance:  0.04,
+			},
+			ByzantineDist: defaultByzantineModes(),
+			CauseBySymptom: map[taxonomy.Symptom]map[taxonomy.RootCause]float64{
+				// FAUCET: missing logic dominates overall (52.5 %);
+				// fail-stop comes from humans and the ecosystem;
+				// performance problems come from the ecosystem.
+				taxonomy.SymptomByzantine: {
+					taxonomy.CauseMissingLogic:   0.73,
+					taxonomy.CauseEcosystem:      0.08,
+					taxonomy.CauseHumanMisconfig: 0.07,
+					taxonomy.CauseConcurrency:    0.05,
+					taxonomy.CauseMemory:         0.04,
+					taxonomy.CauseLoad:           0.03,
+				},
+				taxonomy.SymptomFailStop: {
+					taxonomy.CauseHumanMisconfig: 0.40,
+					taxonomy.CauseEcosystem:      0.40,
+					taxonomy.CauseMissingLogic:   0.10,
+					taxonomy.CauseMemory:         0.05,
+					taxonomy.CauseLoad:           0.05,
+				},
+				taxonomy.SymptomErrorMessage: {
+					taxonomy.CauseMissingLogic:   0.40,
+					taxonomy.CauseEcosystem:      0.30,
+					taxonomy.CauseHumanMisconfig: 0.20,
+					taxonomy.CauseLoad:           0.05,
+					taxonomy.CauseMemory:         0.05,
+				},
+				taxonomy.SymptomPerformance: {
+					taxonomy.CauseEcosystem:   0.60,
+					taxonomy.CauseLoad:        0.20,
+					taxonomy.CauseConcurrency: 0.10,
+					taxonomy.CauseMemory:      0.10,
+				},
+			},
+			NonDetByCause: defaultNonDetByCause(),
+			FixByTrigger:  defaultFixByTrigger(),
+			ResolutionDays: map[taxonomy.Trigger]LogNormal{
+				// GitHub hides these from the miner, but the generator
+				// still models them for internal consistency.
+				taxonomy.TriggerConfiguration:  {MedianDays: 9, Sigma: 1.0},
+				taxonomy.TriggerExternalCall:   {MedianDays: 7, Sigma: 0.9},
+				taxonomy.TriggerNetworkEvent:   {MedianDays: 6, Sigma: 0.9},
+				taxonomy.TriggerHardwareReboot: {MedianDays: 6, Sigma: 0.8},
+			},
+			Releases: quarterly(time.Date(2016, 4, 1, 0, 0, 0, 0, time.UTC), 16),
+		},
+		tracker.ONOS: {
+			Controller:  tracker.ONOS,
+			TotalBugs:   186,
+			ManualCount: 50,
+			TriggerDist: map[taxonomy.Trigger]float64{
+				taxonomy.TriggerConfiguration:  0.40,
+				taxonomy.TriggerExternalCall:   0.34,
+				taxonomy.TriggerNetworkEvent:   0.20,
+				taxonomy.TriggerHardwareReboot: 0.06,
+			},
+			ConfigScopeDist: map[taxonomy.ConfigScope]float64{
+				taxonomy.ConfigController: 0.60,
+				taxonomy.ConfigDataPlane:  0.15,
+				taxonomy.ConfigThirdParty: 0.25,
+			},
+			ExternalKindDist: defaultExternalKinds(),
+			SymptomDist: map[taxonomy.Symptom]float64{
+				taxonomy.SymptomByzantine:    0.60,
+				taxonomy.SymptomFailStop:     0.20,
+				taxonomy.SymptomErrorMessage: 0.16,
+				taxonomy.SymptomPerformance:  0.04,
+			},
+			ByzantineDist: defaultByzantineModes(),
+			CauseBySymptom: map[taxonomy.Symptom]map[taxonomy.RootCause]float64{
+				// ONOS: controller-logic causes dominate fail-stop;
+				// performance problems are concurrency (global locks);
+				// load stays near 16 % overall.
+				taxonomy.SymptomByzantine: {
+					taxonomy.CauseMissingLogic:   0.35,
+					taxonomy.CauseConcurrency:    0.20,
+					taxonomy.CauseLoad:           0.15,
+					taxonomy.CauseEcosystem:      0.12,
+					taxonomy.CauseMemory:         0.10,
+					taxonomy.CauseHumanMisconfig: 0.08,
+				},
+				taxonomy.SymptomFailStop: {
+					taxonomy.CauseMissingLogic:   0.30,
+					taxonomy.CauseLoad:           0.25,
+					taxonomy.CauseMemory:         0.25,
+					taxonomy.CauseConcurrency:    0.10,
+					taxonomy.CauseEcosystem:      0.05,
+					taxonomy.CauseHumanMisconfig: 0.05,
+				},
+				taxonomy.SymptomErrorMessage: {
+					taxonomy.CauseEcosystem:      0.35,
+					taxonomy.CauseMissingLogic:   0.25,
+					taxonomy.CauseHumanMisconfig: 0.20,
+					taxonomy.CauseLoad:           0.10,
+					taxonomy.CauseMemory:         0.10,
+				},
+				taxonomy.SymptomPerformance: {
+					taxonomy.CauseConcurrency: 0.60,
+					taxonomy.CauseLoad:        0.20,
+					taxonomy.CauseMemory:      0.10,
+					taxonomy.CauseEcosystem:   0.10,
+				},
+			},
+			NonDetByCause: defaultNonDetByCause(),
+			FixByTrigger:  defaultFixByTrigger(),
+			ResolutionDays: map[taxonomy.Trigger]LogNormal{
+				// ONOS has the longer tail for configuration, external
+				// calls and network events (Figure 7).
+				taxonomy.TriggerConfiguration:  {MedianDays: 20, Sigma: 1.5},
+				taxonomy.TriggerExternalCall:   {MedianDays: 12, Sigma: 1.3},
+				taxonomy.TriggerNetworkEvent:   {MedianDays: 10, Sigma: 1.2},
+				taxonomy.TriggerHardwareReboot: {MedianDays: 8, Sigma: 0.9},
+			},
+			Releases: quarterly(time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC), 17),
+		},
+		tracker.CORD: {
+			Controller:  tracker.CORD,
+			TotalBugs:   358,
+			ManualCount: 50,
+			TriggerDist: map[taxonomy.Trigger]float64{
+				taxonomy.TriggerConfiguration:  0.37,
+				taxonomy.TriggerExternalCall:   0.30,
+				taxonomy.TriggerNetworkEvent:   0.19,
+				taxonomy.TriggerHardwareReboot: 0.14,
+			},
+			ConfigScopeDist: map[taxonomy.ConfigScope]float64{
+				taxonomy.ConfigController: 0.642,
+				taxonomy.ConfigDataPlane:  0.142,
+				taxonomy.ConfigThirdParty: 0.216,
+			},
+			ExternalKindDist: defaultExternalKinds(),
+			SymptomDist: map[taxonomy.Symptom]float64{
+				// CORD's better exception handling => fewer
+				// error-message bugs (§IV).
+				taxonomy.SymptomByzantine:    0.64,
+				taxonomy.SymptomFailStop:     0.20,
+				taxonomy.SymptomErrorMessage: 0.12,
+				taxonomy.SymptomPerformance:  0.04,
+			},
+			ByzantineDist: defaultByzantineModes(),
+			CauseBySymptom: map[taxonomy.Symptom]map[taxonomy.RootCause]float64{
+				// CORD: load-heavy (30 % overall), more missing logic
+				// than ONOS in fail-stop; performance from memory.
+				taxonomy.SymptomByzantine: {
+					taxonomy.CauseLoad:           0.30,
+					taxonomy.CauseMissingLogic:   0.28,
+					taxonomy.CauseMemory:         0.12,
+					taxonomy.CauseEcosystem:      0.12,
+					taxonomy.CauseHumanMisconfig: 0.10,
+					taxonomy.CauseConcurrency:    0.08,
+				},
+				taxonomy.SymptomFailStop: {
+					taxonomy.CauseMissingLogic:   0.40,
+					taxonomy.CauseLoad:           0.35,
+					taxonomy.CauseMemory:         0.10,
+					taxonomy.CauseHumanMisconfig: 0.10,
+					taxonomy.CauseEcosystem:      0.05,
+				},
+				taxonomy.SymptomErrorMessage: {
+					taxonomy.CauseEcosystem:      0.30,
+					taxonomy.CauseHumanMisconfig: 0.25,
+					taxonomy.CauseMissingLogic:   0.25,
+					taxonomy.CauseLoad:           0.20,
+				},
+				taxonomy.SymptomPerformance: {
+					taxonomy.CauseMemory:      0.55,
+					taxonomy.CauseLoad:        0.25,
+					taxonomy.CauseConcurrency: 0.10,
+					taxonomy.CauseEcosystem:   0.10,
+				},
+			},
+			NonDetByCause: defaultNonDetByCause(),
+			FixByTrigger:  defaultFixByTrigger(),
+			ResolutionDays: map[taxonomy.Trigger]LogNormal{
+				// CORD's tail is shorter than ONOS except for reboots
+				// (specialized optical-equipment code, Figure 7).
+				taxonomy.TriggerConfiguration:  {MedianDays: 15, Sigma: 1.2},
+				taxonomy.TriggerExternalCall:   {MedianDays: 10, Sigma: 1.1},
+				taxonomy.TriggerNetworkEvent:   {MedianDays: 8, Sigma: 1.0},
+				taxonomy.TriggerHardwareReboot: {MedianDays: 14, Sigma: 1.4},
+			},
+			Releases: quarterly(time.Date(2016, 7, 1, 0, 0, 0, 0, time.UTC), 15),
+		},
+	}
+}
+
+func defaultByzantineModes() map[taxonomy.ByzantineMode]float64 {
+	// §IV: gray failures 52.17 %, stalling 20.65 %, incorrect 27.18 %.
+	return map[taxonomy.ByzantineMode]float64{
+		taxonomy.GrayFailure:       0.5217,
+		taxonomy.Stalling:          0.2065,
+		taxonomy.IncorrectBehavior: 0.2718,
+	}
+}
+
+func defaultExternalKinds() map[taxonomy.ExternalCallKind]float64 {
+	// Figure 13 groups system, third-party and application calls under
+	// external calls, with third-party dominant (§V-A, §VII-B).
+	return map[taxonomy.ExternalCallKind]float64{
+		taxonomy.ThirdPartyCall:  0.50,
+		taxonomy.SystemCall:      0.25,
+		taxonomy.ApplicationCall: 0.25,
+	}
+}
+
+func defaultNonDetByCause() map[taxonomy.RootCause]float64 {
+	// Concurrency bugs are the main non-determinism source; memory
+	// bugs are "highly deterministic" (§VII-B); blended rates land at
+	// 96/94/94 % deterministic (§III).
+	return map[taxonomy.RootCause]float64{
+		taxonomy.CauseConcurrency:    0.25,
+		taxonomy.CauseLoad:           0.10,
+		taxonomy.CauseMemory:         0.01,
+		taxonomy.CauseMissingLogic:   0.01,
+		taxonomy.CauseHumanMisconfig: 0.01,
+		taxonomy.CauseEcosystem:      0.02,
+	}
+}
+
+func defaultFixByTrigger() map[taxonomy.Trigger]map[taxonomy.Fix]float64 {
+	return map[taxonomy.Trigger]map[taxonomy.Fix]float64{
+		// Only 25 % of configuration bugs are fixed by changing the
+		// configuration (§V-A).
+		taxonomy.TriggerConfiguration: {
+			taxonomy.FixConfiguration:    0.25,
+			taxonomy.FixAddLogic:         0.40,
+			taxonomy.FixWorkaround:       0.15,
+			taxonomy.FixAddCompatibility: 0.10,
+			taxonomy.FixUpgradePackages:  0.05,
+			taxonomy.FixRollbackUpgrade:  0.05,
+		},
+		// 41.4 % of external-call fixes change calls/arguments to match
+		// the external API or upgrade packages (§V-A).
+		taxonomy.TriggerExternalCall: {
+			taxonomy.FixAddCompatibility: 0.30,
+			taxonomy.FixUpgradePackages:  0.12,
+			taxonomy.FixAddLogic:         0.30,
+			taxonomy.FixWorkaround:       0.15,
+			taxonomy.FixConfiguration:    0.08,
+			taxonomy.FixRollbackUpgrade:  0.05,
+		},
+		// Network-event bugs are "often addressed by adding additional
+		// logic or exception handling" (§V-A).
+		taxonomy.TriggerNetworkEvent: {
+			taxonomy.FixAddLogic:           0.70,
+			taxonomy.FixWorkaround:         0.15,
+			taxonomy.FixAddSynchronization: 0.05,
+			taxonomy.FixConfiguration:      0.05,
+			taxonomy.FixAddCompatibility:   0.05,
+		},
+		// Reboot bugs get timeouts and reconciliation logic (VOL-549).
+		taxonomy.TriggerHardwareReboot: {
+			taxonomy.FixAddLogic:         0.50,
+			taxonomy.FixWorkaround:       0.25,
+			taxonomy.FixConfiguration:    0.15,
+			taxonomy.FixAddCompatibility: 0.10,
+		},
+	}
+}

@@ -1,0 +1,242 @@
+// Package depscan implements a dependency-check-style vulnerability
+// scanner (§V-A's analysis of ONOS dependencies against the NVD): a
+// manifest model, a lightweight version comparator, an embedded
+// synthetic CVE database (including the analog of CVE-2018-1000615,
+// the OVSDB DoS against ONOS), and per-release scan reports showing
+// vulnerability growth as dependencies accumulate.
+package depscan
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Dependency is one declared third-party dependency.
+type Dependency struct {
+	Name    string `json:"name"`
+	Version string `json:"version"`
+}
+
+// Manifest is a project release's dependency declaration.
+type Manifest struct {
+	Project string       `json:"project"`
+	Version string       `json:"version"`
+	Deps    []Dependency `json:"deps"`
+}
+
+// Severity grades a vulnerability.
+type Severity int
+
+// Severity values.
+const (
+	SeverityUnknown Severity = iota
+	SeverityLow
+	SeverityMedium
+	SeverityHigh
+	SeverityCriticalCVE
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SeverityLow:
+		return "low"
+	case SeverityMedium:
+		return "medium"
+	case SeverityHigh:
+		return "high"
+	case SeverityCriticalCVE:
+		return "critical"
+	default:
+		return "unknown"
+	}
+}
+
+// CVE is one database entry: dependency versions strictly below
+// FixedIn are vulnerable.
+type CVE struct {
+	ID       string
+	Dep      string
+	FixedIn  string
+	Severity Severity
+	Summary  string
+}
+
+// Finding is one matched vulnerability.
+type Finding struct {
+	CVE        CVE
+	Dependency Dependency
+}
+
+// ErrBadVersion is returned for unparseable version strings.
+var ErrBadVersion = errors.New("depscan: bad version")
+
+// CompareVersions compares dotted numeric versions, returning -1, 0, 1.
+func CompareVersions(a, b string) (int, error) {
+	pa, err := parseVersion(a)
+	if err != nil {
+		return 0, err
+	}
+	pb, err := parseVersion(b)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < len(pa) || i < len(pb); i++ {
+		va, vb := 0, 0
+		if i < len(pa) {
+			va = pa[i]
+		}
+		if i < len(pb) {
+			vb = pb[i]
+		}
+		if va != vb {
+			if va < vb {
+				return -1, nil
+			}
+			return 1, nil
+		}
+	}
+	return 0, nil
+}
+
+func parseVersion(s string) ([]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("%w: empty", ErrBadVersion)
+	}
+	parts := strings.Split(s, ".")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("%w: %q", ErrBadVersion, s)
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+// Scan matches the manifest's dependencies against the database.
+func Scan(m Manifest, db []CVE) ([]Finding, error) {
+	var out []Finding
+	for _, dep := range m.Deps {
+		for _, cve := range db {
+			if cve.Dep != dep.Name {
+				continue
+			}
+			cmp, err := CompareVersions(dep.Version, cve.FixedIn)
+			if err != nil {
+				return nil, fmt.Errorf("depscan: %s: %w", dep.Name, err)
+			}
+			if cmp < 0 {
+				out = append(out, Finding{CVE: cve, Dependency: dep})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CVE.Severity != out[j].CVE.Severity {
+			return out[i].CVE.Severity > out[j].CVE.Severity
+		}
+		return out[i].CVE.ID < out[j].CVE.ID
+	})
+	return out, nil
+}
+
+// BuiltinDB returns the embedded synthetic CVE database. Entries are
+// modeled on the vulnerability classes the paper discusses; the OVSDB
+// entry mirrors CVE-2018-1000615.
+func BuiltinDB() []CVE {
+	return []CVE{
+		{ID: "CVE-2018-1000615", Dep: "ovsdb", FixedIn: "2.9.0", Severity: SeverityCriticalCVE,
+			Summary: "OVSDB implementation allows remote DoS against the controller"},
+		{ID: "SYN-2016-0101", Dep: "netty", FixedIn: "4.1.0", Severity: SeverityHigh,
+			Summary: "request smuggling in HTTP codec"},
+		{ID: "SYN-2017-0204", Dep: "jackson", FixedIn: "2.9.5", Severity: SeverityCriticalCVE,
+			Summary: "polymorphic deserialization remote code execution"},
+		{ID: "SYN-2017-0318", Dep: "guava", FixedIn: "24.1", Severity: SeverityMedium,
+			Summary: "unbounded memory allocation in AtomicDoubleArray"},
+		{ID: "SYN-2018-0422", Dep: "karaf", FixedIn: "4.2.1", Severity: SeverityHigh,
+			Summary: "LDAP injection in JAAS realm"},
+		{ID: "SYN-2018-0533", Dep: "atomix", FixedIn: "3.0.6", Severity: SeverityMedium,
+			Summary: "cluster membership spoofing"},
+		{ID: "SYN-2019-0647", Dep: "netty", FixedIn: "4.1.35", Severity: SeverityMedium,
+			Summary: "HTTP header parsing infinite loop"},
+		{ID: "SYN-2019-0712", Dep: "snmp4j", FixedIn: "2.8.0", Severity: SeverityLow,
+			Summary: "weak default credentials in agent"},
+		{ID: "SYN-2019-0850", Dep: "grpc", FixedIn: "1.21.0", Severity: SeverityHigh,
+			Summary: "denial of service via malformed HTTP/2 frames"},
+		{ID: "SYN-2020-0913", Dep: "jetty", FixedIn: "9.4.27", Severity: SeverityHigh,
+			Summary: "buffered response data leak between requests"},
+		{ID: "SYN-2020-1025", Dep: "zookeeper", FixedIn: "3.5.7", Severity: SeverityMedium,
+			Summary: "insufficient quorum authentication"},
+	}
+}
+
+// ONOSManifests returns per-release manifests mirroring the paper's
+// observation: dependencies accumulate with each version and several
+// pins lag the fixed versions, so the vulnerability count grows.
+func ONOSManifests() []Manifest {
+	return []Manifest{
+		{Project: "onos", Version: "1.12", Deps: []Dependency{
+			{Name: "netty", Version: "4.0.36"},
+			{Name: "guava", Version: "22.0"},
+			{Name: "karaf", Version: "3.0.8"},
+		}},
+		{Project: "onos", Version: "1.14", Deps: []Dependency{
+			{Name: "netty", Version: "4.1.8"},
+			{Name: "guava", Version: "22.0"},
+			{Name: "karaf", Version: "4.2.0"},
+			{Name: "jackson", Version: "2.8.4"},
+			{Name: "ovsdb", Version: "2.7.0"},
+		}},
+		{Project: "onos", Version: "2.0", Deps: []Dependency{
+			{Name: "netty", Version: "4.1.8"},
+			{Name: "guava", Version: "23.0"},
+			{Name: "karaf", Version: "4.2.0"},
+			{Name: "jackson", Version: "2.8.4"},
+			{Name: "ovsdb", Version: "2.7.0"},
+			{Name: "atomix", Version: "3.0.2"},
+			{Name: "grpc", Version: "1.14.0"},
+		}},
+		{Project: "onos", Version: "2.3", Deps: []Dependency{
+			{Name: "netty", Version: "4.1.20"},
+			{Name: "guava", Version: "23.0"},
+			{Name: "karaf", Version: "4.2.0"},
+			{Name: "jackson", Version: "2.8.4"},
+			{Name: "ovsdb", Version: "2.7.0"},
+			{Name: "atomix", Version: "3.0.2"},
+			{Name: "grpc", Version: "1.14.0"},
+			{Name: "jetty", Version: "9.4.11"},
+			{Name: "zookeeper", Version: "3.5.3"},
+			{Name: "snmp4j", Version: "2.5.0"},
+		}},
+	}
+}
+
+// TrendPoint is one release's vulnerability count.
+type TrendPoint struct {
+	Version  string
+	Deps     int
+	Findings int
+	Critical int
+}
+
+// VulnerabilityTrend scans every manifest against the database.
+func VulnerabilityTrend(manifests []Manifest, db []CVE) ([]TrendPoint, error) {
+	out := make([]TrendPoint, 0, len(manifests))
+	for _, m := range manifests {
+		fs, err := Scan(m, db)
+		if err != nil {
+			return nil, err
+		}
+		tp := TrendPoint{Version: m.Version, Deps: len(m.Deps), Findings: len(fs)}
+		for _, f := range fs {
+			if f.CVE.Severity == SeverityCriticalCVE {
+				tp.Critical++
+			}
+		}
+		out = append(out, tp)
+	}
+	return out, nil
+}

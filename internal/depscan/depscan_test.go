@@ -1,0 +1,143 @@
+package depscan
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompareVersions(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want int
+	}{
+		{"1.0", "1.0", 0},
+		{"1.0", "1.1", -1},
+		{"2.0", "1.9", 1},
+		{"1.0.1", "1.0", 1},
+		{"1.0", "1.0.0", 0},
+		{"4.1.8", "4.1.35", -1},
+		{"10.0", "9.9", 1},
+	}
+	for _, tt := range tests {
+		got, err := CompareVersions(tt.a, tt.b)
+		if err != nil {
+			t.Fatalf("CompareVersions(%q,%q): %v", tt.a, tt.b, err)
+		}
+		if got != tt.want {
+			t.Errorf("CompareVersions(%q,%q) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+	if _, err := CompareVersions("", "1.0"); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("empty version: %v", err)
+	}
+	if _, err := CompareVersions("1.x", "1.0"); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("non-numeric version: %v", err)
+	}
+}
+
+func TestCompareVersionsAntisymmetric(t *testing.T) {
+	f := func(a, b uint8, c, d uint8) bool {
+		va := itoa(int(a)) + "." + itoa(int(b))
+		vb := itoa(int(c)) + "." + itoa(int(d))
+		x, err1 := CompareVersions(va, vb)
+		y, err2 := CompareVersions(vb, va)
+		return err1 == nil && err2 == nil && x == -y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestScan(t *testing.T) {
+	db := []CVE{
+		{ID: "X-1", Dep: "netty", FixedIn: "4.1.0", Severity: SeverityHigh},
+		{ID: "X-2", Dep: "netty", FixedIn: "4.1.35", Severity: SeverityMedium},
+		{ID: "X-3", Dep: "guava", FixedIn: "24.1", Severity: SeverityLow},
+	}
+	m := Manifest{Project: "p", Version: "1", Deps: []Dependency{
+		{Name: "netty", Version: "4.1.8"}, // hits X-2 only
+		{Name: "guava", Version: "25.0"},  // fixed
+		{Name: "unknown", Version: "1.0"}, // no CVEs
+	}}
+	fs, err := Scan(m, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 || fs[0].CVE.ID != "X-2" {
+		t.Errorf("findings = %+v", fs)
+	}
+	// Severity ordering: critical first.
+	m2 := Manifest{Deps: []Dependency{{Name: "netty", Version: "4.0.0"}}}
+	fs2, err := Scan(m2, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs2) != 2 || fs2[0].CVE.Severity != SeverityHigh {
+		t.Errorf("ordering wrong: %+v", fs2)
+	}
+	// Bad version in manifest.
+	if _, err := Scan(Manifest{Deps: []Dependency{{Name: "netty", Version: "abc"}}}, db); err == nil {
+		t.Error("want error for bad version")
+	}
+}
+
+func TestOVSDBDoSDetected(t *testing.T) {
+	// The paper's CVE-2018-1000615 example: an outdated OVSDB exposes
+	// ONOS to denial of service.
+	m := Manifest{Project: "onos", Version: "1.14", Deps: []Dependency{
+		{Name: "ovsdb", Version: "2.7.0"},
+	}}
+	fs, err := Scan(m, BuiltinDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range fs {
+		if f.CVE.ID == "CVE-2018-1000615" {
+			found = true
+			if f.CVE.Severity != SeverityCriticalCVE {
+				t.Error("OVSDB DoS should be critical")
+			}
+		}
+	}
+	if !found {
+		t.Error("CVE-2018-1000615 not detected")
+	}
+}
+
+func TestVulnerabilityTrendGrows(t *testing.T) {
+	pts, err := VulnerabilityTrend(ONOSManifests(), BuiltinDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Deps < pts[i-1].Deps {
+			t.Error("dependency count should grow across versions")
+		}
+		if pts[i].Findings < pts[i-1].Findings {
+			t.Errorf("vulnerabilities should grow: %v -> %v", pts[i-1], pts[i])
+		}
+	}
+	if pts[len(pts)-1].Findings <= pts[0].Findings {
+		t.Error("final release must have strictly more findings than the first")
+	}
+	if pts[len(pts)-1].Critical == 0 {
+		t.Error("late releases should carry critical findings")
+	}
+}

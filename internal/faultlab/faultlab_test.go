@@ -1,0 +1,228 @@
+package faultlab
+
+import (
+	"testing"
+
+	"sdnbugs/internal/sdn"
+	"sdnbugs/internal/taxonomy"
+)
+
+func faultByName(t *testing.T, name string, seed int64) *Fault {
+	t.Helper()
+	for _, f := range StandardSuite(seed) {
+		if f.Spec.Name == name {
+			return f
+		}
+	}
+	t.Fatalf("no fault named %s", name)
+	return nil
+}
+
+func TestBaselineHealthy(t *testing.T) {
+	// NewLab internally runs the workload with the fault disabled and
+	// fails if the detectors see any symptom — so a successful NewLab
+	// for every suite member is the detectors' false-positive check.
+	for _, f := range StandardSuite(1) {
+		f := f
+		t.Run(f.Spec.Name, func(t *testing.T) {
+			if _, err := NewLab(f); err != nil {
+				t.Fatalf("baseline not healthy: %v", err)
+			}
+		})
+	}
+}
+
+func TestEachFaultManifestsItsSymptom(t *testing.T) {
+	tests := []struct {
+		name string
+		want taxonomy.Symptom
+	}{
+		{"FAUCET-1623-missing-logic", taxonomy.SymptomByzantine},
+		{"CORD-2470-misconfig-crash", taxonomy.SymptomFailStop},
+		{"FAUCET-355-ecosystem-mismatch", taxonomy.SymptomFailStop},
+		{"VOL-549-reboot-hang", taxonomy.SymptomByzantine},
+		{"CORD-1734-concurrency-slowdown", taxonomy.SymptomPerformance},
+		{"ONOS-4859-memory-leak", taxonomy.SymptomFailStop},
+		{"ONOS-5992-load-collapse", taxonomy.SymptomFailStop},
+		{"race-spurious-errors", taxonomy.SymptomErrorMessage},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			lab, err := NewLab(faultByName(t, tt.name, 7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			obs, err := lab.RunWorkload()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if obs.Symptom != tt.want {
+				t.Errorf("observed %v (%s), want %v", obs.Symptom, obs.Detail, tt.want)
+			}
+		})
+	}
+}
+
+func TestDeterministicFaultsAlwaysReproduce(t *testing.T) {
+	// A deterministic fault must manifest in every incarnation under
+	// the same workload — the core §III property.
+	f := faultByName(t, "CORD-2470-misconfig-crash", 3)
+	lab, err := NewLab(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		obs, err := lab.RunWorkload()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if obs.Symptom != taxonomy.SymptomFailStop {
+			t.Fatalf("incarnation %d: symptom %v", i, obs.Symptom)
+		}
+		f.NewIncarnation()
+		lab.C.Restart(false)
+	}
+}
+
+func TestNonDeterministicFirstIncarnationAlwaysFires(t *testing.T) {
+	// The study examines bugs that did happen: a non-deterministic
+	// fault always manifests in incarnation 0, regardless of seed.
+	for seed := int64(0); seed < 10; seed++ {
+		f := faultByName(t, "race-spurious-errors", seed)
+		lab, err := NewLab(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obs, err := lab.RunWorkload()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if obs.Healthy() {
+			t.Fatalf("seed %d: race did not manifest in first incarnation", seed)
+		}
+	}
+}
+
+func TestNonDeterministicRecursRarely(t *testing.T) {
+	// After a restart the race should recur at roughly ActivationP.
+	recur := 0
+	n := 40
+	for seed := int64(0); seed < int64(n); seed++ {
+		f := faultByName(t, "race-spurious-errors", seed*97)
+		lab, err := NewLab(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := lab.RunWorkload(); err != nil {
+			t.Fatal(err)
+		}
+		f.NewIncarnation()
+		lab.C.Restart(false)
+		obs, err := lab.RunWorkload()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !obs.Healthy() {
+			recur++
+		}
+	}
+	frac := float64(recur) / float64(n)
+	if frac < 0.02 || frac > 0.5 {
+		t.Errorf("recurrence rate %.2f outside plausible band around 0.2", frac)
+	}
+}
+
+func TestGrayFailureIsPartial(t *testing.T) {
+	// FAUCET-1623's gray failure: unicast connectivity intact, only
+	// mirror-VLAN broadcast broken (§IV's 52 % gray failures).
+	lab, err := NewLab(faultByName(t, "FAUCET-1623-missing-logic", 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := lab.RunWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Symptom != taxonomy.SymptomByzantine {
+		t.Fatalf("symptom = %v", obs.Symptom)
+	}
+	if obs.Connectivity < 1 {
+		t.Errorf("unicast connectivity %.2f should be intact in a gray failure", obs.Connectivity)
+	}
+	if obs.BroadcastOK {
+		t.Error("mirror-VLAN broadcast should be broken")
+	}
+}
+
+func TestEcosystemFaultDisarmsWithEnvironment(t *testing.T) {
+	f := faultByName(t, "FAUCET-355-ecosystem-mismatch", 9)
+	lab, err := NewLab(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := lab.RunWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Symptom != taxonomy.SymptomFailStop {
+		t.Fatalf("symptom = %v", obs.Symptom)
+	}
+	// Fix the environment: restore expected versions.
+	for svc, v := range f.ExpectedEnv() {
+		lab.C.Env.Versions[svc] = v
+	}
+	f.NewIncarnation()
+	lab.C.Restart(false)
+	obs, err = lab.RunWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !obs.Healthy() {
+		t.Errorf("fixed environment should disarm the fault, got %v (%s)", obs.Symptom, obs.Detail)
+	}
+}
+
+func TestStandardSuiteCoversTaxonomy(t *testing.T) {
+	suite := StandardSuite(1)
+	causes := map[taxonomy.RootCause]bool{}
+	triggers := map[taxonomy.Trigger]bool{}
+	var det, nondet int
+	for _, f := range suite {
+		causes[f.Spec.Cause] = true
+		triggers[f.Spec.Trigger] = true
+		if f.Spec.Deterministic {
+			det++
+		} else {
+			nondet++
+		}
+	}
+	if len(causes) != len(taxonomy.RootCauses()) {
+		t.Errorf("suite covers %d root causes, want %d", len(causes), len(taxonomy.RootCauses()))
+	}
+	if len(triggers) != len(taxonomy.Triggers()) {
+		t.Errorf("suite covers %d triggers, want %d", len(triggers), len(taxonomy.Triggers()))
+	}
+	if det == 0 || nondet == 0 {
+		t.Error("suite must include both determinism classes")
+	}
+}
+
+func TestPoisonSignatures(t *testing.T) {
+	for _, trig := range taxonomy.Triggers() {
+		if PoisonSignature(trig) == nil {
+			t.Errorf("no poison signature for %v", trig)
+		}
+	}
+	// Unknown trigger signature matches nothing and must not panic.
+	if PoisonSignature(taxonomy.TriggerUnknown)(sdn.Event{}) {
+		t.Error("unknown trigger signature should match nothing")
+	}
+	// The config signature matches exactly the poison stanza.
+	confSig := PoisonSignature(taxonomy.TriggerConfiguration)
+	if !confSig(sdn.Event{Kind: sdn.EventConfig, Key: "multicast.group"}) {
+		t.Error("multicast config should match")
+	}
+	if confSig(sdn.Event{Kind: sdn.EventConfig, Key: "vlan.office"}) {
+		t.Error("benign config should not match")
+	}
+}

@@ -1,0 +1,344 @@
+package faultlab
+
+import (
+	"errors"
+	"fmt"
+
+	"sdnbugs/internal/openflow"
+	"sdnbugs/internal/sdn"
+	"sdnbugs/internal/taxonomy"
+)
+
+// Lab is one fault-injection experiment: a topology, an environment,
+// a controller whose code carries the injected fault, and a canonical
+// workload with symptom detectors.
+type Lab struct {
+	Fault *Fault
+	C     *sdn.Controller
+	D     *sdn.Driver
+
+	// baselineMeanCost is the healthy mean event cost, measured with
+	// the fault disabled, for the performance detector.
+	baselineMeanCost float64
+
+	// Filter, when set, rewrites or drops workload events before
+	// submission — the handle input-transforming recovery strategies
+	// (STS-style) use to keep the system clear of poison inputs.
+	Filter func(sdn.Event) (sdn.Event, bool)
+
+	// Guard, when set, is consulted after every submitted event; when
+	// it returns true the lab rejuvenates the controller (restart +
+	// fresh fault incarnation) before the next event — the hook
+	// metrics-based failure-prediction strategies use (the paper's
+	// §IV research direction on predicting load/memory crashes).
+	Guard func(*sdn.Controller) bool
+}
+
+// topologySize is the number of switches in the lab's line topology.
+const topologySize = 3
+
+// services are the external services in the lab environment.
+var services = []string{"influxdb", "atomix"}
+
+// NewLab builds a lab around the fault.
+func NewLab(f *Fault) (*Lab, error) {
+	lab := &Lab{Fault: f}
+	// Measure the healthy baseline with the fault switched off (before
+	// building, so environment tampering is not applied either).
+	f.Disabled = true
+	if err := lab.build(); err != nil {
+		return nil, err
+	}
+	obs, err := lab.RunWorkload()
+	if err != nil {
+		return nil, fmt.Errorf("faultlab: baseline run: %w", err)
+	}
+	if obs.Symptom != taxonomy.SymptomUnknown {
+		return nil, fmt.Errorf("faultlab: baseline not healthy: observed %v", obs.Symptom)
+	}
+	lab.baselineMeanCost = lab.C.Stats.MeanEventCost()
+	f.Disabled = false
+	f.resetState() // first faulty run is still incarnation 0
+	if err := lab.build(); err != nil {
+		return nil, err
+	}
+	return lab, nil
+}
+
+// build (re)creates network, environment and controller with the fault
+// installed. The fault object itself survives — it is the bug in the
+// code.
+func (l *Lab) build() error {
+	net, err := sdn.LinearTopology(topologySize)
+	if err != nil {
+		return err
+	}
+	env := sdn.NewEnvironment(services...)
+	expected := map[string]int{}
+	for _, s := range services {
+		expected[s] = env.Versions[s]
+	}
+	l.Fault.ArmEnvironment(env)
+	app := sdn.NewL2Switch(expected)
+	l.C = sdn.NewController(net, env, app, l.Fault.Middleware())
+	l.D = &sdn.Driver{C: l.C}
+	return nil
+}
+
+// Rebuild replaces the controller/network with fresh instances (same
+// fault), as a failover to a cold replica would. The old event log is
+// returned for replay-based strategies.
+func (l *Lab) Rebuild() ([]sdn.Event, error) {
+	log := l.C.Log
+	l.Fault.NewIncarnation()
+	if err := l.build(); err != nil {
+		return nil, err
+	}
+	return log, nil
+}
+
+// Observation is the outcome of a workload run.
+type Observation struct {
+	// Symptom is the detected failure class (SymptomUnknown = healthy).
+	Symptom taxonomy.Symptom
+	// Detail is a human-readable diagnosis.
+	Detail string
+	// Connectivity is the fraction of host pairs reachable.
+	Connectivity float64
+	// BroadcastOK reports whether broadcast flooding worked.
+	BroadcastOK bool
+}
+
+// Healthy reports whether no symptom was observed.
+func (o Observation) Healthy() bool { return o.Symptom == taxonomy.SymptomUnknown }
+
+// workloadEvents is the canonical non-packet event script: config
+// pushes (including the multicast stanza that poisons misconfig
+// faults), external telemetry calls, and a device reboot.
+func workloadEvents() []sdn.Event {
+	return []sdn.Event{
+		{Kind: sdn.EventConfig, Key: "vlan.office", Value: "100"},
+		{Kind: sdn.EventConfig, Key: "flood.enabled", Value: "true"},
+		{Kind: sdn.EventExternalCall, Service: "influxdb"},
+		{Kind: sdn.EventConfig, Key: "multicast.group", Value: "225"},
+		{Kind: sdn.EventExternalCall, Service: "atomix"},
+		{Kind: sdn.EventHardwareReboot, DPID: 2},
+		{Kind: sdn.EventConfig, Key: "vlan.lab", Value: "200"},
+		{Kind: sdn.EventExternalCall, Service: "influxdb"},
+	}
+}
+
+// submit routes an event through the lab filter then the controller.
+func (l *Lab) submit(ev sdn.Event) error {
+	if l.Filter != nil {
+		rewritten, keep := l.Filter(ev)
+		if !keep {
+			return nil
+		}
+		ev = rewritten
+	}
+	err := l.C.Submit(ev)
+	if errors.Is(err, sdn.ErrCrash) || errors.Is(err, sdn.ErrNotRunning) {
+		return nil // crash is an observation, not a harness error
+	}
+	if err == nil && l.Guard != nil && l.C.State != sdn.StateCrashed && l.Guard(l.C) {
+		// Proactive rejuvenation: restart before the predicted failure.
+		l.Fault.NewIncarnation()
+		l.C.Restart(false)
+	}
+	return err
+}
+
+// RunWorkload drives the canonical workload and detects the symptom.
+// The workload interleaves management events with traffic, then checks
+// full connectivity and broadcast health.
+func (l *Lab) RunWorkload() (Observation, error) {
+	events := workloadEvents()
+	hosts := l.C.Net.Hosts()
+	if len(hosts) < 2 {
+		return Observation{}, errors.New("faultlab: workload needs hosts")
+	}
+
+	// Interleave: management event, then a traffic exchange.
+	pair := 0
+	for _, ev := range events {
+		if err := l.submit(ev); err != nil {
+			return Observation{}, err
+		}
+		src := hosts[pair%len(hosts)]
+		dst := hosts[(pair+1)%len(hosts)]
+		pair++
+		if l.C.State != sdn.StateCrashed {
+			if _, err := l.pumpPacket(src, sdn.Packet{EthDst: dst, EthType: 0x0800}); err != nil {
+				return Observation{}, err
+			}
+			if _, err := l.pumpPacket(src, sdn.Packet{EthDst: sdn.BroadcastMAC, EthType: 0x0806}); err != nil {
+				return Observation{}, err
+			}
+			// Mirror-VLAN broadcast: the poison input of deterministic
+			// network faults.
+			if _, err := l.pumpPacket(src, sdn.Packet{EthDst: sdn.BroadcastMAC, EthType: 0x0806, VlanID: PoisonVLAN}); err != nil {
+				return Observation{}, err
+			}
+		}
+	}
+	return l.Observe()
+}
+
+// pumpPacket is Driver.SendPacket but honouring the lab filter for the
+// resulting packet-in events.
+func (l *Lab) pumpPacket(src uint64, p sdn.Packet) ([]sdn.Delivery, error) {
+	net := l.C.Net
+	net.DrainDeliveries()
+	if _, err := net.InjectFromHost(src, p); err != nil {
+		return nil, err
+	}
+	for round := 0; round < 32; round++ {
+		pis := net.DrainPacketIns()
+		if len(pis) == 0 {
+			break
+		}
+		for i := range pis {
+			if l.C.State == sdn.StateCrashed {
+				return net.DrainDeliveries(), nil
+			}
+			pi := pis[i]
+			if err := l.submit(sdn.Event{Kind: sdn.EventNetwork, Msg: &pi}); err != nil {
+				return net.DrainDeliveries(), err
+			}
+		}
+	}
+	return net.DrainDeliveries(), nil
+}
+
+// Observe runs the detectors against the controller's current state,
+// ordered by severity: fail-stop, stalling, performance, byzantine
+// (behavioural check), then error messages.
+func (l *Lab) Observe() (Observation, error) {
+	c := l.C
+	if c.State == sdn.StateCrashed {
+		return Observation{Symptom: taxonomy.SymptomFailStop, Detail: "controller crashed"}, nil
+	}
+	if c.State == sdn.StateStalled || c.Stats.MaxEventCost >= 1000 {
+		return Observation{Symptom: taxonomy.SymptomByzantine,
+			Detail: "controller stalled (byzantine: stalling)"}, nil
+	}
+	if l.baselineMeanCost > 0 && c.Stats.MeanEventCost() > 4*l.baselineMeanCost {
+		return Observation{Symptom: taxonomy.SymptomPerformance,
+			Detail: fmt.Sprintf("mean event cost %.1f vs baseline %.1f",
+				c.Stats.MeanEventCost(), l.baselineMeanCost)}, nil
+	}
+
+	// Behavioural check: connectivity and broadcast.
+	obs := Observation{}
+	rep, err := l.connectivity()
+	if err != nil {
+		return Observation{}, err
+	}
+	if c.State == sdn.StateCrashed {
+		// Crash during the probe traffic itself.
+		return Observation{Symptom: taxonomy.SymptomFailStop, Detail: "controller crashed during probe"}, nil
+	}
+	obs.Connectivity = float64(rep.Reachable) / float64(rep.Pairs)
+	obs.BroadcastOK = rep.BroadcastOK
+	if obs.Connectivity < 1 || !obs.BroadcastOK {
+		obs.Symptom = taxonomy.SymptomByzantine
+		obs.Detail = fmt.Sprintf("connectivity %.0f%%, broadcast ok = %v",
+			obs.Connectivity*100, obs.BroadcastOK)
+		return obs, nil
+	}
+	if c.Stats.ErrorsLogged > 0 {
+		obs.Symptom = taxonomy.SymptomErrorMessage
+		obs.Detail = fmt.Sprintf("%d errors logged", c.Stats.ErrorsLogged)
+		return obs, nil
+	}
+	return obs, nil
+}
+
+// connectivity is Driver.FullConnectivity but pumped through the lab
+// filter.
+func (l *Lab) connectivity() (sdn.ConnectivityReport, error) {
+	hosts := l.C.Net.Hosts()
+	var rep sdn.ConnectivityReport
+	for _, src := range hosts {
+		if _, err := l.pumpPacket(src, sdn.Packet{EthDst: sdn.BroadcastMAC, EthType: 0x0806}); err != nil {
+			return rep, err
+		}
+	}
+	for _, src := range hosts {
+		for _, dst := range hosts {
+			if src == dst {
+				continue
+			}
+			rep.Pairs++
+			deliveries, err := l.pumpPacket(src, sdn.Packet{EthDst: dst, EthType: 0x0800})
+			if err != nil {
+				return rep, err
+			}
+			for _, del := range deliveries {
+				if del.MAC == dst {
+					rep.Reachable++
+					break
+				}
+			}
+		}
+	}
+	// Broadcast must work on the default VLAN and on the mirror VLAN
+	// (the gray failure of FAUCET-1623 breaks only the latter).
+	for _, vlan := range []uint16{0, PoisonVLAN} {
+		got, err := l.pumpPacket(hosts[0], sdn.Packet{EthDst: sdn.BroadcastMAC, EthType: 0x0806, VlanID: vlan})
+		if err != nil {
+			return rep, err
+		}
+		seen := map[uint64]bool{}
+		for _, del := range got {
+			seen[del.MAC] = true
+		}
+		if len(seen) != len(hosts)-1 {
+			rep.BroadcastOK = false
+			return rep, nil
+		}
+	}
+	rep.BroadcastOK = true
+	return rep, nil
+}
+
+// PoisonSignatures describes, per trigger, the input pattern that a
+// transform-based recovery can filter. These are the handles STS-style
+// tools search for by delta debugging.
+func PoisonSignature(trigger taxonomy.Trigger) func(sdn.Event) bool {
+	switch trigger {
+	case taxonomy.TriggerNetworkEvent:
+		return func(ev sdn.Event) bool {
+			pi, ok := ev.Msg.(*openflow.PacketIn)
+			if !ok {
+				return false
+			}
+			pkt, err := sdn.DecodePacket(pi.Data)
+			return err == nil && pkt.IsBroadcast() && pkt.VlanID == PoisonVLAN
+		}
+	case taxonomy.TriggerConfiguration:
+		return func(ev sdn.Event) bool {
+			return ev.Kind == sdn.EventConfig && len(ev.Key) >= 10 && ev.Key[:10] == "multicast."
+		}
+	case taxonomy.TriggerExternalCall:
+		return func(ev sdn.Event) bool { return ev.Kind == sdn.EventExternalCall }
+	case taxonomy.TriggerHardwareReboot:
+		return func(ev sdn.Event) bool { return ev.Kind == sdn.EventHardwareReboot }
+	default:
+		return func(sdn.Event) bool { return false }
+	}
+}
+
+// ClearHealth resets the controller's health counters (stats, error
+// log, stall state) without touching functional state — called after a
+// recovery attempt so the post-recovery workload is judged on fresh
+// evidence. A crashed controller stays crashed.
+func (l *Lab) ClearHealth() {
+	if l.C.State == sdn.StateCrashed {
+		return
+	}
+	l.C.Stats = sdn.Stats{}
+	l.C.ErrorLog = nil
+	l.C.State = sdn.StateRunning
+}

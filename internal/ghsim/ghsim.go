@@ -1,0 +1,291 @@
+// Package ghsim implements a GitHub-Issues-like REST API over a
+// tracker.Store — the stand-in for the live GitHub repository the
+// paper mined FAUCET bugs from — plus a typed client. GitHub issues
+// carry no explicit severity and, for this study's purposes, no usable
+// resolution timestamp (paper §VIII), so the client recovers severity
+// with the keyword heuristic of tracker.ExtractSeverity.
+package ghsim
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"sdnbugs/internal/tracker"
+)
+
+// Handler serves the GitHub-like API for the given store.
+type Handler struct {
+	store *tracker.Store
+	// Repo is the owner/name path the handler answers under,
+	// e.g. "faucetsdn/faucet".
+	repo string
+	mux  *http.ServeMux
+}
+
+var _ http.Handler = (*Handler)(nil)
+
+// NewHandler builds a Handler for the repository path owner/name.
+func NewHandler(store *tracker.Store, owner, name string) *Handler {
+	h := &Handler{store: store, repo: owner + "/" + name, mux: http.NewServeMux()}
+	h.mux.HandleFunc("GET /repos/"+owner+"/"+name+"/issues", h.handleList)
+	h.mux.HandleFunc("GET /repos/"+owner+"/"+name+"/issues/{number}", h.handleGet)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// wireIssue is the GitHub issue JSON shape (subset).
+type wireIssue struct {
+	Number    int         `json:"number"`
+	Title     string      `json:"title"`
+	Body      string      `json:"body"`
+	State     string      `json:"state"`
+	CreatedAt time.Time   `json:"created_at"`
+	ClosedAt  *time.Time  `json:"closed_at"`
+	Labels    []wireLabel `json:"labels"`
+	Comments  []wireNote  `json:"comments_data,omitempty"`
+}
+
+type wireLabel struct {
+	Name string `json:"name"`
+}
+
+type wireNote struct {
+	User      wireUser  `json:"user"`
+	Body      string    `json:"body"`
+	CreatedAt time.Time `json:"created_at"`
+}
+
+type wireUser struct {
+	Login string `json:"login"`
+}
+
+func toWire(iss tracker.Issue) (wireIssue, error) {
+	num, err := issueNumber(iss.ID)
+	if err != nil {
+		return wireIssue{}, err
+	}
+	w := wireIssue{
+		Number:    num,
+		Title:     iss.Title,
+		Body:      iss.Description,
+		State:     "open",
+		CreatedAt: iss.Created,
+	}
+	if iss.Status == tracker.StatusClosed || iss.Status == tracker.StatusResolved {
+		w.State = "closed"
+		// GitHub would expose closed_at, but as in the paper's data set
+		// the simulator's FAUCET issues carry no resolution timestamp;
+		// only set it when the store has one.
+		if !iss.Resolved.IsZero() {
+			t := iss.Resolved
+			w.ClosedAt = &t
+		}
+	}
+	for _, l := range iss.Labels {
+		w.Labels = append(w.Labels, wireLabel{Name: l})
+	}
+	for _, c := range iss.Comments {
+		w.Comments = append(w.Comments, wireNote{
+			User: wireUser{Login: c.Author}, Body: c.Body, CreatedAt: c.Created,
+		})
+	}
+	return w, nil
+}
+
+// issueNumber extracts N from IDs of the form "<project>#N".
+func issueNumber(id string) (int, error) {
+	for i := len(id) - 1; i >= 0; i-- {
+		if id[i] == '#' {
+			n, err := strconv.Atoi(id[i+1:])
+			if err != nil {
+				return 0, fmt.Errorf("ghsim: bad issue id %q: %w", id, err)
+			}
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("ghsim: issue id %q has no number", id)
+}
+
+func (h *Handler) handleList(w http.ResponseWriter, r *http.Request) {
+	qs := r.URL.Query()
+	q := tracker.Query{Controller: tracker.FAUCET}
+	switch qs.Get("state") {
+	case "closed":
+		q.Status = tracker.StatusClosed
+	case "open":
+		q.Status = tracker.StatusOpen
+	}
+	page := atoiDefault(qs.Get("page"), 1)
+	if page < 1 {
+		page = 1
+	}
+	perPage := atoiDefault(qs.Get("per_page"), 30)
+	if perPage > 100 {
+		perPage = 100
+	}
+	q.Offset = (page - 1) * perPage
+	q.Limit = perPage
+
+	issues, _ := h.store.List(q)
+	out := make([]wireIssue, 0, len(issues))
+	for _, iss := range issues {
+		wi, err := toWire(iss)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		out = append(out, wi)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+func (h *Handler) handleGet(w http.ResponseWriter, r *http.Request) {
+	num := r.PathValue("number")
+	iss, err := h.store.Get("FAUCET#" + num)
+	if err != nil {
+		if errors.Is(err, tracker.ErrNotFound) {
+			http.Error(w, "not found", http.StatusNotFound)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	wi, err := toWire(iss)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(wi)
+}
+
+func atoiDefault(s string, def int) int {
+	if s == "" {
+		return def
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return def
+	}
+	return n
+}
+
+// Client mines issues from a GitHub-like server.
+type Client struct {
+	// BaseURL is the server root.
+	BaseURL string
+	// Repo is the owner/name path, e.g. "faucetsdn/faucet".
+	Repo string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// PerPage is the page size (default 30).
+	PerPage int
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// FetchAll pages through the repository's issues with the given state
+// ("open", "closed", or "" for all), converting to the neutral model
+// and applying keyword severity extraction.
+func (c *Client) FetchAll(ctx context.Context, state string) ([]tracker.Issue, error) {
+	perPage := c.PerPage
+	if perPage <= 0 {
+		perPage = 30
+	}
+	var out []tracker.Issue
+	for page := 1; ; page++ {
+		batch, err := c.fetchPage(ctx, state, page, perPage)
+		if err != nil {
+			return nil, err
+		}
+		if len(batch) == 0 {
+			break
+		}
+		out = append(out, batch...)
+		if len(batch) < perPage {
+			break
+		}
+	}
+	return out, nil
+}
+
+func (c *Client) fetchPage(ctx context.Context, state string, page, perPage int) ([]tracker.Issue, error) {
+	u, err := url.Parse(c.BaseURL + "/repos/" + c.Repo + "/issues")
+	if err != nil {
+		return nil, fmt.Errorf("ghsim: bad base URL: %w", err)
+	}
+	q := u.Query()
+	if state != "" {
+		q.Set("state", state)
+	}
+	q.Set("page", strconv.Itoa(page))
+	q.Set("per_page", strconv.Itoa(perPage))
+	u.RawQuery = q.Encode()
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("ghsim: build request: %w", err)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("ghsim: list issues: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("ghsim: list issues returned %s", resp.Status)
+	}
+	var wires []wireIssue
+	if err := json.NewDecoder(resp.Body).Decode(&wires); err != nil {
+		return nil, fmt.Errorf("ghsim: decode issues: %w", err)
+	}
+	out := make([]tracker.Issue, 0, len(wires))
+	for _, wi := range wires {
+		out = append(out, fromWire(wi))
+	}
+	return out, nil
+}
+
+func fromWire(wi wireIssue) tracker.Issue {
+	iss := tracker.Issue{
+		ID:          fmt.Sprintf("FAUCET#%d", wi.Number),
+		Controller:  tracker.FAUCET,
+		Title:       wi.Title,
+		Description: wi.Body,
+		Created:     wi.CreatedAt,
+		Status:      tracker.StatusOpen,
+	}
+	if wi.State == "closed" {
+		iss.Status = tracker.StatusClosed
+		if wi.ClosedAt != nil {
+			iss.Resolved = *wi.ClosedAt
+		}
+	}
+	for _, l := range wi.Labels {
+		iss.Labels = append(iss.Labels, l.Name)
+	}
+	for _, c := range wi.Comments {
+		iss.Comments = append(iss.Comments, tracker.Comment{
+			Author: c.User.Login, Body: c.Body, Created: c.CreatedAt,
+		})
+	}
+	// GitHub has no severity field: apply the keyword heuristic of the
+	// paper's methodology (§II-B).
+	iss.Severity = tracker.ExtractSeverity(iss.Text())
+	return iss
+}

@@ -1,0 +1,221 @@
+package ghsim
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"sdnbugs/internal/corpus"
+	"sdnbugs/internal/tracker"
+)
+
+func newServer(t *testing.T) (*httptest.Server, *tracker.Store) {
+	t.Helper()
+	store := tracker.NewStore()
+	srv := httptest.NewServer(NewHandler(store, "faucetsdn", "faucet"))
+	t.Cleanup(srv.Close)
+	return srv, store
+}
+
+func seed(t *testing.T, store *tracker.Store) {
+	t.Helper()
+	base := time.Date(2019, 5, 1, 0, 0, 0, 0, time.UTC)
+	issues := []tracker.Issue{
+		{
+			ID: "FAUCET#1", Controller: tracker.FAUCET,
+			Title:       "Gauge crash on InfluxDB type mismatch",
+			Description: "Gauge crashed because of a misconfigured data type.",
+			Status:      tracker.StatusClosed, Created: base,
+			Labels: []string{"bug"},
+		},
+		{
+			ID: "FAUCET#2", Controller: tracker.FAUCET,
+			Title:       "Mirroring misses broadcast packets",
+			Description: "Output broadcast packets are not mirrored, wrong behaviour.",
+			Status:      tracker.StatusOpen, Created: base.AddDate(0, 0, 1),
+			Comments: []tracker.Comment{{Author: "bob", Body: "same here", Created: base.AddDate(0, 0, 2)}},
+		},
+	}
+	for _, iss := range issues {
+		if err := store.Put(iss); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFetchAllAndSeverityExtraction(t *testing.T) {
+	srv, store := newServer(t)
+	seed(t, store)
+	c := Client{BaseURL: srv.URL, Repo: "faucetsdn/faucet"}
+	got, err := c.FetchAll(context.Background(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d, want 2", len(got))
+	}
+	byID := map[string]tracker.Issue{}
+	for _, iss := range got {
+		byID[iss.ID] = iss
+	}
+	// "crash" keyword => critical; "wrong behaviour" => major.
+	if s := byID["FAUCET#1"].Severity; s != tracker.SeverityCritical {
+		t.Errorf("FAUCET#1 severity = %v, want critical", s)
+	}
+	if s := byID["FAUCET#2"].Severity; s != tracker.SeverityMajor {
+		t.Errorf("FAUCET#2 severity = %v, want major", s)
+	}
+	if len(byID["FAUCET#2"].Comments) != 1 {
+		t.Errorf("comments lost: %+v", byID["FAUCET#2"].Comments)
+	}
+}
+
+func TestStateFilter(t *testing.T) {
+	srv, store := newServer(t)
+	seed(t, store)
+	c := Client{BaseURL: srv.URL, Repo: "faucetsdn/faucet"}
+	closed, err := c.FetchAll(context.Background(), "closed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(closed) != 1 || closed[0].ID != "FAUCET#1" {
+		t.Errorf("closed = %+v", closed)
+	}
+	if closed[0].Status != tracker.StatusClosed {
+		t.Errorf("status = %v", closed[0].Status)
+	}
+}
+
+func TestNoResolutionTimestampExposed(t *testing.T) {
+	// Even for closed FAUCET issues with no Resolved value, the wire
+	// and the client must agree: no resolution time (paper §VIII).
+	srv, store := newServer(t)
+	seed(t, store)
+	c := Client{BaseURL: srv.URL, Repo: "faucetsdn/faucet"}
+	got, err := c.FetchAll(context.Background(), "closed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got[0].ResolutionTime(); ok {
+		t.Error("GitHub-mined issue must not expose a resolution time")
+	}
+}
+
+func TestPaginationAcrossPages(t *testing.T) {
+	srv, store := newServer(t)
+	base := time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 1; i <= 73; i++ {
+		if err := store.Put(tracker.Issue{
+			ID: "FAUCET#" + itoa(i), Controller: tracker.FAUCET,
+			Title: "t", Description: "d", Status: tracker.StatusClosed,
+			Created: base.Add(time.Duration(i) * time.Hour),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := Client{BaseURL: srv.URL, Repo: "faucetsdn/faucet", PerPage: 20}
+	got, err := c.FetchAll(context.Background(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 73 {
+		t.Errorf("got %d, want 73", len(got))
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestGetSingleIssue(t *testing.T) {
+	srv, store := newServer(t)
+	seed(t, store)
+	resp, err := http.Get(srv.URL + "/repos/faucetsdn/faucet/issues/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s", resp.Status)
+	}
+	missing, err := http.Get(srv.URL + "/repos/faucetsdn/faucet/issues/999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = missing.Body.Close() }()
+	if missing.StatusCode != http.StatusNotFound {
+		t.Errorf("missing issue status %s, want 404", missing.Status)
+	}
+}
+
+func TestMineGeneratedFaucetCorpus(t *testing.T) {
+	srv, store := newServer(t)
+	corp, err := corpus.Generate(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, iss := range corp.Issues {
+		if iss.Controller != tracker.FAUCET {
+			continue
+		}
+		if err := store.Put(iss); err != nil {
+			t.Fatal(err)
+		}
+		want++
+	}
+	if want != 251 {
+		t.Fatalf("FAUCET corpus = %d, want 251 (paper §II-B)", want)
+	}
+	c := Client{BaseURL: srv.URL, Repo: "faucetsdn/faucet", PerPage: 100}
+	got, err := c.FetchAll(context.Background(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != want {
+		t.Errorf("mined %d, want %d", len(got), want)
+	}
+	// Severity keyword extraction should mark most of these critical-
+	// band: the corpus is all critical bugs, with crash/fatal language.
+	criticalBand := 0
+	for _, iss := range got {
+		if iss.Severity.Critical() {
+			criticalBand++
+		}
+	}
+	if frac := float64(criticalBand) / float64(len(got)); frac < 0.3 {
+		t.Errorf("keyword heuristic found %.2f critical-band, suspiciously low", frac)
+	}
+}
+
+func TestClientHandlesServerFailure(t *testing.T) {
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	c := Client{BaseURL: bad.URL, Repo: "faucetsdn/faucet"}
+	if _, err := c.FetchAll(context.Background(), ""); err == nil {
+		t.Error("want error from failing server")
+	}
+}
+
+func TestClientHandlesGarbageJSON(t *testing.T) {
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("[{broken"))
+	}))
+	defer bad.Close()
+	c := Client{BaseURL: bad.URL, Repo: "faucetsdn/faucet"}
+	if _, err := c.FetchAll(context.Background(), ""); err == nil {
+		t.Error("want decode error")
+	}
+}

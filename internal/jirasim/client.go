@@ -1,0 +1,139 @@
+package jirasim
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"sdnbugs/internal/tracker"
+)
+
+// Client mines issues from a JIRA-like server.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// PageSize is the maxResults per search page (default 50).
+	PageSize int
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// SearchOptions filter a mining run.
+type SearchOptions struct {
+	// Project restricts to one JIRA project (empty = all).
+	Project string
+	// Severity keeps issues at least this severe (empty = all).
+	Severity string
+	// Status restricts to a lifecycle state (empty = all).
+	Status string
+}
+
+// FetchAll pages through /rest/api/2/search until every matching issue
+// has been retrieved.
+func (c *Client) FetchAll(ctx context.Context, opts SearchOptions) ([]IssueResult, error) {
+	pageSize := c.PageSize
+	if pageSize <= 0 {
+		pageSize = 50
+	}
+	var out []IssueResult
+	startAt := 0
+	for {
+		page, total, err := c.fetchPage(ctx, opts, startAt, pageSize)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, page...)
+		startAt += len(page)
+		if startAt >= total || len(page) == 0 {
+			break
+		}
+	}
+	return out, nil
+}
+
+// IssueResult is one mined issue in the neutral model, plus the raw key.
+type IssueResult struct {
+	Key   string
+	Issue tracker.Issue
+}
+
+func (c *Client) fetchPage(ctx context.Context, opts SearchOptions, startAt, max int) ([]IssueResult, int, error) {
+	u, err := url.Parse(c.BaseURL + "/rest/api/2/search")
+	if err != nil {
+		return nil, 0, fmt.Errorf("jirasim: bad base URL: %w", err)
+	}
+	q := u.Query()
+	if opts.Project != "" {
+		q.Set("project", opts.Project)
+	}
+	if opts.Severity != "" {
+		q.Set("severity", opts.Severity)
+	}
+	if opts.Status != "" {
+		q.Set("status", opts.Status)
+	}
+	q.Set("startAt", strconv.Itoa(startAt))
+	q.Set("maxResults", strconv.Itoa(max))
+	u.RawQuery = q.Encode()
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	if err != nil {
+		return nil, 0, fmt.Errorf("jirasim: build request: %w", err)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, 0, fmt.Errorf("jirasim: search: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("jirasim: search returned %s", resp.Status)
+	}
+	var sr searchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, 0, fmt.Errorf("jirasim: decode search response: %w", err)
+	}
+	out := make([]IssueResult, 0, len(sr.Issues))
+	for _, wi := range sr.Issues {
+		iss, err := fromWire(wi)
+		if err != nil {
+			return nil, 0, err
+		}
+		out = append(out, IssueResult{Key: wi.Key, Issue: iss})
+	}
+	return out, sr.Total, nil
+}
+
+// GetIssue fetches a single issue by key.
+func (c *Client) GetIssue(ctx context.Context, key string) (tracker.Issue, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/rest/api/2/issue/"+url.PathEscape(key), nil)
+	if err != nil {
+		return tracker.Issue{}, fmt.Errorf("jirasim: build request: %w", err)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return tracker.Issue{}, fmt.Errorf("jirasim: get issue: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode == http.StatusNotFound {
+		return tracker.Issue{}, fmt.Errorf("jirasim: issue %s: %w", key, tracker.ErrNotFound)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return tracker.Issue{}, fmt.Errorf("jirasim: get issue returned %s", resp.Status)
+	}
+	var wi wireIssue
+	if err := json.NewDecoder(resp.Body).Decode(&wi); err != nil {
+		return tracker.Issue{}, fmt.Errorf("jirasim: decode issue: %w", err)
+	}
+	return fromWire(wi)
+}

@@ -1,0 +1,231 @@
+package jirasim
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"sdnbugs/internal/corpus"
+	"sdnbugs/internal/tracker"
+)
+
+func newServer(t *testing.T) (*httptest.Server, *tracker.Store) {
+	t.Helper()
+	store := tracker.NewStore()
+	srv := httptest.NewServer(NewHandler(store))
+	t.Cleanup(srv.Close)
+	return srv, store
+}
+
+func seedIssues(t *testing.T, store *tracker.Store) {
+	t.Helper()
+	base := time.Date(2019, 3, 1, 12, 0, 0, 0, time.UTC)
+	issues := []tracker.Issue{
+		{
+			ID: "ONOS-1", Controller: tracker.ONOS, Title: "Cluster fails",
+			Description: "Killing one instance kills the cluster.",
+			Severity:    tracker.SeverityCritical, Status: tracker.StatusClosed,
+			Created: base, Resolved: base.AddDate(0, 0, 12),
+			Comments: []tracker.Comment{{Author: "alice", Body: "confirmed", Created: base.AddDate(0, 0, 1)}},
+			Labels:   []string{"bug"},
+		},
+		{
+			ID: "ONOS-2", Controller: tracker.ONOS, Title: "Minor glitch",
+			Description: "Cosmetic only.", Severity: tracker.SeverityMinor,
+			Status: tracker.StatusOpen, Created: base.AddDate(0, 0, 2),
+		},
+		{
+			ID: "CORD-1", Controller: tracker.CORD, Title: "OLT reboot hang",
+			Description: "Core thread waits forever.", Severity: tracker.SeverityBlocker,
+			Status: tracker.StatusClosed, Created: base.AddDate(0, 0, 3),
+			Resolved: base.AddDate(0, 0, 40),
+		},
+	}
+	for _, iss := range issues {
+		if err := store.Put(iss); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSearchRoundTrip(t *testing.T) {
+	srv, store := newServer(t)
+	seedIssues(t, store)
+	c := Client{BaseURL: srv.URL}
+	got, err := c.FetchAll(context.Background(), SearchOptions{Project: "ONOS"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d issues, want 2", len(got))
+	}
+	first := got[0].Issue
+	if first.ID != "ONOS-1" || first.Controller != tracker.ONOS {
+		t.Errorf("identity fields: %+v", first)
+	}
+	if first.Severity != tracker.SeverityCritical || first.Status != tracker.StatusClosed {
+		t.Errorf("severity/status: %v %v", first.Severity, first.Status)
+	}
+	if d, ok := first.ResolutionTime(); !ok || d != 12*24*time.Hour {
+		t.Errorf("resolution time: %v %v", d, ok)
+	}
+	if len(first.Comments) != 1 || first.Comments[0].Author != "alice" {
+		t.Errorf("comments: %+v", first.Comments)
+	}
+}
+
+func TestSearchFilters(t *testing.T) {
+	srv, store := newServer(t)
+	seedIssues(t, store)
+	c := Client{BaseURL: srv.URL}
+	crit, err := c.FetchAll(context.Background(), SearchOptions{Severity: "critical"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crit) != 2 {
+		t.Errorf("critical band: %d, want 2", len(crit))
+	}
+	closed, err := c.FetchAll(context.Background(), SearchOptions{Status: "Closed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(closed) != 2 {
+		t.Errorf("closed: %d, want 2", len(closed))
+	}
+}
+
+func TestPagination(t *testing.T) {
+	srv, store := newServer(t)
+	base := time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 137; i++ {
+		if err := store.Put(tracker.Issue{
+			ID:         "ONOS-" + time.Duration(i).String(), // unique enough
+			Controller: tracker.ONOS, Title: "t", Description: "d",
+			Severity: tracker.SeverityCritical, Status: tracker.StatusClosed,
+			Created: base.Add(time.Duration(i) * time.Hour),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := Client{BaseURL: srv.URL, PageSize: 25}
+	got, err := c.FetchAll(context.Background(), SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 137 {
+		t.Errorf("paged fetch = %d, want 137", len(got))
+	}
+	seen := map[string]bool{}
+	for _, r := range got {
+		if seen[r.Key] {
+			t.Fatalf("duplicate issue %s across pages", r.Key)
+		}
+		seen[r.Key] = true
+	}
+}
+
+func TestGetIssue(t *testing.T) {
+	srv, store := newServer(t)
+	seedIssues(t, store)
+	c := Client{BaseURL: srv.URL}
+	iss, err := c.GetIssue(context.Background(), "CORD-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iss.Controller != tracker.CORD || iss.Severity != tracker.SeverityBlocker {
+		t.Errorf("got %+v", iss)
+	}
+	if _, err := c.GetIssue(context.Background(), "CORD-999"); !errors.Is(err, tracker.ErrNotFound) {
+		t.Errorf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	srv, store := newServer(t)
+	seedIssues(t, store)
+	c := Client{BaseURL: srv.URL}
+	if _, err := c.FetchAll(context.Background(), SearchOptions{Project: "NOTREAL"}); err == nil {
+		t.Error("want error for unknown project")
+	}
+	if _, err := c.FetchAll(context.Background(), SearchOptions{Severity: "apocalyptic"}); err == nil {
+		t.Error("want error for unknown severity")
+	}
+}
+
+func TestMineGeneratedCorpus(t *testing.T) {
+	// End-to-end: load the generated ONOS+CORD bugs into the simulator
+	// and mine them back over HTTP, as the study pipeline does.
+	srv, store := newServer(t)
+	corp, err := corpus.Generate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJIRA := 0
+	for _, iss := range corp.Issues {
+		if tracker.TrackerFor(iss.Controller) != tracker.KindJIRA {
+			continue
+		}
+		if err := store.Put(iss); err != nil {
+			t.Fatal(err)
+		}
+		wantJIRA++
+	}
+	c := Client{BaseURL: srv.URL, PageSize: 100}
+	got, err := c.FetchAll(context.Background(), SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != wantJIRA {
+		t.Errorf("mined %d, want %d", len(got), wantJIRA)
+	}
+	// 186 + 358 critical bugs (paper §II-B).
+	if wantJIRA != 186+358 {
+		t.Errorf("JIRA corpus size = %d, want 544", wantJIRA)
+	}
+	for _, r := range got {
+		want := corp.Labels[r.Key]
+		if want.Trigger.String() == "unknown" {
+			t.Fatalf("mined unknown issue %s", r.Key)
+		}
+		if r.Issue.Description == "" {
+			t.Fatalf("issue %s lost its description in transit", r.Key)
+		}
+	}
+}
+
+func TestClientHandlesServerFailure(t *testing.T) {
+	// A server that always 500s: the client reports the status rather
+	// than hanging or panicking.
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	c := Client{BaseURL: bad.URL}
+	if _, err := c.FetchAll(context.Background(), SearchOptions{}); err == nil {
+		t.Error("want error from failing server")
+	}
+	if _, err := c.GetIssue(context.Background(), "ONOS-1"); err == nil {
+		t.Error("want error from failing server")
+	}
+}
+
+func TestClientHandlesGarbageJSON(t *testing.T) {
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("this is not json"))
+	}))
+	defer bad.Close()
+	c := Client{BaseURL: bad.URL}
+	if _, err := c.FetchAll(context.Background(), SearchOptions{}); err == nil {
+		t.Error("want decode error")
+	}
+}
+
+func TestClientBadBaseURL(t *testing.T) {
+	c := Client{BaseURL: "http://127.0.0.1:1"} // nothing listens here
+	if _, err := c.FetchAll(context.Background(), SearchOptions{}); err == nil {
+		t.Error("want connection error")
+	}
+}

@@ -1,0 +1,214 @@
+// Package adaboost implements AdaBoost (SAMME multiclass variant) over
+// depth-1 decision stumps — the boosting baseline the paper compares
+// against SVM and decision trees (§II-C).
+package adaboost
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sdnbugs/internal/mathx"
+	"sdnbugs/internal/ml"
+)
+
+// Ensemble is an AdaBoost classifier. The zero value uses defaults.
+type Ensemble struct {
+	// Rounds is the number of boosting rounds (default 50).
+	Rounds int
+
+	stumps []stump
+	alphas []float64
+	k      int
+}
+
+var _ ml.Classifier = (*Ensemble)(nil)
+
+type stump struct {
+	feature   int
+	threshold float64
+	// classLeft/classRight are the predicted classes on each side.
+	classLeft, classRight int
+}
+
+func (s stump) predict(features []float64) int {
+	if features[s.feature] <= s.threshold {
+		return s.classLeft
+	}
+	return s.classRight
+}
+
+// Fit boosts weighted stumps on rows of x with dense 0-based labels.
+func (e *Ensemble) Fit(x *mathx.Matrix, y []int) error {
+	n := x.Rows()
+	if n == 0 {
+		return ml.ErrEmptyDataset
+	}
+	if n != len(y) {
+		return fmt.Errorf("%w: %d rows vs %d labels", ml.ErrLengthMatch, n, len(y))
+	}
+	e.k = 0
+	for _, v := range y {
+		if v < 0 {
+			return fmt.Errorf("adaboost: labels must be >= 0, got %d", v)
+		}
+		if v+1 > e.k {
+			e.k = v + 1
+		}
+	}
+	rounds := e.Rounds
+	if rounds <= 0 {
+		rounds = 50
+	}
+	e.stumps = e.stumps[:0]
+	e.alphas = e.alphas[:0]
+
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / float64(n)
+	}
+	for r := 0; r < rounds; r++ {
+		st, err := bestStump(x, y, w, e.k)
+		if err != nil {
+			return err
+		}
+		var werr float64
+		for i := 0; i < n; i++ {
+			if st.predict(x.Row(i)) != y[i] {
+				werr += w[i]
+			}
+		}
+		// SAMME requires error < 1 - 1/K to make progress.
+		limit := 1 - 1/float64(e.k)
+		if werr >= limit {
+			break
+		}
+		if werr < 1e-12 {
+			// Perfect stump: give it a large but finite weight and stop.
+			e.stumps = append(e.stumps, st)
+			e.alphas = append(e.alphas, 10)
+			break
+		}
+		alpha := math.Log((1-werr)/werr) + math.Log(float64(e.k)-1)
+		e.stumps = append(e.stumps, st)
+		e.alphas = append(e.alphas, alpha)
+		// Reweight and renormalize.
+		var z float64
+		for i := 0; i < n; i++ {
+			if st.predict(x.Row(i)) != y[i] {
+				w[i] *= math.Exp(alpha)
+			}
+			z += w[i]
+		}
+		for i := range w {
+			w[i] /= z
+		}
+	}
+	if len(e.stumps) == 0 {
+		// Degenerate data (e.g. single class): fall back to majority.
+		maj := majority(y, e.k)
+		e.stumps = append(e.stumps, stump{feature: 0, threshold: math.Inf(1), classLeft: maj, classRight: maj})
+		e.alphas = append(e.alphas, 1)
+	}
+	return nil
+}
+
+func majority(y []int, k int) int {
+	counts := make([]int, k)
+	for _, v := range y {
+		counts[v]++
+	}
+	best := 0
+	for c, v := range counts {
+		if v > counts[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// bestStump finds the weighted-error-minimizing decision stump.
+func bestStump(x *mathx.Matrix, y []int, w []float64, k int) (stump, error) {
+	n, d := x.Rows(), x.Cols()
+	bestErr := math.Inf(1)
+	var best stump
+	type pv struct {
+		v float64
+		y int
+		w float64
+	}
+	pairs := make([]pv, n)
+	leftW := make([]float64, k)
+	rightW := make([]float64, k)
+
+	for f := 0; f < d; f++ {
+		for i := 0; i < n; i++ {
+			pairs[i] = pv{x.At(i, f), y[i], w[i]}
+		}
+		sort.Slice(pairs, func(a, b int) bool { return pairs[a].v < pairs[b].v })
+		for c := 0; c < k; c++ {
+			leftW[c] = 0
+			rightW[c] = 0
+		}
+		for i := 0; i < n; i++ {
+			rightW[pairs[i].y] += pairs[i].w
+		}
+		for i := 0; i < n-1; i++ {
+			leftW[pairs[i].y] += pairs[i].w
+			rightW[pairs[i].y] -= pairs[i].w
+			if pairs[i].v == pairs[i+1].v {
+				continue
+			}
+			lc, lw := argmaxWeight(leftW)
+			rc, rw := argmaxWeight(rightW)
+			// Weighted error = total weight - correctly classified weight.
+			var total float64
+			for c := 0; c < k; c++ {
+				total += leftW[c] + rightW[c]
+			}
+			errW := total - lw - rw
+			if errW < bestErr {
+				bestErr = errW
+				best = stump{
+					feature:   f,
+					threshold: (pairs[i].v + pairs[i+1].v) / 2,
+					classLeft: lc, classRight: rc,
+				}
+			}
+		}
+	}
+	if math.IsInf(bestErr, 1) {
+		// No splittable feature (all values identical): constant stump.
+		maj := majority(y, k)
+		return stump{feature: 0, threshold: math.Inf(1), classLeft: maj, classRight: maj}, nil
+	}
+	return best, nil
+}
+
+func argmaxWeight(w []float64) (int, float64) {
+	best := 0
+	for c := 1; c < len(w); c++ {
+		if w[c] > w[best] {
+			best = c
+		}
+	}
+	return best, w[best]
+}
+
+// Predict returns the alpha-weighted vote over stumps.
+func (e *Ensemble) Predict(features []float64) (int, error) {
+	if len(e.stumps) == 0 {
+		return 0, ml.ErrNotFitted
+	}
+	votes := make([]float64, e.k)
+	for i, st := range e.stumps {
+		if st.feature >= len(features) {
+			return 0, fmt.Errorf("adaboost: feature %d out of range (%d features)", st.feature, len(features))
+		}
+		votes[st.predict(features)] += e.alphas[i]
+	}
+	return mathx.ArgMax(votes), nil
+}
+
+// Size returns the number of boosted stumps.
+func (e *Ensemble) Size() int { return len(e.stumps) }

@@ -1,0 +1,129 @@
+package adaboost
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"sdnbugs/internal/mathx"
+	"sdnbugs/internal/ml"
+)
+
+func TestFitErrors(t *testing.T) {
+	var e Ensemble
+	if err := e.Fit(mathx.NewMatrix(0, 1), nil); !errors.Is(err, ml.ErrEmptyDataset) {
+		t.Errorf("want ErrEmptyDataset, got %v", err)
+	}
+	x := mathx.NewMatrix(2, 1)
+	if err := e.Fit(x, []int{0}); !errors.Is(err, ml.ErrLengthMatch) {
+		t.Errorf("want ErrLengthMatch, got %v", err)
+	}
+	if err := e.Fit(x, []int{-1, 0}); err == nil {
+		t.Error("want negative-label error")
+	}
+	var unfitted Ensemble
+	if _, err := unfitted.Predict([]float64{1}); !errors.Is(err, ml.ErrNotFitted) {
+		t.Errorf("want ErrNotFitted, got %v", err)
+	}
+}
+
+func TestSingleStumpProblem(t *testing.T) {
+	// Perfectly separable by one threshold: x0 <= 0.5.
+	x, _ := mathx.MatrixFromRows([][]float64{{0}, {0.2}, {0.4}, {0.6}, {0.8}, {1}})
+	y := []int{0, 0, 0, 1, 1, 1}
+	var e Ensemble
+	if err := e.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < x.Rows(); i++ {
+		p, _ := e.Predict(x.Row(i))
+		if p != y[i] {
+			t.Errorf("row %d predicted %d, want %d", i, p, y[i])
+		}
+	}
+	if e.Size() != 1 {
+		t.Errorf("perfect stump should stop boosting, size = %d", e.Size())
+	}
+}
+
+func TestBoostingBeatsSingleStumpOnStaircase(t *testing.T) {
+	// Labels alternate across x: a single stump cannot do better than
+	// ~2/3; boosting can.
+	x, _ := mathx.MatrixFromRows([][]float64{
+		{0}, {1}, {2}, {3}, {4}, {5}, {6}, {7}, {8},
+	})
+	y := []int{0, 0, 0, 1, 1, 1, 0, 0, 0}
+	one := Ensemble{Rounds: 1}
+	many := Ensemble{Rounds: 100}
+	if err := one.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := many.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	accOf := func(e *Ensemble) float64 {
+		hits := 0
+		for i := 0; i < x.Rows(); i++ {
+			p, _ := e.Predict(x.Row(i))
+			if p == y[i] {
+				hits++
+			}
+		}
+		return float64(hits) / float64(x.Rows())
+	}
+	if a1, am := accOf(&one), accOf(&many); !(am > a1) {
+		t.Errorf("boosted accuracy %v should exceed single stump %v", am, a1)
+	}
+}
+
+func TestMulticlassBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 300
+	x := mathx.NewMatrix(n, 2)
+	y := make([]int, n)
+	centers := [][]float64{{0, 0}, {8, 0}, {0, 8}}
+	for i := 0; i < n; i++ {
+		c := i % 3
+		x.Set(i, 0, centers[c][0]+rng.NormFloat64())
+		x.Set(i, 1, centers[c][1]+rng.NormFloat64())
+		y[i] = c
+	}
+	e := Ensemble{Rounds: 60}
+	if err := e.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for i := 0; i < n; i++ {
+		p, _ := e.Predict(x.Row(i))
+		if p == y[i] {
+			hits++
+		}
+	}
+	if acc := float64(hits) / float64(n); acc < 0.9 {
+		t.Errorf("multiclass accuracy = %v", acc)
+	}
+}
+
+func TestDegenerateSingleClass(t *testing.T) {
+	x := mathx.NewMatrix(4, 2)
+	y := []int{0, 0, 0, 0}
+	var e Ensemble
+	if err := e.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	p, err := e.Predict([]float64{9, 9})
+	if err != nil || p != 0 {
+		t.Errorf("degenerate predict = %d, %v", p, err)
+	}
+}
+
+func TestPredictDimensionCheck(t *testing.T) {
+	x, _ := mathx.MatrixFromRows([][]float64{{0, 5}, {1, 5}})
+	var e Ensemble
+	if err := e.Fit(x, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Predict([]float64{}); err == nil {
+		t.Error("want feature-range error")
+	}
+}

@@ -1,0 +1,244 @@
+// Package dtree implements a CART-style decision tree classifier with
+// Gini-impurity splits — one of the classic models the paper compares
+// against the SVM for bug auto-classification (§II-C).
+package dtree
+
+import (
+	"fmt"
+	"math"
+
+	"sdnbugs/internal/mathx"
+	"sdnbugs/internal/ml"
+)
+
+// Tree is a CART decision tree. The zero value uses default limits.
+type Tree struct {
+	// MaxDepth bounds tree depth (default 12).
+	MaxDepth int
+	// MinLeaf is the minimum examples per leaf (default 1).
+	MinLeaf int
+
+	root *node
+	k    int // number of classes
+}
+
+var _ ml.Classifier = (*Tree)(nil)
+
+type node struct {
+	// Leaf payload.
+	leaf  bool
+	class int
+	// Split payload.
+	feature     int
+	threshold   float64
+	left, right *node
+}
+
+// Fit grows the tree on rows of x with dense 0-based labels y.
+func (t *Tree) Fit(x *mathx.Matrix, y []int) error {
+	if x.Rows() == 0 {
+		return ml.ErrEmptyDataset
+	}
+	if x.Rows() != len(y) {
+		return fmt.Errorf("%w: %d rows vs %d labels", ml.ErrLengthMatch, x.Rows(), len(y))
+	}
+	t.k = 0
+	for _, v := range y {
+		if v < 0 {
+			return fmt.Errorf("dtree: labels must be >= 0, got %d", v)
+		}
+		if v+1 > t.k {
+			t.k = v + 1
+		}
+	}
+	idx := make([]int, x.Rows())
+	for i := range idx {
+		idx[i] = i
+	}
+	maxDepth := t.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = 12
+	}
+	minLeaf := t.MinLeaf
+	if minLeaf <= 0 {
+		minLeaf = 1
+	}
+	t.root = t.grow(x, y, idx, maxDepth, minLeaf)
+	return nil
+}
+
+func (t *Tree) grow(x *mathx.Matrix, y, idx []int, depth, minLeaf int) *node {
+	counts := make([]int, t.k)
+	for _, i := range idx {
+		counts[y[i]]++
+	}
+	majority, pure := majorityClass(counts, len(idx))
+	if pure || depth == 0 || len(idx) < 2*minLeaf {
+		return &node{leaf: true, class: majority}
+	}
+	// A zero-gain split is still taken when the node is impure (as in
+	// classic CART): symmetric concepts like XOR have zero first-split
+	// gain yet become separable one level down.
+	feat, thr, ok := bestSplit(x, y, idx, t.k, minLeaf)
+	if !ok {
+		return &node{leaf: true, class: majority}
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if x.At(i, feat) <= thr {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) < minLeaf || len(ri) < minLeaf {
+		return &node{leaf: true, class: majority}
+	}
+	return &node{
+		feature:   feat,
+		threshold: thr,
+		left:      t.grow(x, y, li, depth-1, minLeaf),
+		right:     t.grow(x, y, ri, depth-1, minLeaf),
+	}
+}
+
+func majorityClass(counts []int, n int) (class int, pure bool) {
+	best := 0
+	for c, v := range counts {
+		if v > counts[best] {
+			best = c
+		}
+	}
+	return best, counts[best] == n
+}
+
+func gini(counts []int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := float64(c) / float64(n)
+		g -= p * p
+	}
+	return g
+}
+
+// bestSplit scans every feature using the classic sort-and-sweep to
+// find the split maximizing Gini gain. ok is false when no feature
+// admits a valid split (all values identical or minLeaf unsatisfiable).
+func bestSplit(x *mathx.Matrix, y, idx []int, k, minLeaf int) (feature int, threshold float64, ok bool) {
+	n := len(idx)
+	parentCounts := make([]int, k)
+	for _, i := range idx {
+		parentCounts[y[i]]++
+	}
+	parentGini := gini(parentCounts, n)
+
+	bestGain := math.Inf(-1)
+	bestFeat, bestThr := -1, 0.0
+
+	pairs := make([]pair, n)
+	left := make([]int, k)
+	right := make([]int, k)
+
+	for f := 0; f < x.Cols(); f++ {
+		for j, i := range idx {
+			pairs[j] = pair{x.At(i, f), y[i]}
+		}
+		sortPairs(pairs)
+		for c := range left {
+			left[c] = 0
+			right[c] = parentCounts[c]
+		}
+		for j := 0; j < n-1; j++ {
+			left[pairs[j].y]++
+			right[pairs[j].y]--
+			if pairs[j].v == pairs[j+1].v {
+				continue
+			}
+			nl, nr := j+1, n-j-1
+			if nl < minLeaf || nr < minLeaf {
+				continue
+			}
+			g := parentGini -
+				(float64(nl)*gini(left, nl)+float64(nr)*gini(right, nr))/float64(n)
+			if g > bestGain {
+				bestGain = g
+				bestFeat = f
+				bestThr = (pairs[j].v + pairs[j+1].v) / 2
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return 0, 0, false
+	}
+	return bestFeat, bestThr, true
+}
+
+// sortPairs is an insertion/shell sort over the scratch slice; n is the
+// number of examples at a node, typically small after a few splits.
+func sortPairs(p []pair) {
+	for gap := len(p) / 2; gap > 0; gap /= 2 {
+		for i := gap; i < len(p); i++ {
+			t := p[i]
+			j := i
+			for ; j >= gap && p[j-gap].v > t.v; j -= gap {
+				p[j] = p[j-gap]
+			}
+			p[j] = t
+		}
+	}
+}
+
+type pair struct {
+	v float64
+	y int
+}
+
+// Predict walks the tree for one feature vector.
+func (t *Tree) Predict(features []float64) (int, error) {
+	if t.root == nil {
+		return 0, ml.ErrNotFitted
+	}
+	n := t.root
+	for !n.leaf {
+		if n.feature >= len(features) {
+			return 0, fmt.Errorf("dtree: feature %d out of range (%d features)", n.feature, len(features))
+		}
+		if features[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.class, nil
+}
+
+// Depth returns the depth of the fitted tree (0 for a single leaf).
+func (t *Tree) Depth() int {
+	var walk func(*node) int
+	walk = func(n *node) int {
+		if n == nil || n.leaf {
+			return 0
+		}
+		l, r := walk(n.left), walk(n.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return walk(t.root)
+}
+
+// NodeCount returns the number of nodes in the fitted tree.
+func (t *Tree) NodeCount() int {
+	var walk func(*node) int
+	walk = func(n *node) int {
+		if n == nil {
+			return 0
+		}
+		return 1 + walk(n.left) + walk(n.right)
+	}
+	return walk(t.root)
+}

@@ -1,0 +1,169 @@
+package dtree
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"sdnbugs/internal/mathx"
+	"sdnbugs/internal/ml"
+)
+
+func TestFitErrors(t *testing.T) {
+	var tr Tree
+	if err := tr.Fit(mathx.NewMatrix(0, 1), nil); !errors.Is(err, ml.ErrEmptyDataset) {
+		t.Errorf("want ErrEmptyDataset, got %v", err)
+	}
+	x := mathx.NewMatrix(2, 1)
+	if err := tr.Fit(x, []int{0}); !errors.Is(err, ml.ErrLengthMatch) {
+		t.Errorf("want ErrLengthMatch, got %v", err)
+	}
+	if err := tr.Fit(x, []int{-1, 0}); err == nil {
+		t.Error("want negative-label error")
+	}
+	if _, err := tr.Predict([]float64{1}); !errors.Is(err, ml.ErrNotFitted) {
+		t.Errorf("want ErrNotFitted, got %v", err)
+	}
+}
+
+func TestXORLearnable(t *testing.T) {
+	// XOR needs depth 2 — exactly what a CART tree can express and a
+	// linear model cannot.
+	x, err := mathx.MatrixFromRows([][]float64{
+		{0, 0}, {0, 1}, {1, 0}, {1, 1},
+		{0.1, 0.1}, {0.1, 0.9}, {0.9, 0.1}, {0.9, 0.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := []int{0, 1, 1, 0, 0, 1, 1, 0}
+	var tr Tree
+	if err := tr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < x.Rows(); i++ {
+		p, err := tr.Predict(x.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != y[i] {
+			t.Errorf("row %d: predicted %d, want %d", i, p, y[i])
+		}
+	}
+	if tr.Depth() < 2 {
+		t.Errorf("XOR tree depth = %d, want >= 2", tr.Depth())
+	}
+}
+
+func TestPureNodeIsLeaf(t *testing.T) {
+	x := mathx.NewMatrix(5, 2)
+	y := []int{1, 1, 1, 1, 1}
+	var tr Tree
+	if err := tr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NodeCount() != 1 {
+		t.Errorf("single-class data should give 1 node, got %d", tr.NodeCount())
+	}
+	p, _ := tr.Predict([]float64{0, 0})
+	if p != 1 {
+		t.Errorf("predict = %d, want 1", p)
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := mathx.NewMatrix(200, 3)
+	y := make([]int, 200)
+	for i := 0; i < 200; i++ {
+		for j := 0; j < 3; j++ {
+			x.Set(i, j, rng.Float64())
+		}
+		y[i] = rng.Intn(4)
+	}
+	tr := Tree{MaxDepth: 3}
+	if err := tr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() > 3 {
+		t.Errorf("depth %d exceeds MaxDepth 3", tr.Depth())
+	}
+}
+
+func TestMinLeafRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 100
+	x := mathx.NewMatrix(n, 2)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, rng.Float64())
+		x.Set(i, 1, rng.Float64())
+		if x.At(i, 0) > 0.5 {
+			y[i] = 1
+		}
+	}
+	tr := Tree{MinLeaf: 10}
+	if err := tr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	// Verify recursively by re-routing the training data.
+	counts := map[*node]int{}
+	for i := 0; i < n; i++ {
+		nd := tr.root
+		for !nd.leaf {
+			if x.At(i, nd.feature) <= nd.threshold {
+				nd = nd.left
+			} else {
+				nd = nd.right
+			}
+		}
+		counts[nd]++
+	}
+	for nd, c := range counts {
+		_ = nd
+		if c < 10 {
+			t.Errorf("leaf has %d examples, want >= 10", c)
+		}
+	}
+}
+
+func TestBlobAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 300
+	x := mathx.NewMatrix(n, 2)
+	y := make([]int, n)
+	centers := [][]float64{{0, 0}, {8, 0}, {0, 8}}
+	for i := 0; i < n; i++ {
+		c := i % 3
+		x.Set(i, 0, centers[c][0]+rng.NormFloat64())
+		x.Set(i, 1, centers[c][1]+rng.NormFloat64())
+		y[i] = c
+	}
+	var tr Tree
+	if err := tr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for i := 0; i < n; i++ {
+		p, _ := tr.Predict(x.Row(i))
+		if p == y[i] {
+			hits++
+		}
+	}
+	if acc := float64(hits) / float64(n); acc < 0.95 {
+		t.Errorf("blob accuracy = %v", acc)
+	}
+}
+
+func TestPredictDimensionCheck(t *testing.T) {
+	x, _ := mathx.MatrixFromRows([][]float64{{0, 0}, {1, 1}})
+	var tr Tree
+	if err := tr.Fit(x, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NodeCount() > 1 {
+		if _, err := tr.Predict([]float64{}); err == nil {
+			t.Error("want feature-range error for empty input")
+		}
+	}
+}

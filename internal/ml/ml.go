@@ -1,0 +1,274 @@
+// Package ml provides the classic machine-learning scaffolding the
+// paper's validation uses (§II-C): datasets, feature scaling, the
+// 2/3–1/3 train/test protocol, k-fold cross-validation, and the
+// accuracy/confusion metrics used to compare SVM, decision trees,
+// PCA-reduced models, and AdaBoost.
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"sdnbugs/internal/mathx"
+)
+
+// Errors returned by the scaffolding.
+var (
+	ErrEmptyDataset = errors.New("ml: empty dataset")
+	ErrLengthMatch  = errors.New("ml: features and labels differ in length")
+	ErrNotFitted    = errors.New("ml: model not fitted")
+)
+
+// Classifier is the interface every model in the subpackages satisfies.
+type Classifier interface {
+	// Fit trains on rows of x with integer class labels y.
+	Fit(x *mathx.Matrix, y []int) error
+	// Predict returns the class for a single feature vector.
+	Predict(features []float64) (int, error)
+}
+
+// Dataset pairs a feature matrix with integer labels.
+type Dataset struct {
+	X *mathx.Matrix
+	Y []int
+}
+
+// NewDataset validates and wraps features and labels.
+func NewDataset(x *mathx.Matrix, y []int) (*Dataset, error) {
+	if x == nil || x.Rows() == 0 {
+		return nil, ErrEmptyDataset
+	}
+	if x.Rows() != len(y) {
+		return nil, fmt.Errorf("%w: %d rows vs %d labels", ErrLengthMatch, x.Rows(), len(y))
+	}
+	return &Dataset{X: x, Y: y}, nil
+}
+
+// Len returns the number of examples.
+func (d *Dataset) Len() int { return d.X.Rows() }
+
+// Classes returns the number of distinct labels, assuming labels are
+// 0-based and dense; it is max(y)+1.
+func (d *Dataset) Classes() int {
+	maxY := 0
+	for _, v := range d.Y {
+		if v > maxY {
+			maxY = v
+		}
+	}
+	return maxY + 1
+}
+
+// Subset returns a new dataset containing the given row indices
+// (data copied).
+func (d *Dataset) Subset(idx []int) (*Dataset, error) {
+	if len(idx) == 0 {
+		return nil, ErrEmptyDataset
+	}
+	x := mathx.NewMatrix(len(idx), d.X.Cols())
+	y := make([]int, len(idx))
+	for i, j := range idx {
+		if j < 0 || j >= d.Len() {
+			return nil, fmt.Errorf("ml: subset index %d out of range [0,%d)", j, d.Len())
+		}
+		copy(x.Row(i), d.X.Row(j))
+		y[i] = d.Y[j]
+	}
+	return &Dataset{X: x, Y: y}, nil
+}
+
+// TrainTestSplit shuffles with the seeded RNG and splits so that
+// trainFrac of the data trains the model — the paper uses 2/3.
+func TrainTestSplit(d *Dataset, trainFrac float64, seed int64) (train, test *Dataset, err error) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, nil, fmt.Errorf("ml: trainFrac %v outside (0,1)", trainFrac)
+	}
+	n := d.Len()
+	idx := rand.New(rand.NewSource(seed)).Perm(n)
+	cut := int(float64(n) * trainFrac)
+	if cut < 1 || cut >= n {
+		return nil, nil, fmt.Errorf("ml: split leaves an empty side (n=%d, frac=%v)", n, trainFrac)
+	}
+	train, err = d.Subset(idx[:cut])
+	if err != nil {
+		return nil, nil, err
+	}
+	test, err = d.Subset(idx[cut:])
+	if err != nil {
+		return nil, nil, err
+	}
+	return train, test, nil
+}
+
+// StandardScaler standardizes features to zero mean, unit variance —
+// the "normalization" the paper reports as decisive for SVM accuracy.
+type StandardScaler struct {
+	mean, std []float64
+}
+
+// Fit learns per-column mean and standard deviation.
+func (s *StandardScaler) Fit(x *mathx.Matrix) error {
+	if x.Rows() == 0 {
+		return ErrEmptyDataset
+	}
+	d := x.Cols()
+	s.mean = make([]float64, d)
+	s.std = make([]float64, d)
+	for j := 0; j < d; j++ {
+		col := x.Col(j)
+		s.mean[j] = mathx.Mean(col)
+		s.std[j] = mathx.StdDev(col)
+		if s.std[j] == 0 {
+			s.std[j] = 1 // constant column: leave centered only
+		}
+	}
+	return nil
+}
+
+// Transform returns a standardized copy of v.
+func (s *StandardScaler) Transform(v []float64) ([]float64, error) {
+	if s.mean == nil {
+		return nil, ErrNotFitted
+	}
+	if len(v) != len(s.mean) {
+		return nil, fmt.Errorf("ml: scaler expects %d features, got %d", len(s.mean), len(v))
+	}
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = (x - s.mean[i]) / s.std[i]
+	}
+	return out, nil
+}
+
+// TransformMatrix standardizes every row of x into a new matrix.
+func (s *StandardScaler) TransformMatrix(x *mathx.Matrix) (*mathx.Matrix, error) {
+	if s.mean == nil {
+		return nil, ErrNotFitted
+	}
+	out := mathx.NewMatrix(x.Rows(), x.Cols())
+	for i := 0; i < x.Rows(); i++ {
+		row, err := s.Transform(x.Row(i))
+		if err != nil {
+			return nil, err
+		}
+		copy(out.Row(i), row)
+	}
+	return out, nil
+}
+
+// Accuracy returns the fraction of matching labels.
+func Accuracy(pred, truth []int) (float64, error) {
+	if len(pred) != len(truth) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrLengthMatch, len(pred), len(truth))
+	}
+	if len(pred) == 0 {
+		return 0, ErrEmptyDataset
+	}
+	hits := 0
+	for i := range pred {
+		if pred[i] == truth[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(pred)), nil
+}
+
+// ConfusionMatrix returns counts[t][p] of true class t predicted as p,
+// over k classes.
+func ConfusionMatrix(pred, truth []int, k int) ([][]int, error) {
+	if len(pred) != len(truth) {
+		return nil, fmt.Errorf("%w: %d vs %d", ErrLengthMatch, len(pred), len(truth))
+	}
+	cm := make([][]int, k)
+	for i := range cm {
+		cm[i] = make([]int, k)
+	}
+	for i := range pred {
+		if truth[i] < 0 || truth[i] >= k || pred[i] < 0 || pred[i] >= k {
+			return nil, fmt.Errorf("ml: label out of range at %d (t=%d, p=%d, k=%d)", i, truth[i], pred[i], k)
+		}
+		cm[truth[i]][pred[i]]++
+	}
+	return cm, nil
+}
+
+// MacroF1 returns the unweighted mean of per-class F1 scores. Classes
+// absent from both pred and truth contribute 0.
+func MacroF1(pred, truth []int, k int) (float64, error) {
+	cm, err := ConfusionMatrix(pred, truth, k)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for c := 0; c < k; c++ {
+		tp := cm[c][c]
+		var fp, fn int
+		for o := 0; o < k; o++ {
+			if o == c {
+				continue
+			}
+			fp += cm[o][c]
+			fn += cm[c][o]
+		}
+		den := 2*tp + fp + fn
+		if den > 0 {
+			sum += 2 * float64(tp) / float64(den)
+		}
+	}
+	return sum / float64(k), nil
+}
+
+// EvaluateSplit trains clf on train and returns its accuracy on test.
+func EvaluateSplit(clf Classifier, train, test *Dataset) (float64, error) {
+	if err := clf.Fit(train.X, train.Y); err != nil {
+		return 0, fmt.Errorf("ml: fit: %w", err)
+	}
+	pred := make([]int, test.Len())
+	for i := 0; i < test.Len(); i++ {
+		p, err := clf.Predict(test.X.Row(i))
+		if err != nil {
+			return 0, fmt.Errorf("ml: predict row %d: %w", i, err)
+		}
+		pred[i] = p
+	}
+	return Accuracy(pred, test.Y)
+}
+
+// CrossValidate runs k-fold cross-validation, returning per-fold
+// accuracies. newClf must return a fresh model per fold.
+func CrossValidate(newClf func() Classifier, d *Dataset, folds int, seed int64) ([]float64, error) {
+	if folds < 2 {
+		return nil, fmt.Errorf("ml: need >= 2 folds, got %d", folds)
+	}
+	n := d.Len()
+	if n < folds {
+		return nil, fmt.Errorf("ml: %d examples < %d folds", n, folds)
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	accs := make([]float64, 0, folds)
+	for f := 0; f < folds; f++ {
+		var trainIdx, testIdx []int
+		for i, j := range perm {
+			if i%folds == f {
+				testIdx = append(testIdx, j)
+			} else {
+				trainIdx = append(trainIdx, j)
+			}
+		}
+		train, err := d.Subset(trainIdx)
+		if err != nil {
+			return nil, err
+		}
+		test, err := d.Subset(testIdx)
+		if err != nil {
+			return nil, err
+		}
+		acc, err := EvaluateSplit(newClf(), train, test)
+		if err != nil {
+			return nil, err
+		}
+		accs = append(accs, acc)
+	}
+	return accs, nil
+}

@@ -1,0 +1,216 @@
+// Package pca implements Principal Component Analysis via power
+// iteration with deflation. The paper evaluates PCA-reduced features as
+// one of its classification variants (§II-C).
+package pca
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sdnbugs/internal/mathx"
+	"sdnbugs/internal/ml"
+)
+
+// Errors returned by Fit.
+var (
+	ErrBadComponents = errors.New("pca: components must be in [1, features]")
+	ErrTooFewRows    = errors.New("pca: need at least 2 rows")
+)
+
+// PCA projects data onto its top principal components.
+type PCA struct {
+	// Components is the target dimensionality.
+	Components int
+	// MaxIter bounds power iterations per component (default 200).
+	MaxIter int
+	// Seed initializes the power-iteration start vectors.
+	Seed int64
+
+	mean       []float64
+	components *mathx.Matrix // Components × features
+	eigenvals  []float64
+}
+
+// Fit learns the principal components of the rows of x.
+func (p *PCA) Fit(x *mathx.Matrix) error {
+	n, d := x.Rows(), x.Cols()
+	if n < 2 {
+		return ErrTooFewRows
+	}
+	if p.Components < 1 || p.Components > d {
+		return fmt.Errorf("%w: %d of %d", ErrBadComponents, p.Components, d)
+	}
+	maxIter := p.MaxIter
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	cov, err := mathx.CovarianceMatrix(x)
+	if err != nil {
+		return fmt.Errorf("pca: %w", err)
+	}
+	p.mean = make([]float64, d)
+	for i := 0; i < n; i++ {
+		mathx.Axpy(1, x.Row(i), p.mean)
+	}
+	mathx.Scale(p.mean, 1/float64(n))
+
+	rng := rand.New(rand.NewSource(p.Seed))
+	p.components = mathx.NewMatrix(p.Components, d)
+	p.eigenvals = make([]float64, p.Components)
+	work := cov.Clone()
+	for c := 0; c < p.Components; c++ {
+		v := make([]float64, d)
+		for i := range v {
+			v[i] = rng.Float64() - 0.5
+		}
+		mathx.Normalize(v)
+		var lambda float64
+		for it := 0; it < maxIter; it++ {
+			nv, err := work.MulVec(v)
+			if err != nil {
+				return fmt.Errorf("pca: %w", err)
+			}
+			norm := mathx.Norm2(nv)
+			if norm < 1e-14 {
+				// Remaining spectrum is (numerically) zero.
+				break
+			}
+			mathx.Scale(nv, 1/norm)
+			delta := mathx.Norm2(mathx.Sub(nv, v))
+			copy(v, nv)
+			lambda = norm
+			if delta < 1e-10 {
+				break
+			}
+		}
+		copy(p.components.Row(c), v)
+		p.eigenvals[c] = lambda
+		// Deflate: work -= lambda * v vᵀ.
+		for i := 0; i < d; i++ {
+			row := work.Row(i)
+			vi := v[i]
+			for j := 0; j < d; j++ {
+				row[j] -= lambda * vi * v[j]
+			}
+		}
+	}
+	return nil
+}
+
+// ExplainedVariance returns the eigenvalue of each kept component.
+func (p *PCA) ExplainedVariance() ([]float64, error) {
+	if p.eigenvals == nil {
+		return nil, ml.ErrNotFitted
+	}
+	return mathx.Clone(p.eigenvals), nil
+}
+
+// Transform projects a single feature vector onto the components.
+func (p *PCA) Transform(v []float64) ([]float64, error) {
+	if p.components == nil {
+		return nil, ml.ErrNotFitted
+	}
+	if len(v) != len(p.mean) {
+		return nil, fmt.Errorf("pca: expected %d features, got %d", len(p.mean), len(v))
+	}
+	centered := mathx.Sub(v, p.mean)
+	out, err := p.components.MulVec(centered)
+	if err != nil {
+		return nil, fmt.Errorf("pca: %w", err)
+	}
+	return out, nil
+}
+
+// TransformMatrix projects every row of x.
+func (p *PCA) TransformMatrix(x *mathx.Matrix) (*mathx.Matrix, error) {
+	if p.components == nil {
+		return nil, ml.ErrNotFitted
+	}
+	out := mathx.NewMatrix(x.Rows(), p.Components)
+	for i := 0; i < x.Rows(); i++ {
+		row, err := p.Transform(x.Row(i))
+		if err != nil {
+			return nil, err
+		}
+		copy(out.Row(i), row)
+	}
+	return out, nil
+}
+
+// Reduced wraps an inner classifier behind a PCA projection, making
+// "PCA + classifier" a drop-in ml.Classifier.
+type Reduced struct {
+	// Components is the projected dimensionality.
+	Components int
+	// Seed drives the PCA power iteration.
+	Seed int64
+	// Inner is the downstream classifier (required).
+	Inner ml.Classifier
+
+	pca *PCA
+}
+
+var _ ml.Classifier = (*Reduced)(nil)
+
+// Fit fits the projection then the inner classifier on projected data.
+func (r *Reduced) Fit(x *mathx.Matrix, y []int) error {
+	if r.Inner == nil {
+		return errors.New("pca: Reduced requires an Inner classifier")
+	}
+	comps := r.Components
+	if comps < 1 || comps > x.Cols() {
+		comps = x.Cols()
+		if comps > 16 {
+			comps = 16
+		}
+	}
+	r.pca = &PCA{Components: comps, Seed: r.Seed}
+	if err := r.pca.Fit(x); err != nil {
+		return err
+	}
+	proj, err := r.pca.TransformMatrix(x)
+	if err != nil {
+		return err
+	}
+	return r.Inner.Fit(proj, y)
+}
+
+// Predict projects then delegates to the inner classifier.
+func (r *Reduced) Predict(features []float64) (int, error) {
+	if r.pca == nil {
+		return 0, ml.ErrNotFitted
+	}
+	proj, err := r.pca.Transform(features)
+	if err != nil {
+		return 0, err
+	}
+	return r.Inner.Predict(proj)
+}
+
+// ReconstructionError returns the mean squared reconstruction error of
+// x under the fitted projection — a sanity metric for tests.
+func (p *PCA) ReconstructionError(x *mathx.Matrix) (float64, error) {
+	if p.components == nil {
+		return 0, ml.ErrNotFitted
+	}
+	var sum float64
+	for i := 0; i < x.Rows(); i++ {
+		proj, err := p.Transform(x.Row(i))
+		if err != nil {
+			return 0, err
+		}
+		// Reconstruct: mean + Σ proj_c * component_c.
+		rec := mathx.Clone(p.mean)
+		for c := 0; c < p.Components; c++ {
+			mathx.Axpy(proj[c], p.components.Row(c), rec)
+		}
+		diff := mathx.Sub(x.Row(i), rec)
+		sum += mathx.Dot(diff, diff)
+	}
+	if math.IsNaN(sum) {
+		return 0, errors.New("pca: reconstruction produced NaN")
+	}
+	return sum / float64(x.Rows()), nil
+}

@@ -1,0 +1,176 @@
+package svm
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"sdnbugs/internal/mathx"
+	"sdnbugs/internal/ml"
+)
+
+// linearlySeparable returns points on either side of x0 = 5.
+func linearlySeparable(n int, seed int64) (*mathx.Matrix, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	x := mathx.NewMatrix(n, 2)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			x.Set(i, 0, rng.Float64()*4) // [0,4)
+			x.Set(i, 1, rng.Float64()*10)
+			y[i] = -1
+		} else {
+			x.Set(i, 0, 6+rng.Float64()*4) // [6,10)
+			x.Set(i, 1, rng.Float64()*10)
+			y[i] = 1
+		}
+	}
+	return x, y
+}
+
+func TestFitBinaryErrors(t *testing.T) {
+	var s Binary
+	if err := s.FitBinary(mathx.NewMatrix(0, 2), nil); !errors.Is(err, ml.ErrEmptyDataset) {
+		t.Errorf("want ErrEmptyDataset, got %v", err)
+	}
+	x := mathx.NewMatrix(2, 2)
+	if err := s.FitBinary(x, []int{1}); !errors.Is(err, ml.ErrLengthMatch) {
+		t.Errorf("want ErrLengthMatch, got %v", err)
+	}
+	if err := s.FitBinary(x, []int{0, 2}); !errors.Is(err, ErrBadLabels) {
+		t.Errorf("want ErrBadLabels, got %v", err)
+	}
+	if _, err := s.Decision([]float64{1, 2}); !errors.Is(err, ml.ErrNotFitted) {
+		t.Errorf("want ErrNotFitted, got %v", err)
+	}
+}
+
+func TestBinarySeparable(t *testing.T) {
+	x, y := linearlySeparable(200, 1)
+	s := Binary{Epochs: 30, Seed: 1}
+	if err := s.FitBinary(x, y); err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for i := 0; i < x.Rows(); i++ {
+		p, err := s.PredictBinary(x.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p == y[i] {
+			hits++
+		}
+	}
+	if acc := float64(hits) / float64(x.Rows()); acc < 0.97 {
+		t.Errorf("training accuracy = %v, want >= 0.97", acc)
+	}
+}
+
+func TestHingeLossDecreasesWithTraining(t *testing.T) {
+	x, y := linearlySeparable(100, 2)
+	short := Binary{Epochs: 1, Seed: 3}
+	long := Binary{Epochs: 40, Seed: 3}
+	if err := short.FitBinary(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := long.FitBinary(x, y); err != nil {
+		t.Fatal(err)
+	}
+	ls, err := short.HingeLoss(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll, err := long.HingeLoss(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ll <= ls) {
+		t.Errorf("loss after 40 epochs (%v) should not exceed loss after 1 (%v)", ll, ls)
+	}
+	var unfitted Binary
+	if _, err := unfitted.HingeLoss(x, y); !errors.Is(err, ml.ErrNotFitted) {
+		t.Errorf("want ErrNotFitted, got %v", err)
+	}
+}
+
+func TestDecisionDimensionCheck(t *testing.T) {
+	x, y := linearlySeparable(20, 4)
+	s := Binary{Seed: 4}
+	if err := s.FitBinary(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Decision([]float64{1}); err == nil {
+		t.Error("want dimension error")
+	}
+}
+
+func multiclassBlobs(n int, seed int64) (*mathx.Matrix, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	centers := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	x := mathx.NewMatrix(n, 2)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % 3
+		x.Set(i, 0, centers[c][0]+rng.NormFloat64())
+		x.Set(i, 1, centers[c][1]+rng.NormFloat64())
+		y[i] = c
+	}
+	return x, y
+}
+
+func TestMulticlass(t *testing.T) {
+	x, y := multiclassBlobs(300, 5)
+	m := Multiclass{Epochs: 30, Seed: 5}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for i := 0; i < x.Rows(); i++ {
+		p, err := m.Predict(x.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p == y[i] {
+			hits++
+		}
+	}
+	if acc := float64(hits) / float64(x.Rows()); acc < 0.95 {
+		t.Errorf("multiclass accuracy = %v, want >= 0.95", acc)
+	}
+}
+
+func TestMulticlassErrors(t *testing.T) {
+	var m Multiclass
+	if _, err := m.Predict([]float64{1}); !errors.Is(err, ml.ErrNotFitted) {
+		t.Errorf("want ErrNotFitted, got %v", err)
+	}
+	if err := m.Fit(mathx.NewMatrix(0, 1), nil); !errors.Is(err, ml.ErrEmptyDataset) {
+		t.Errorf("want ErrEmptyDataset, got %v", err)
+	}
+	x := mathx.NewMatrix(2, 1)
+	if err := m.Fit(x, []int{0}); !errors.Is(err, ml.ErrLengthMatch) {
+		t.Errorf("want ErrLengthMatch, got %v", err)
+	}
+	if err := m.Fit(x, []int{-1, 0}); err == nil {
+		t.Error("want negative-label error")
+	}
+}
+
+func TestMulticlassDeterministicForSeed(t *testing.T) {
+	x, y := multiclassBlobs(60, 6)
+	a := Multiclass{Epochs: 5, Seed: 8}
+	b := Multiclass{Epochs: 5, Seed: 8}
+	if err := a.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < x.Rows(); i++ {
+		pa, _ := a.Predict(x.Row(i))
+		pb, _ := b.Predict(x.Row(i))
+		if pa != pb {
+			t.Fatal("same seed should give identical predictions")
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package lda
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// twoTopicCorpus builds documents drawn from two disjoint vocabularies.
+func twoTopicCorpus(n int, seed int64) ([][]string, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	pools := [][]string{
+		{"crash", "exception", "stack", "restart", "panic"},
+		{"flow", "packet", "switch", "port", "vlan"},
+	}
+	docs := make([][]string, n)
+	truth := make([]int, n)
+	for i := range docs {
+		p := i % 2
+		truth[i] = p
+		doc := make([]string, 12)
+		for j := range doc {
+			doc[j] = pools[p][rng.Intn(len(pools[p]))]
+		}
+		docs[i] = doc
+	}
+	return docs, truth
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, Config{Topics: 2}); !errors.Is(err, ErrNoDocs) {
+		t.Errorf("want ErrNoDocs, got %v", err)
+	}
+	if _, err := Fit([][]string{{"a"}}, Config{Topics: 0}); !errors.Is(err, ErrBadRank) {
+		t.Errorf("want ErrBadRank, got %v", err)
+	}
+	if _, err := Fit([][]string{{}, {}}, Config{Topics: 2}); !errors.Is(err, ErrNoDocs) {
+		t.Errorf("want ErrNoDocs for empty docs, got %v", err)
+	}
+}
+
+func TestRecoversTopicStructure(t *testing.T) {
+	docs, truth := twoTopicCorpus(60, 1)
+	m, err := Fit(docs, Config{Topics: 2, Seed: 1, Iterations: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All docs of a true class should share a dominant topic, and the
+	// two classes should map to different topics.
+	t0, err := m.DominantTopic(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, _ := m.DominantTopic(1)
+	if t0 == t1 {
+		t.Fatal("the two classes should separate")
+	}
+	agree := 0
+	for d := range docs {
+		dt, _ := m.DominantTopic(d)
+		want := t0
+		if truth[d] == 1 {
+			want = t1
+		}
+		if dt == want {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(len(docs)); frac < 0.9 {
+		t.Errorf("topic agreement = %.2f, want >= 0.9", frac)
+	}
+}
+
+func TestTopWordsPerTopic(t *testing.T) {
+	docs, _ := twoTopicCorpus(60, 2)
+	m, err := Fit(docs, Config{Topics: 2, Seed: 2, Iterations: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashTopic, _ := m.DominantTopic(0) // doc 0 is the crash class
+	words, err := m.TopWords(crashTopic, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashVocab := map[string]bool{"crash": true, "exception": true, "stack": true, "restart": true, "panic": true}
+	for _, w := range words {
+		if !crashVocab[w] {
+			t.Errorf("top word %q outside the crash vocabulary", w)
+		}
+	}
+	if _, err := m.TopWords(99, 3); err == nil {
+		t.Error("want out-of-range error")
+	}
+}
+
+func TestDocTopicsDistribution(t *testing.T) {
+	docs, _ := twoTopicCorpus(10, 3)
+	m, err := Fit(docs, Config{Topics: 3, Seed: 3, Iterations: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := m.DocTopics(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range dist {
+		if p < 0 {
+			t.Fatal("negative probability")
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("doc-topic distribution sums to %v", sum)
+	}
+	if _, err := m.DocTopics(-1); err == nil {
+		t.Error("want range error")
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	docs, _ := twoTopicCorpus(30, 4)
+	a, err := Fit(docs, Config{Topics: 2, Seed: 9, Iterations: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fit(docs, Config{Topics: 2, Seed: 9, Iterations: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range docs {
+		da, _ := a.DominantTopic(d)
+		db, _ := b.DominantTopic(d)
+		if da != db {
+			t.Fatal("same seed should reproduce identical assignments")
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package nlp
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	var tk Tokenizer
+	tests := []struct {
+		name string
+		in   string
+		want []string
+	}{
+		{"simple", "Controller crashed on reboot", []string{"controller", "crashed", "on", "reboot"}},
+		{"punctuation", "NullPointerException in net.intent.impl!", []string{"nullpointerexception", "in", "net", "intent", "impl"}},
+		{"numbers-dropped", "error 404 happened 17 times", []string{"error", "happened", "times"}},
+		{"mixed-alnum-kept", "openflow13 switch ovs2", []string{"openflow13", "switch", "ovs2"}},
+		{"short-dropped", "a b of", []string{"of"}},
+		{"empty", "", nil},
+		{"unicode", "café déjà-vu", []string{"café", "déjà", "vu"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := tk.Tokenize(tt.in)
+			if !reflect.DeepEqual(got, tt.want) {
+				t.Errorf("Tokenize(%q) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTokenizeKeepNumbers(t *testing.T) {
+	tk := Tokenizer{KeepNumbers: true}
+	got := tk.Tokenize("port 6633 down")
+	want := []string{"port", "6633", "down"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeMinLen(t *testing.T) {
+	tk := Tokenizer{MinLen: 4}
+	got := tk.Tokenize("the ONOS ctl controller")
+	want := []string{"onos", "controller"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeLowercaseProperty(t *testing.T) {
+	var tk Tokenizer
+	f := func(s string) bool {
+		for _, tok := range tk.Tokenize(s) {
+			for _, r := range tok {
+				if r >= 'A' && r <= 'Z' {
+					return false
+				}
+			}
+			if len(tok) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStopwords(t *testing.T) {
+	if !IsStopword("the") || !IsStopword("please") {
+		t.Error("expected stopwords missing")
+	}
+	if IsStopword("controller") || IsStopword("openflow") {
+		t.Error("domain words must not be stopwords")
+	}
+	got := RemoveStopwords([]string{"the", "controller", "is", "down"})
+	want := []string{"controller", "down"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("RemoveStopwords = %v, want %v", got, want)
+	}
+}
+
+func TestStemKnownPairs(t *testing.T) {
+	// Inflectional variants must collapse to a common stem — this is
+	// the property the classifier relies on.
+	groups := [][]string{
+		{"configuring", "configured", "configures"},
+		{"crashes", "crashing", "crashed"},
+		{"connection", "connections"},
+		{"failing", "fails", "failed"},
+		{"timeouts", "timeout"},
+		{"controllers", "controller"},
+	}
+	for _, g := range groups {
+		first := Stem(g[0])
+		for _, w := range g[1:] {
+			if got := Stem(w); got != first {
+				t.Errorf("Stem(%q) = %q, Stem(%q) = %q; want equal", w, got, g[0], first)
+			}
+		}
+	}
+}
+
+func TestStemClassicExamples(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"caresses", "caress"},
+		{"ponies", "poni"},
+		{"cats", "cat"},
+		{"feed", "feed"},
+		{"agreed", "agre"},
+		{"plastered", "plaster"},
+		{"motoring", "motor"},
+		{"sing", "sing"},
+		{"happy", "happi"},
+		{"relational", "relat"},
+		{"hopeful", "hope"},
+		{"goodness", "good"},
+		{"it", "it"},     // too short
+		{"ipv6", "ipv6"}, // non-alpha untouched
+		{"déjà", "déjà"}, // unicode untouched
+	}
+	for _, tt := range tests {
+		if got := Stem(tt.in); got != tt.want {
+			t.Errorf("Stem(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestStemNeverPanicsOrGrows(t *testing.T) {
+	f := func(s string) bool {
+		out := Stem(s)
+		return len(out) <= len(s)+1 // step1b can append an 'e'
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPreprocess(t *testing.T) {
+	got := Preprocess("The controller is crashing when processing OpenFlow messages.")
+	want := []string{"control", "crash", "process", "openflow", "messag"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Preprocess = %v, want %v", got, want)
+	}
+}

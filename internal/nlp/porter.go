@@ -1,0 +1,244 @@
+package nlp
+
+// Stem applies the Porter stemming algorithm (M.F. Porter, 1980) to a
+// lowercase word and returns its stem. Words shorter than three runes
+// are returned unchanged, per the original algorithm.
+func Stem(word string) string {
+	if len(word) < 3 {
+		return word
+	}
+	w := []byte(word)
+	for _, c := range w {
+		if c < 'a' || c > 'z' {
+			// Anything but pure ASCII lowercase (identifiers like
+			// "ipv6", unicode words) is left untouched rather than
+			// corrupted by consonant/vowel analysis.
+			return word
+		}
+	}
+	w = step1a(w)
+	w = step1b(w)
+	w = step1c(w)
+	w = step2(w)
+	w = step3(w)
+	w = step4(w)
+	w = step5a(w)
+	w = step5b(w)
+	return string(w)
+}
+
+// isCons reports whether w[i] is a consonant in Porter's sense.
+func isCons(w []byte, i int) bool {
+	switch w[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !isCons(w, i-1)
+	default:
+		return true
+	}
+}
+
+// measure returns Porter's m: the number of VC sequences in w.
+func measure(w []byte) int {
+	n := 0
+	i := 0
+	// Skip initial consonants.
+	for i < len(w) && isCons(w, i) {
+		i++
+	}
+	for i < len(w) {
+		// Vowel run.
+		for i < len(w) && !isCons(w, i) {
+			i++
+		}
+		if i >= len(w) {
+			break
+		}
+		// Consonant run => one VC.
+		for i < len(w) && isCons(w, i) {
+			i++
+		}
+		n++
+	}
+	return n
+}
+
+func hasVowel(w []byte) bool {
+	for i := range w {
+		if !isCons(w, i) {
+			return true
+		}
+	}
+	return false
+}
+
+func endsDoubleCons(w []byte) bool {
+	n := len(w)
+	return n >= 2 && w[n-1] == w[n-2] && isCons(w, n-1)
+}
+
+// endsCVC reports the *o condition: stem ends cvc where the final c is
+// not w, x, or y.
+func endsCVC(w []byte) bool {
+	n := len(w)
+	if n < 3 {
+		return false
+	}
+	if !isCons(w, n-3) || isCons(w, n-2) || !isCons(w, n-1) {
+		return false
+	}
+	switch w[n-1] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+func hasSuffix(w []byte, s string) bool {
+	if len(w) < len(s) {
+		return false
+	}
+	return string(w[len(w)-len(s):]) == s
+}
+
+func replaceSuffix(w []byte, s, repl string) []byte {
+	return append(w[:len(w)-len(s)], repl...)
+}
+
+func step1a(w []byte) []byte {
+	switch {
+	case hasSuffix(w, "sses"):
+		return replaceSuffix(w, "sses", "ss")
+	case hasSuffix(w, "ies"):
+		return replaceSuffix(w, "ies", "i")
+	case hasSuffix(w, "ss"):
+		return w
+	case hasSuffix(w, "s"):
+		return w[:len(w)-1]
+	}
+	return w
+}
+
+func step1b(w []byte) []byte {
+	if hasSuffix(w, "eed") {
+		if measure(w[:len(w)-3]) > 0 {
+			return w[:len(w)-1]
+		}
+		return w
+	}
+	var stem []byte
+	switch {
+	case hasSuffix(w, "ed") && hasVowel(w[:len(w)-2]):
+		stem = w[:len(w)-2]
+	case hasSuffix(w, "ing") && hasVowel(w[:len(w)-3]):
+		stem = w[:len(w)-3]
+	default:
+		return w
+	}
+	switch {
+	case hasSuffix(stem, "at"), hasSuffix(stem, "bl"), hasSuffix(stem, "iz"):
+		return append(stem, 'e')
+	case endsDoubleCons(stem):
+		last := stem[len(stem)-1]
+		if last != 'l' && last != 's' && last != 'z' {
+			return stem[:len(stem)-1]
+		}
+		return stem
+	case measure(stem) == 1 && endsCVC(stem):
+		return append(stem, 'e')
+	}
+	return stem
+}
+
+func step1c(w []byte) []byte {
+	if hasSuffix(w, "y") && hasVowel(w[:len(w)-1]) {
+		return replaceSuffix(w, "y", "i")
+	}
+	return w
+}
+
+type rule struct{ suffix, repl string }
+
+func applyRules(w []byte, minM int, rules []rule) []byte {
+	for _, r := range rules {
+		if hasSuffix(w, r.suffix) {
+			stem := w[:len(w)-len(r.suffix)]
+			if measure(stem) > minM-1 {
+				return append(stem, r.repl...)
+			}
+			return w
+		}
+	}
+	return w
+}
+
+func step2(w []byte) []byte {
+	return applyRules(w, 1, []rule{
+		{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+		{"anci", "ance"}, {"izer", "ize"}, {"abli", "able"},
+		{"alli", "al"}, {"entli", "ent"}, {"eli", "e"},
+		{"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+		{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"},
+		{"fulness", "ful"}, {"ousness", "ous"}, {"aliti", "al"},
+		{"iviti", "ive"}, {"biliti", "ble"},
+	})
+}
+
+func step3(w []byte) []byte {
+	return applyRules(w, 1, []rule{
+		{"icate", "ic"}, {"ative", ""}, {"alize", "al"},
+		{"iciti", "ic"}, {"ical", "ic"}, {"ful", ""}, {"ness", ""},
+	})
+}
+
+func step4(w []byte) []byte {
+	rules := []rule{
+		{"al", ""}, {"ance", ""}, {"ence", ""}, {"er", ""},
+		{"ic", ""}, {"able", ""}, {"ible", ""}, {"ant", ""},
+		{"ement", ""}, {"ment", ""}, {"ent", ""}, {"ou", ""},
+		{"ism", ""}, {"ate", ""}, {"iti", ""}, {"ous", ""},
+		{"ive", ""}, {"ize", ""},
+	}
+	for _, r := range rules {
+		if hasSuffix(w, r.suffix) {
+			stem := w[:len(w)-len(r.suffix)]
+			if measure(stem) > 1 {
+				return stem
+			}
+			return w
+		}
+	}
+	// Special case: (m>1 and (*S or *T)) ION ->
+	if hasSuffix(w, "ion") {
+		stem := w[:len(w)-3]
+		if len(stem) > 0 && measure(stem) > 1 {
+			last := stem[len(stem)-1]
+			if last == 's' || last == 't' {
+				return stem
+			}
+		}
+	}
+	return w
+}
+
+func step5a(w []byte) []byte {
+	if hasSuffix(w, "e") {
+		stem := w[:len(w)-1]
+		m := measure(stem)
+		if m > 1 || (m == 1 && !endsCVC(stem)) {
+			return stem
+		}
+	}
+	return w
+}
+
+func step5b(w []byte) []byte {
+	if measure(w) > 1 && endsDoubleCons(w) && w[len(w)-1] == 'l' {
+		return w[:len(w)-1]
+	}
+	return w
+}

@@ -1,0 +1,193 @@
+// Package tfidf implements the Term Frequency–Inverse Document
+// Frequency vectorizer the paper's NLP stage uses as the basis for both
+// keyword extraction (feeding NMF) and classification features.
+package tfidf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"sdnbugs/internal/mathx"
+)
+
+// Errors returned by the vectorizer.
+var (
+	ErrNotFitted = errors.New("tfidf: vectorizer not fitted")
+	ErrNoDocs    = errors.New("tfidf: no documents")
+)
+
+// Vectorizer learns a vocabulary and IDF weights from a corpus of
+// tokenized documents and maps documents to dense TF-IDF vectors.
+type Vectorizer struct {
+	// MinDF drops terms appearing in fewer than MinDF documents
+	// (default 1: keep everything).
+	MinDF int
+	// MaxVocab caps the vocabulary at the MaxVocab highest-document-
+	// frequency terms (0 = unlimited).
+	MaxVocab int
+	// Sublinear uses 1+log(tf) instead of raw term frequency.
+	Sublinear bool
+
+	vocab map[string]int // term -> column index
+	terms []string       // column index -> term
+	idf   []float64
+	nDocs int
+}
+
+// Fit learns the vocabulary and IDF weights from docs, where each
+// document is a slice of (already preprocessed) tokens.
+func (v *Vectorizer) Fit(docs [][]string) error {
+	if len(docs) == 0 {
+		return ErrNoDocs
+	}
+	df := map[string]int{}
+	for _, doc := range docs {
+		seen := map[string]struct{}{}
+		for _, tok := range doc {
+			if _, ok := seen[tok]; !ok {
+				seen[tok] = struct{}{}
+				df[tok]++
+			}
+		}
+	}
+	minDF := v.MinDF
+	if minDF < 1 {
+		minDF = 1
+	}
+	type termDF struct {
+		term string
+		df   int
+	}
+	kept := make([]termDF, 0, len(df))
+	for term, n := range df {
+		if n >= minDF {
+			kept = append(kept, termDF{term, n})
+		}
+	}
+	// Deterministic ordering: by descending DF, then lexicographic.
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].df != kept[j].df {
+			return kept[i].df > kept[j].df
+		}
+		return kept[i].term < kept[j].term
+	})
+	if v.MaxVocab > 0 && len(kept) > v.MaxVocab {
+		kept = kept[:v.MaxVocab]
+	}
+	v.vocab = make(map[string]int, len(kept))
+	v.terms = make([]string, len(kept))
+	v.idf = make([]float64, len(kept))
+	v.nDocs = len(docs)
+	for i, t := range kept {
+		v.vocab[t.term] = i
+		v.terms[i] = t.term
+		// Smoothed IDF, as in sklearn: ln((1+n)/(1+df)) + 1.
+		v.idf[i] = math.Log(float64(1+len(docs))/float64(1+t.df)) + 1
+	}
+	return nil
+}
+
+// VocabSize returns the number of learned terms.
+func (v *Vectorizer) VocabSize() int { return len(v.terms) }
+
+// Terms returns the learned vocabulary in column order (not a copy;
+// callers must not modify).
+func (v *Vectorizer) Terms() []string { return v.terms }
+
+// IDF returns the idf weight of the given term and whether it is in
+// the vocabulary.
+func (v *Vectorizer) IDF(term string) (float64, bool) {
+	i, ok := v.vocab[term]
+	if !ok {
+		return 0, false
+	}
+	return v.idf[i], true
+}
+
+// Transform maps one tokenized document to its L2-normalized TF-IDF
+// vector. Out-of-vocabulary tokens are ignored.
+func (v *Vectorizer) Transform(doc []string) ([]float64, error) {
+	if v.vocab == nil {
+		return nil, ErrNotFitted
+	}
+	vec := make([]float64, len(v.terms))
+	for _, tok := range doc {
+		if i, ok := v.vocab[tok]; ok {
+			vec[i]++
+		}
+	}
+	for i := range vec {
+		if vec[i] == 0 {
+			continue
+		}
+		tf := vec[i]
+		if v.Sublinear {
+			tf = 1 + math.Log(tf)
+		}
+		vec[i] = tf * v.idf[i]
+	}
+	mathx.Normalize(vec)
+	return vec, nil
+}
+
+// TransformAll maps every document and stacks the vectors into a
+// documents×vocab matrix.
+func (v *Vectorizer) TransformAll(docs [][]string) (*mathx.Matrix, error) {
+	if v.vocab == nil {
+		return nil, ErrNotFitted
+	}
+	m := mathx.NewMatrix(len(docs), len(v.terms))
+	for i, doc := range docs {
+		vec, err := v.Transform(doc)
+		if err != nil {
+			return nil, fmt.Errorf("tfidf: transform doc %d: %w", i, err)
+		}
+		copy(m.Row(i), vec)
+	}
+	return m, nil
+}
+
+// FitTransform fits on docs and returns their matrix.
+func (v *Vectorizer) FitTransform(docs [][]string) (*mathx.Matrix, error) {
+	if err := v.Fit(docs); err != nil {
+		return nil, err
+	}
+	return v.TransformAll(docs)
+}
+
+// TopTerms returns the k highest-weighted terms of a TF-IDF vector,
+// the paper's "keyword extraction" step.
+func (v *Vectorizer) TopTerms(vec []float64, k int) ([]string, error) {
+	if v.vocab == nil {
+		return nil, ErrNotFitted
+	}
+	if len(vec) != len(v.terms) {
+		return nil, fmt.Errorf("tfidf: vector length %d != vocab %d", len(vec), len(v.terms))
+	}
+	type tw struct {
+		term string
+		w    float64
+	}
+	ws := make([]tw, 0, len(vec))
+	for i, w := range vec {
+		if w > 0 {
+			ws = append(ws, tw{v.terms[i], w})
+		}
+	}
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].w != ws[j].w {
+			return ws[i].w > ws[j].w
+		}
+		return ws[i].term < ws[j].term
+	})
+	if k > len(ws) {
+		k = len(ws)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = ws[i].term
+	}
+	return out, nil
+}

@@ -1,0 +1,216 @@
+package tfidf
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sdnbugs/internal/mathx"
+)
+
+func docs() [][]string {
+	return [][]string{
+		{"controller", "crash", "reboot"},
+		{"controller", "flow", "drop"},
+		{"crash", "memory", "leak", "crash"},
+		{"flow", "table", "overflow"},
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	var v Vectorizer
+	if err := v.Fit(nil); err == nil {
+		t.Error("want ErrNoDocs")
+	}
+	if _, err := v.Transform([]string{"x"}); err != ErrNotFitted {
+		t.Errorf("want ErrNotFitted, got %v", err)
+	}
+	if _, err := v.TransformAll(docs()); err != ErrNotFitted {
+		t.Errorf("want ErrNotFitted, got %v", err)
+	}
+	if _, err := v.TopTerms(nil, 3); err != ErrNotFitted {
+		t.Errorf("want ErrNotFitted, got %v", err)
+	}
+}
+
+func TestVocabulary(t *testing.T) {
+	var v Vectorizer
+	if err := v.Fit(docs()); err != nil {
+		t.Fatal(err)
+	}
+	// 9 unique terms: controller crash reboot flow drop memory leak table overflow.
+	if v.VocabSize() != 9 {
+		t.Errorf("vocab size = %d, want 9", v.VocabSize())
+	}
+	// controller, crash, flow each appear in 2 docs -> head of vocab.
+	head := v.Terms()[:3]
+	want := []string{"controller", "crash", "flow"}
+	if !reflect.DeepEqual(head, want) {
+		t.Errorf("vocab head = %v, want %v", head, want)
+	}
+}
+
+func TestIDFMonotoneInDF(t *testing.T) {
+	var v Vectorizer
+	if err := v.Fit(docs()); err != nil {
+		t.Fatal(err)
+	}
+	common, ok1 := v.IDF("controller") // df=2
+	rare, ok2 := v.IDF("memory")       // df=1
+	if !ok1 || !ok2 {
+		t.Fatal("terms missing from vocab")
+	}
+	if !(rare > common) {
+		t.Errorf("idf(rare)=%v should exceed idf(common)=%v", rare, common)
+	}
+	if _, ok := v.IDF("nonexistent"); ok {
+		t.Error("unknown term should not be found")
+	}
+}
+
+func TestTransformNormalizedAndNonNegative(t *testing.T) {
+	var v Vectorizer
+	if err := v.Fit(docs()); err != nil {
+		t.Fatal(err)
+	}
+	vec, err := v.Transform([]string{"controller", "crash", "unknownterm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := mathx.Norm2(vec); math.Abs(n-1) > 1e-9 {
+		t.Errorf("norm = %v, want 1", n)
+	}
+	for i, x := range vec {
+		if x < 0 {
+			t.Errorf("component %d negative: %v", i, x)
+		}
+	}
+	// OOV-only document maps to the zero vector.
+	zero, err := v.Transform([]string{"zzz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mathx.Norm2(zero) != 0 {
+		t.Error("OOV document should map to zero vector")
+	}
+}
+
+func TestTransformAllShape(t *testing.T) {
+	var v Vectorizer
+	m, err := v.FitTransform(docs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 4 || m.Cols() != v.VocabSize() {
+		t.Errorf("shape %dx%d", m.Rows(), m.Cols())
+	}
+}
+
+func TestMinDFAndMaxVocab(t *testing.T) {
+	v := Vectorizer{MinDF: 2}
+	if err := v.Fit(docs()); err != nil {
+		t.Fatal(err)
+	}
+	if v.VocabSize() != 3 {
+		t.Errorf("MinDF=2 vocab = %d (%v), want 3", v.VocabSize(), v.Terms())
+	}
+	v2 := Vectorizer{MaxVocab: 2}
+	if err := v2.Fit(docs()); err != nil {
+		t.Fatal(err)
+	}
+	if v2.VocabSize() != 2 {
+		t.Errorf("MaxVocab=2 vocab = %d", v2.VocabSize())
+	}
+}
+
+func TestSublinear(t *testing.T) {
+	// With sublinear TF the repeated term's weight shrinks relative
+	// to raw TF, but stays positive.
+	raw := Vectorizer{}
+	sub := Vectorizer{Sublinear: true}
+	d := docs()
+	if err := raw.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	doc := []string{"crash", "crash", "crash", "memory"}
+	rv, _ := raw.Transform(doc)
+	sv, _ := sub.Transform(doc)
+	idxCrash := indexOf(raw.Terms(), "crash")
+	idxMem := indexOf(raw.Terms(), "memory")
+	// Ratio crash/memory must be larger under raw TF.
+	rawRatio := rv[idxCrash] / rv[idxMem]
+	subRatio := sv[idxCrash] / sv[idxMem]
+	if !(rawRatio > subRatio) {
+		t.Errorf("raw ratio %v should exceed sublinear ratio %v", rawRatio, subRatio)
+	}
+}
+
+func indexOf(ss []string, s string) int {
+	for i, v := range ss {
+		if v == s {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestTopTerms(t *testing.T) {
+	var v Vectorizer
+	if err := v.Fit(docs()); err != nil {
+		t.Fatal(err)
+	}
+	vec, _ := v.Transform([]string{"memory", "leak", "crash"})
+	top, err := v.TopTerms(vec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 {
+		t.Fatalf("got %d terms", len(top))
+	}
+	// memory/leak are rarer than crash, so they outrank it.
+	for _, term := range top {
+		if term == "crash" {
+			t.Errorf("crash should not be a top-2 term: %v", top)
+		}
+	}
+	if _, err := v.TopTerms([]float64{1}, 1); err == nil {
+		t.Error("want length-mismatch error")
+	}
+	// k larger than non-zero terms.
+	all, _ := v.TopTerms(vec, 100)
+	if len(all) != 3 {
+		t.Errorf("k overflow: got %d", len(all))
+	}
+}
+
+func TestTransformNonNegativeProperty(t *testing.T) {
+	var v Vectorizer
+	if err := v.Fit(docs()); err != nil {
+		t.Fatal(err)
+	}
+	f := func(words []string) bool {
+		doc := make([]string, 0, len(words))
+		for _, w := range words {
+			doc = append(doc, strings.ToLower(w))
+		}
+		vec, err := v.Transform(doc)
+		if err != nil {
+			return false
+		}
+		for _, x := range vec {
+			if x < 0 || math.IsNaN(x) {
+				return false
+			}
+		}
+		n := mathx.Norm2(vec)
+		return n == 0 || math.Abs(n-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,308 @@
+// Package word2vec implements skip-gram Word2Vec with negative sampling
+// (Mikolov et al.), the embedding technique the paper's NLP stage uses
+// to map bug descriptions into a Euclidean space (§II-C).
+package word2vec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"sdnbugs/internal/mathx"
+)
+
+// Errors returned by Train and the model accessors.
+var (
+	ErrNoCorpus   = errors.New("word2vec: empty corpus")
+	ErrNotInVocab = errors.New("word2vec: word not in vocabulary")
+)
+
+// Config controls training.
+type Config struct {
+	// Dim is the embedding dimensionality (default 50).
+	Dim int
+	// Window is the max context distance (default 4).
+	Window int
+	// Epochs over the corpus (default 5).
+	Epochs int
+	// Negative is the number of negative samples per positive (default 5).
+	Negative int
+	// LearningRate is the initial SGD step (default 0.025), decayed
+	// linearly to 1e-4 of itself across training.
+	LearningRate float64
+	// MinCount drops words occurring fewer times (default 1).
+	MinCount int
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Dim <= 0 {
+		c.Dim = 50
+	}
+	if c.Window <= 0 {
+		c.Window = 4
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 5
+	}
+	if c.Negative <= 0 {
+		c.Negative = 5
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.025
+	}
+	if c.MinCount <= 0 {
+		c.MinCount = 1
+	}
+	return c
+}
+
+// Model holds trained embeddings.
+type Model struct {
+	dim    int
+	vocab  map[string]int
+	words  []string
+	in     []float64 // input vectors, len = |vocab| * dim
+	counts []int
+}
+
+// Train fits embeddings on sentences (each a token slice).
+func Train(sentences [][]string, cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if len(sentences) == 0 {
+		return nil, ErrNoCorpus
+	}
+	counts := map[string]int{}
+	total := 0
+	for _, s := range sentences {
+		for _, w := range s {
+			counts[w]++
+			total++
+		}
+	}
+	if total == 0 {
+		return nil, ErrNoCorpus
+	}
+	type wc struct {
+		w string
+		c int
+	}
+	kept := make([]wc, 0, len(counts))
+	for w, c := range counts {
+		if c >= cfg.MinCount {
+			kept = append(kept, wc{w, c})
+		}
+	}
+	if len(kept) == 0 {
+		return nil, ErrNoCorpus
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].c != kept[j].c {
+			return kept[i].c > kept[j].c
+		}
+		return kept[i].w < kept[j].w
+	})
+	m := &Model{
+		dim:   cfg.Dim,
+		vocab: make(map[string]int, len(kept)),
+		words: make([]string, len(kept)),
+	}
+	m.counts = make([]int, len(kept))
+	for i, k := range kept {
+		m.vocab[k.w] = i
+		m.words[i] = k.w
+		m.counts[i] = k.c
+	}
+	v := len(kept)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m.in = make([]float64, v*cfg.Dim)
+	out := make([]float64, v*cfg.Dim)
+	for i := range m.in {
+		m.in[i] = (rng.Float64() - 0.5) / float64(cfg.Dim)
+	}
+
+	// Unigram^0.75 table for negative sampling.
+	negTable := buildNegTable(m.counts, 1<<16)
+
+	// Encode corpus as vocabulary ids.
+	ids := make([][]int, 0, len(sentences))
+	var nTokens int
+	for _, s := range sentences {
+		row := make([]int, 0, len(s))
+		for _, w := range s {
+			if id, ok := m.vocab[w]; ok {
+				row = append(row, id)
+			}
+		}
+		if len(row) > 0 {
+			ids = append(ids, row)
+			nTokens += len(row)
+		}
+	}
+	if nTokens == 0 {
+		return nil, ErrNoCorpus
+	}
+
+	steps := cfg.Epochs * nTokens
+	step := 0
+	grad := make([]float64, cfg.Dim)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, sent := range ids {
+			for pos, center := range sent {
+				step++
+				lr := cfg.LearningRate * (1 - float64(step)/float64(steps+1))
+				if lr < cfg.LearningRate*1e-4 {
+					lr = cfg.LearningRate * 1e-4
+				}
+				win := 1 + rng.Intn(cfg.Window)
+				for off := -win; off <= win; off++ {
+					cpos := pos + off
+					if off == 0 || cpos < 0 || cpos >= len(sent) {
+						continue
+					}
+					ctx := sent[cpos]
+					inVec := m.in[center*cfg.Dim : (center+1)*cfg.Dim]
+					mathx.Fill(grad, 0)
+					// Positive sample + negatives.
+					for s := 0; s <= cfg.Negative; s++ {
+						var target int
+						var label float64
+						if s == 0 {
+							target, label = ctx, 1
+						} else {
+							target = negTable[rng.Intn(len(negTable))]
+							if target == ctx {
+								continue
+							}
+							label = 0
+						}
+						outVec := out[target*cfg.Dim : (target+1)*cfg.Dim]
+						score := sigmoid(mathx.Dot(inVec, outVec))
+						g := lr * (label - score)
+						mathx.Axpy(g, outVec, grad)
+						mathx.Axpy(g, inVec, outVec)
+					}
+					for i := range inVec {
+						inVec[i] += grad[i]
+					}
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+func sigmoid(x float64) float64 {
+	if x > 8 {
+		return 1
+	}
+	if x < -8 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-x))
+}
+
+func buildNegTable(counts []int, size int) []int {
+	var z float64
+	pows := make([]float64, len(counts))
+	for i, c := range counts {
+		pows[i] = math.Pow(float64(c), 0.75)
+		z += pows[i]
+	}
+	table := make([]int, 0, size)
+	for i, p := range pows {
+		n := int(p / z * float64(size))
+		if n < 1 {
+			n = 1
+		}
+		for j := 0; j < n; j++ {
+			table = append(table, i)
+		}
+	}
+	return table
+}
+
+// Dim returns the embedding dimensionality.
+func (m *Model) Dim() int { return m.dim }
+
+// VocabSize returns the vocabulary size.
+func (m *Model) VocabSize() int { return len(m.words) }
+
+// Vector returns the embedding of word (a view; callers must not
+// modify), or ErrNotInVocab.
+func (m *Model) Vector(word string) ([]float64, error) {
+	id, ok := m.vocab[word]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotInVocab, word)
+	}
+	return m.in[id*m.dim : (id+1)*m.dim], nil
+}
+
+// Similarity returns the cosine similarity of two words' embeddings.
+func (m *Model) Similarity(a, b string) (float64, error) {
+	va, err := m.Vector(a)
+	if err != nil {
+		return 0, err
+	}
+	vb, err := m.Vector(b)
+	if err != nil {
+		return 0, err
+	}
+	return mathx.CosineSimilarity(va, vb), nil
+}
+
+// MostSimilar returns up to k vocabulary words most similar to word,
+// excluding the word itself.
+func (m *Model) MostSimilar(word string, k int) ([]string, error) {
+	v, err := m.Vector(word)
+	if err != nil {
+		return nil, err
+	}
+	type ws struct {
+		w string
+		s float64
+	}
+	sims := make([]ws, 0, len(m.words))
+	for _, other := range m.words {
+		if other == word {
+			continue
+		}
+		ov, _ := m.Vector(other)
+		sims = append(sims, ws{other, mathx.CosineSimilarity(v, ov)})
+	}
+	sort.Slice(sims, func(i, j int) bool {
+		if sims[i].s != sims[j].s {
+			return sims[i].s > sims[j].s
+		}
+		return sims[i].w < sims[j].w
+	})
+	if k > len(sims) {
+		k = len(sims)
+	}
+	outWords := make([]string, k)
+	for i := 0; i < k; i++ {
+		outWords[i] = sims[i].w
+	}
+	return outWords, nil
+}
+
+// DocVector returns the mean of the embeddings of the document's
+// in-vocabulary tokens — the paper's document-to-Euclidean-space map.
+// An all-OOV document maps to the zero vector.
+func (m *Model) DocVector(tokens []string) []float64 {
+	vec := make([]float64, m.dim)
+	var n int
+	for _, t := range tokens {
+		if id, ok := m.vocab[t]; ok {
+			mathx.Axpy(1, m.in[id*m.dim:(id+1)*m.dim], vec)
+			n++
+		}
+	}
+	if n > 0 {
+		mathx.Scale(vec, 1/float64(n))
+	}
+	return vec
+}

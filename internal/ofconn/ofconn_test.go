@@ -1,0 +1,280 @@
+package ofconn
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+
+	"sdnbugs/internal/openflow"
+	"sdnbugs/internal/sdn"
+)
+
+// pipePair builds a connected agent/controller pair over net.Pipe with
+// a one-switch dataplane behind the agent.
+func pipePair(t *testing.T) (*SwitchAgent, *ControllerSession, *sdn.Network, func()) {
+	t.Helper()
+	cConn, sConn := net.Pipe()
+	network := sdn.NewNetwork()
+	network.AddSwitch(7, 4)
+	if err := network.AddHost(0x21, sdn.PortRef{DPID: 7, Port: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := network.AddHost(0x22, sdn.PortRef{DPID: 7, Port: 2}); err != nil {
+		t.Fatal(err)
+	}
+	agent := &SwitchAgent{Conn: New(sConn), Net: network, DPID: 7}
+	session := &ControllerSession{Conn: New(cConn)}
+	cleanup := func() {
+		_ = cConn.Close()
+		_ = sConn.Close()
+	}
+	return agent, session, network, cleanup
+}
+
+// setup runs both sides of the session establishment concurrently.
+func setup(t *testing.T, agent *SwitchAgent, session *ControllerSession) {
+	t.Helper()
+	var wg sync.WaitGroup
+	var agentErr, ctlErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		agentErr = agent.Start()
+	}()
+	go func() {
+		defer wg.Done()
+		ctlErr = session.Accept()
+	}()
+	wg.Wait()
+	if agentErr != nil {
+		t.Fatalf("agent: %v", agentErr)
+	}
+	if ctlErr != nil {
+		t.Fatalf("controller: %v", ctlErr)
+	}
+}
+
+func TestHandshakeAndFeatures(t *testing.T) {
+	agent, session, _, cleanup := pipePair(t)
+	defer cleanup()
+	setup(t, agent, session)
+	if session.DatapathID != 7 || session.NumPorts != 4 {
+		t.Errorf("learned dpid=%d ports=%d", session.DatapathID, session.NumPorts)
+	}
+}
+
+func TestEchoKeepalive(t *testing.T) {
+	agent, session, _, cleanup := pipePair(t)
+	defer cleanup()
+	setup(t, agent, session)
+	done := make(chan error, 1)
+	go func() {
+		_, err := agent.ServeOne()
+		done <- err
+	}()
+	if err := session.Ping([]byte("heartbeat")); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("agent serve: %v", err)
+	}
+}
+
+func TestFlowModOverWire(t *testing.T) {
+	agent, session, network, cleanup := pipePair(t)
+	defer cleanup()
+	setup(t, agent, session)
+	done := make(chan error, 1)
+	go func() {
+		_, err := agent.ServeOne()
+		done <- err
+	}()
+	err := session.InstallFlow(openflow.FlowMod{
+		Command:  openflow.FlowAdd,
+		Priority: 5,
+		Match:    openflow.Match{EthDst: 0x22},
+		Actions:  []openflow.Action{{Type: openflow.ActionOutput, Port: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	sw, _ := network.Switch(7)
+	if sw.Table.Len() != 1 {
+		t.Fatalf("flow not applied: table len %d", sw.Table.Len())
+	}
+	// The installed flow actually forwards in the dataplane.
+	deliveries, err := network.InjectFromHost(0x21, sdn.Packet{EthDst: 0x22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deliveries) != 1 || deliveries[0].MAC != 0x22 {
+		t.Errorf("deliveries = %+v", deliveries)
+	}
+}
+
+func TestPuntAndPacketOutRoundTrip(t *testing.T) {
+	agent, session, network, cleanup := pipePair(t)
+	defer cleanup()
+	setup(t, agent, session)
+
+	// Switch punts a packet; controller reads it and answers with a
+	// packet-out flooding it.
+	pkt := sdn.Packet{EthSrc: 0x21, EthDst: sdn.BroadcastMAC, EthType: 0x0806}
+	puntDone := make(chan error, 1)
+	go func() { puntDone <- agent.PuntPacket(1, pkt) }()
+	pi, err := session.RecvPacketIn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-puntDone; err != nil {
+		t.Fatal(err)
+	}
+	if pi.DatapathID != 7 || pi.InPort != 1 {
+		t.Errorf("packet-in meta: %+v", pi)
+	}
+	decoded, err := sdn.DecodePacket(pi.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.EthSrc != 0x21 || !decoded.IsBroadcast() {
+		t.Errorf("packet survived transit wrong: %+v", decoded)
+	}
+
+	serveDone := make(chan error, 1)
+	go func() {
+		_, err := agent.ServeOne()
+		serveDone <- err
+	}()
+	err = session.SendPacketOut(openflow.PacketOut{
+		InPort:  pi.InPort,
+		Actions: []openflow.Action{{Type: openflow.ActionOutput, Port: openflow.PortFlood}},
+		Data:    pi.Data,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatal(err)
+	}
+	// The flood delivered to the other host.
+	deliveries := network.DrainDeliveries()
+	if len(deliveries) != 1 || deliveries[0].MAC != 0x22 {
+		t.Errorf("flood deliveries = %+v", deliveries)
+	}
+}
+
+func TestAgentReportsApplyErrors(t *testing.T) {
+	agent, session, _, cleanup := pipePair(t)
+	defer cleanup()
+	setup(t, agent, session)
+	done := make(chan error, 1)
+	go func() {
+		_, err := agent.ServeOne()
+		done <- err
+	}()
+	// Flow-mod for a non-existent switch: agent must answer ErrorMsg.
+	fm := openflow.FlowMod{Command: openflow.FlowAdd}
+	fm.DatapathID = 99
+	if _, err := session.Conn.Send(&fm); err != nil {
+		t.Fatal(err)
+	}
+	msg, _, err := session.Conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type() != openflow.TypeError {
+		t.Errorf("expected error message, got %v", msg.Type())
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClosedConnRejectsSends(t *testing.T) {
+	a, b := net.Pipe()
+	defer func() { _ = a.Close() }()
+	defer func() { _ = b.Close() }()
+	c := New(a)
+	c.Close()
+	if _, err := c.Send(&openflow.Hello{}); !errors.Is(err, ErrClosed) {
+		t.Errorf("want ErrClosed, got %v", err)
+	}
+}
+
+func TestHandshakeRejectsNonHello(t *testing.T) {
+	a, b := net.Pipe()
+	defer func() { _ = a.Close() }()
+	defer func() { _ = b.Close() }()
+	left, right := New(a), New(b)
+	done := make(chan error, 1)
+	go func() { done <- left.Handshake() }()
+	// Answer the hello with the wrong message type.
+	if _, _, err := right.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := right.Send(&openflow.EchoRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; !errors.Is(err, ErrHandshake) {
+		t.Errorf("want ErrHandshake, got %v", err)
+	}
+}
+
+func TestOverTCP(t *testing.T) {
+	// The same session logic over a real TCP loopback connection.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+
+	network := sdn.NewNetwork()
+	network.AddSwitch(3, 2)
+
+	serverDone := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			serverDone <- err
+			return
+		}
+		defer func() { _ = conn.Close() }()
+		agent := &SwitchAgent{Conn: New(conn), Net: network, DPID: 3}
+		if err := agent.Start(); err != nil {
+			serverDone <- err
+			return
+		}
+		_, err = agent.ServeOne() // one flow-mod
+		serverDone <- err
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	session := &ControllerSession{Conn: New(conn)}
+	if err := session.Accept(); err != nil {
+		t.Fatal(err)
+	}
+	if session.DatapathID != 3 {
+		t.Errorf("dpid = %d", session.DatapathID)
+	}
+	if err := session.InstallFlow(openflow.FlowMod{
+		Command: openflow.FlowAdd, Priority: 1,
+		Actions: []openflow.Action{{Type: openflow.ActionDrop}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-serverDone; err != nil {
+		t.Fatal(err)
+	}
+	sw, _ := network.Switch(3)
+	if sw.Table.Len() != 1 {
+		t.Error("flow not installed over TCP")
+	}
+}

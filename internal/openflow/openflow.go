@@ -1,0 +1,588 @@
+// Package openflow implements a compact binary wire codec for the
+// subset of OpenFlow 1.3 the controller simulator speaks: hello/echo,
+// features, flow-mod, packet-in/out, flow-removed, port-status, and
+// error messages. The framing (version/type/length/xid header, big-
+// endian fields) follows the OpenFlow specification; match and action
+// structures use fixed layouts rather than full OXM TLVs, which is all
+// the simulated dataplane requires.
+package openflow
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Version is the protocol version byte (OpenFlow 1.3).
+const Version = 0x04
+
+// MsgType identifies a message type.
+type MsgType uint8
+
+// Message types (values follow the OpenFlow 1.3 numbering).
+const (
+	TypeHello         MsgType = 0
+	TypeError         MsgType = 1
+	TypeEchoRequest   MsgType = 2
+	TypeEchoReply     MsgType = 3
+	TypeFeaturesReq   MsgType = 5
+	TypeFeaturesReply MsgType = 6
+	TypePacketIn      MsgType = 10
+	TypeFlowRemoved   MsgType = 11
+	TypePortStatus    MsgType = 12
+	TypePacketOut     MsgType = 13
+	TypeFlowMod       MsgType = 14
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case TypeHello:
+		return "hello"
+	case TypeError:
+		return "error"
+	case TypeEchoRequest:
+		return "echo-request"
+	case TypeEchoReply:
+		return "echo-reply"
+	case TypeFeaturesReq:
+		return "features-request"
+	case TypeFeaturesReply:
+		return "features-reply"
+	case TypePacketIn:
+		return "packet-in"
+	case TypeFlowRemoved:
+		return "flow-removed"
+	case TypePortStatus:
+		return "port-status"
+	case TypePacketOut:
+		return "packet-out"
+	case TypeFlowMod:
+		return "flow-mod"
+	default:
+		return fmt.Sprintf("type-%d", uint8(t))
+	}
+}
+
+// Codec errors.
+var (
+	ErrBadVersion = errors.New("openflow: unsupported version")
+	ErrTruncated  = errors.New("openflow: truncated message")
+	ErrBadType    = errors.New("openflow: unknown message type")
+)
+
+// headerLen is the fixed OpenFlow header size.
+const headerLen = 8
+
+// Message is any wire message.
+type Message interface {
+	// Type returns the message's wire type.
+	Type() MsgType
+	// encodeBody appends the body (everything after the header).
+	encodeBody(*bytes.Buffer)
+	// decodeBody parses the body.
+	decodeBody([]byte) error
+}
+
+// Match selects packets; zero fields are wildcards except InPort,
+// which matches port 0 only when MatchInPort is set.
+type Match struct {
+	MatchInPort bool
+	InPort      uint32
+	EthSrc      uint64 // 48-bit MAC in the low bits; 0 = wildcard
+	EthDst      uint64
+	EthType     uint16 // 0 = wildcard
+	VlanID      uint16 // 0 = wildcard
+}
+
+const matchLen = 1 + 4 + 8 + 8 + 2 + 2
+
+func (m Match) encode(buf *bytes.Buffer) {
+	var flag byte
+	if m.MatchInPort {
+		flag = 1
+	}
+	buf.WriteByte(flag)
+	var tmp [8]byte
+	binary.BigEndian.PutUint32(tmp[:4], m.InPort)
+	buf.Write(tmp[:4])
+	binary.BigEndian.PutUint64(tmp[:], m.EthSrc)
+	buf.Write(tmp[:])
+	binary.BigEndian.PutUint64(tmp[:], m.EthDst)
+	buf.Write(tmp[:])
+	binary.BigEndian.PutUint16(tmp[:2], m.EthType)
+	buf.Write(tmp[:2])
+	binary.BigEndian.PutUint16(tmp[:2], m.VlanID)
+	buf.Write(tmp[:2])
+}
+
+func decodeMatch(b []byte) (Match, []byte, error) {
+	if len(b) < matchLen {
+		return Match{}, nil, ErrTruncated
+	}
+	m := Match{
+		MatchInPort: b[0] == 1,
+		InPort:      binary.BigEndian.Uint32(b[1:5]),
+		EthSrc:      binary.BigEndian.Uint64(b[5:13]),
+		EthDst:      binary.BigEndian.Uint64(b[13:21]),
+		EthType:     binary.BigEndian.Uint16(b[21:23]),
+		VlanID:      binary.BigEndian.Uint16(b[23:25]),
+	}
+	return m, b[matchLen:], nil
+}
+
+// ActionType identifies a flow action.
+type ActionType uint16
+
+// Action types.
+const (
+	ActionOutput  ActionType = 1
+	ActionSetVlan ActionType = 2
+	ActionDrop    ActionType = 3
+)
+
+// Action is one instruction applied to matching packets.
+type Action struct {
+	Type ActionType
+	// Port is the output port for ActionOutput (PortFlood floods).
+	Port uint32
+	// Vlan is the tag for ActionSetVlan.
+	Vlan uint16
+}
+
+// PortFlood is the pseudo-port that floods to all ports but ingress.
+const PortFlood = 0xfffffffb
+
+// PortController is the pseudo-port that punts to the controller.
+const PortController = 0xfffffffd
+
+const actionLen = 2 + 4 + 2
+
+func (a Action) encode(buf *bytes.Buffer) {
+	var tmp [4]byte
+	binary.BigEndian.PutUint16(tmp[:2], uint16(a.Type))
+	buf.Write(tmp[:2])
+	binary.BigEndian.PutUint32(tmp[:4], a.Port)
+	buf.Write(tmp[:4])
+	binary.BigEndian.PutUint16(tmp[:2], a.Vlan)
+	buf.Write(tmp[:2])
+}
+
+func decodeAction(b []byte) (Action, []byte, error) {
+	if len(b) < actionLen {
+		return Action{}, nil, ErrTruncated
+	}
+	a := Action{
+		Type: ActionType(binary.BigEndian.Uint16(b[0:2])),
+		Port: binary.BigEndian.Uint32(b[2:6]),
+		Vlan: binary.BigEndian.Uint16(b[6:8]),
+	}
+	return a, b[actionLen:], nil
+}
+
+// Hello opens a connection.
+type Hello struct{}
+
+// Type implements Message.
+func (Hello) Type() MsgType              { return TypeHello }
+func (Hello) encodeBody(*bytes.Buffer)   {}
+func (*Hello) decodeBody(b []byte) error { return nil }
+
+// EchoRequest is a liveness probe.
+type EchoRequest struct{ Data []byte }
+
+// Type implements Message.
+func (EchoRequest) Type() MsgType                  { return TypeEchoRequest }
+func (e EchoRequest) encodeBody(buf *bytes.Buffer) { buf.Write(e.Data) }
+func (e *EchoRequest) decodeBody(b []byte) error {
+	e.Data = append([]byte(nil), b...)
+	return nil
+}
+
+// EchoReply answers an EchoRequest.
+type EchoReply struct{ Data []byte }
+
+// Type implements Message.
+func (EchoReply) Type() MsgType                  { return TypeEchoReply }
+func (e EchoReply) encodeBody(buf *bytes.Buffer) { buf.Write(e.Data) }
+func (e *EchoReply) decodeBody(b []byte) error {
+	e.Data = append([]byte(nil), b...)
+	return nil
+}
+
+// FeaturesRequest asks a switch for its datapath description.
+type FeaturesRequest struct{}
+
+// Type implements Message.
+func (FeaturesRequest) Type() MsgType              { return TypeFeaturesReq }
+func (FeaturesRequest) encodeBody(*bytes.Buffer)   {}
+func (*FeaturesRequest) decodeBody(b []byte) error { return nil }
+
+// FeaturesReply describes a datapath.
+type FeaturesReply struct {
+	DatapathID uint64
+	NumPorts   uint32
+}
+
+// Type implements Message.
+func (FeaturesReply) Type() MsgType { return TypeFeaturesReply }
+func (f FeaturesReply) encodeBody(buf *bytes.Buffer) {
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], f.DatapathID)
+	buf.Write(tmp[:])
+	binary.BigEndian.PutUint32(tmp[:4], f.NumPorts)
+	buf.Write(tmp[:4])
+}
+func (f *FeaturesReply) decodeBody(b []byte) error {
+	if len(b) < 12 {
+		return ErrTruncated
+	}
+	f.DatapathID = binary.BigEndian.Uint64(b[:8])
+	f.NumPorts = binary.BigEndian.Uint32(b[8:12])
+	return nil
+}
+
+// PacketIn punts a packet to the controller.
+type PacketIn struct {
+	DatapathID uint64
+	InPort     uint32
+	// Reason: 0 = no match, 1 = action.
+	Reason uint8
+	Data   []byte
+}
+
+// Type implements Message.
+func (PacketIn) Type() MsgType { return TypePacketIn }
+func (p PacketIn) encodeBody(buf *bytes.Buffer) {
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], p.DatapathID)
+	buf.Write(tmp[:])
+	binary.BigEndian.PutUint32(tmp[:4], p.InPort)
+	buf.Write(tmp[:4])
+	buf.WriteByte(p.Reason)
+	buf.Write(p.Data)
+}
+func (p *PacketIn) decodeBody(b []byte) error {
+	if len(b) < 13 {
+		return ErrTruncated
+	}
+	p.DatapathID = binary.BigEndian.Uint64(b[:8])
+	p.InPort = binary.BigEndian.Uint32(b[8:12])
+	p.Reason = b[12]
+	p.Data = append([]byte(nil), b[13:]...)
+	return nil
+}
+
+// PacketOut injects a packet into the dataplane.
+type PacketOut struct {
+	DatapathID uint64
+	InPort     uint32
+	Actions    []Action
+	Data       []byte
+}
+
+// Type implements Message.
+func (PacketOut) Type() MsgType { return TypePacketOut }
+func (p PacketOut) encodeBody(buf *bytes.Buffer) {
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], p.DatapathID)
+	buf.Write(tmp[:])
+	binary.BigEndian.PutUint32(tmp[:4], p.InPort)
+	buf.Write(tmp[:4])
+	binary.BigEndian.PutUint16(tmp[:2], uint16(len(p.Actions)))
+	buf.Write(tmp[:2])
+	for _, a := range p.Actions {
+		a.encode(buf)
+	}
+	buf.Write(p.Data)
+}
+func (p *PacketOut) decodeBody(b []byte) error {
+	if len(b) < 14 {
+		return ErrTruncated
+	}
+	p.DatapathID = binary.BigEndian.Uint64(b[:8])
+	p.InPort = binary.BigEndian.Uint32(b[8:12])
+	n := int(binary.BigEndian.Uint16(b[12:14]))
+	rest := b[14:]
+	p.Actions = nil
+	for i := 0; i < n; i++ {
+		var a Action
+		var err error
+		a, rest, err = decodeAction(rest)
+		if err != nil {
+			return err
+		}
+		p.Actions = append(p.Actions, a)
+	}
+	p.Data = append([]byte(nil), rest...)
+	return nil
+}
+
+// FlowModCommand selects add/delete semantics.
+type FlowModCommand uint8
+
+// Flow-mod commands.
+const (
+	FlowAdd FlowModCommand = iota
+	FlowDelete
+)
+
+// FlowMod installs or removes a flow entry.
+type FlowMod struct {
+	DatapathID  uint64
+	Command     FlowModCommand
+	Priority    uint16
+	IdleTimeout uint16
+	Match       Match
+	Actions     []Action
+}
+
+// Type implements Message.
+func (FlowMod) Type() MsgType { return TypeFlowMod }
+func (f FlowMod) encodeBody(buf *bytes.Buffer) {
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], f.DatapathID)
+	buf.Write(tmp[:])
+	buf.WriteByte(byte(f.Command))
+	binary.BigEndian.PutUint16(tmp[:2], f.Priority)
+	buf.Write(tmp[:2])
+	binary.BigEndian.PutUint16(tmp[:2], f.IdleTimeout)
+	buf.Write(tmp[:2])
+	f.Match.encode(buf)
+	binary.BigEndian.PutUint16(tmp[:2], uint16(len(f.Actions)))
+	buf.Write(tmp[:2])
+	for _, a := range f.Actions {
+		a.encode(buf)
+	}
+}
+func (f *FlowMod) decodeBody(b []byte) error {
+	if len(b) < 13+matchLen+2 {
+		return ErrTruncated
+	}
+	f.DatapathID = binary.BigEndian.Uint64(b[:8])
+	f.Command = FlowModCommand(b[8])
+	f.Priority = binary.BigEndian.Uint16(b[9:11])
+	f.IdleTimeout = binary.BigEndian.Uint16(b[11:13])
+	var err error
+	var rest []byte
+	f.Match, rest, err = decodeMatch(b[13:])
+	if err != nil {
+		return err
+	}
+	if len(rest) < 2 {
+		return ErrTruncated
+	}
+	n := int(binary.BigEndian.Uint16(rest[:2]))
+	rest = rest[2:]
+	f.Actions = nil
+	for i := 0; i < n; i++ {
+		var a Action
+		a, rest, err = decodeAction(rest)
+		if err != nil {
+			return err
+		}
+		f.Actions = append(f.Actions, a)
+	}
+	return nil
+}
+
+// FlowRemoved notifies the controller a flow expired or was deleted.
+type FlowRemoved struct {
+	DatapathID uint64
+	Priority   uint16
+	Match      Match
+	// Reason: 0 = idle timeout, 1 = delete.
+	Reason uint8
+}
+
+// Type implements Message.
+func (FlowRemoved) Type() MsgType { return TypeFlowRemoved }
+func (f FlowRemoved) encodeBody(buf *bytes.Buffer) {
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], f.DatapathID)
+	buf.Write(tmp[:])
+	binary.BigEndian.PutUint16(tmp[:2], f.Priority)
+	buf.Write(tmp[:2])
+	f.Match.encode(buf)
+	buf.WriteByte(f.Reason)
+}
+func (f *FlowRemoved) decodeBody(b []byte) error {
+	if len(b) < 10+matchLen+1 {
+		return ErrTruncated
+	}
+	f.DatapathID = binary.BigEndian.Uint64(b[:8])
+	f.Priority = binary.BigEndian.Uint16(b[8:10])
+	var err error
+	var rest []byte
+	f.Match, rest, err = decodeMatch(b[10:])
+	if err != nil {
+		return err
+	}
+	if len(rest) < 1 {
+		return ErrTruncated
+	}
+	f.Reason = rest[0]
+	return nil
+}
+
+// PortStatus notifies the controller of a port change.
+type PortStatus struct {
+	DatapathID uint64
+	Port       uint32
+	// Reason: 0 = add, 1 = delete, 2 = modify.
+	Reason uint8
+	// Up reports link state.
+	Up bool
+}
+
+// Type implements Message.
+func (PortStatus) Type() MsgType { return TypePortStatus }
+func (p PortStatus) encodeBody(buf *bytes.Buffer) {
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], p.DatapathID)
+	buf.Write(tmp[:])
+	binary.BigEndian.PutUint32(tmp[:4], p.Port)
+	buf.Write(tmp[:4])
+	buf.WriteByte(p.Reason)
+	if p.Up {
+		buf.WriteByte(1)
+	} else {
+		buf.WriteByte(0)
+	}
+}
+func (p *PortStatus) decodeBody(b []byte) error {
+	if len(b) < 14 {
+		return ErrTruncated
+	}
+	p.DatapathID = binary.BigEndian.Uint64(b[:8])
+	p.Port = binary.BigEndian.Uint32(b[8:12])
+	p.Reason = b[12]
+	p.Up = b[13] == 1
+	return nil
+}
+
+// ErrorMsg reports a protocol-level failure.
+type ErrorMsg struct {
+	ErrType uint16
+	Code    uint16
+	Data    []byte
+}
+
+// Type implements Message.
+func (ErrorMsg) Type() MsgType { return TypeError }
+func (e ErrorMsg) encodeBody(buf *bytes.Buffer) {
+	var tmp [2]byte
+	binary.BigEndian.PutUint16(tmp[:], e.ErrType)
+	buf.Write(tmp[:])
+	binary.BigEndian.PutUint16(tmp[:], e.Code)
+	buf.Write(tmp[:])
+	buf.Write(e.Data)
+}
+func (e *ErrorMsg) decodeBody(b []byte) error {
+	if len(b) < 4 {
+		return ErrTruncated
+	}
+	e.ErrType = binary.BigEndian.Uint16(b[:2])
+	e.Code = binary.BigEndian.Uint16(b[2:4])
+	e.Data = append([]byte(nil), b[4:]...)
+	return nil
+}
+
+// Encode frames msg with the given transaction id.
+func Encode(msg Message, xid uint32) ([]byte, error) {
+	var body bytes.Buffer
+	msg.encodeBody(&body)
+	total := headerLen + body.Len()
+	if total > 0xffff {
+		return nil, fmt.Errorf("openflow: message too large: %d bytes", total)
+	}
+	out := make([]byte, headerLen, total)
+	out[0] = Version
+	out[1] = byte(msg.Type())
+	binary.BigEndian.PutUint16(out[2:4], uint16(total))
+	binary.BigEndian.PutUint32(out[4:8], xid)
+	return append(out, body.Bytes()...), nil
+}
+
+// Decode parses one framed message, returning it, its xid, and any
+// trailing bytes beyond the framed length.
+func Decode(b []byte) (Message, uint32, []byte, error) {
+	if len(b) < headerLen {
+		return nil, 0, nil, ErrTruncated
+	}
+	if b[0] != Version {
+		return nil, 0, nil, fmt.Errorf("%w: 0x%02x", ErrBadVersion, b[0])
+	}
+	length := int(binary.BigEndian.Uint16(b[2:4]))
+	if length < headerLen || len(b) < length {
+		return nil, 0, nil, ErrTruncated
+	}
+	xid := binary.BigEndian.Uint32(b[4:8])
+	body := b[headerLen:length]
+	var msg Message
+	switch MsgType(b[1]) {
+	case TypeHello:
+		msg = &Hello{}
+	case TypeError:
+		msg = &ErrorMsg{}
+	case TypeEchoRequest:
+		msg = &EchoRequest{}
+	case TypeEchoReply:
+		msg = &EchoReply{}
+	case TypeFeaturesReq:
+		msg = &FeaturesRequest{}
+	case TypeFeaturesReply:
+		msg = &FeaturesReply{}
+	case TypePacketIn:
+		msg = &PacketIn{}
+	case TypeFlowRemoved:
+		msg = &FlowRemoved{}
+	case TypePortStatus:
+		msg = &PortStatus{}
+	case TypePacketOut:
+		msg = &PacketOut{}
+	case TypeFlowMod:
+		msg = &FlowMod{}
+	default:
+		return nil, 0, nil, fmt.Errorf("%w: %d", ErrBadType, b[1])
+	}
+	if err := msg.decodeBody(body); err != nil {
+		return nil, 0, nil, err
+	}
+	return msg, xid, b[length:], nil
+}
+
+// ReadMessage reads exactly one framed message from r.
+func ReadMessage(r io.Reader) (Message, uint32, error) {
+	hdr := make([]byte, headerLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, 0, fmt.Errorf("openflow: read header: %w", err)
+	}
+	if hdr[0] != Version {
+		return nil, 0, fmt.Errorf("%w: 0x%02x", ErrBadVersion, hdr[0])
+	}
+	length := int(binary.BigEndian.Uint16(hdr[2:4]))
+	if length < headerLen {
+		return nil, 0, ErrTruncated
+	}
+	full := make([]byte, length)
+	copy(full, hdr)
+	if _, err := io.ReadFull(r, full[headerLen:]); err != nil {
+		return nil, 0, fmt.Errorf("openflow: read body: %w", err)
+	}
+	msg, xid, _, err := Decode(full)
+	return msg, xid, err
+}
+
+// WriteMessage frames and writes one message to w.
+func WriteMessage(w io.Writer, msg Message, xid uint32) error {
+	b, err := Encode(msg, xid)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(b); err != nil {
+		return fmt.Errorf("openflow: write: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package recovery
+
+import (
+	"fmt"
+	"sort"
+
+	"sdnbugs/internal/faultlab"
+	"sdnbugs/internal/taxonomy"
+)
+
+// Outcome is the result of one (fault, strategy) trial.
+type Outcome struct {
+	FaultName string
+	Strategy  string
+	// Injected reports whether the fault manifested in the first run
+	// (non-deterministic faults sometimes do not).
+	Injected bool
+	// ObservedSymptom is the detected pre-recovery symptom.
+	ObservedSymptom taxonomy.Symptom
+	// Recovered reports whether the post-recovery workload was healthy.
+	Recovered bool
+}
+
+// CellResult aggregates the trials of one (fault, strategy) pair.
+type CellResult struct {
+	Fault    faultlab.Spec
+	Strategy string
+	// Trials is the number of runs where the fault manifested.
+	Trials int
+	// Recoveries is how many of those the strategy fixed.
+	Recoveries int
+}
+
+// Rate returns the recovery success fraction (0 when never injected).
+func (c CellResult) Rate() float64 {
+	if c.Trials == 0 {
+		return 0
+	}
+	return float64(c.Recoveries) / float64(c.Trials)
+}
+
+// Recovers applies the evaluation threshold: a framework "covers" a
+// fault class when it recovers at least 60 % of manifested trials
+// (non-deterministic races re-manifest occasionally by design, so a
+// perfect rate is not attainable even for a sound strategy).
+func (c CellResult) Recovers() bool { return c.Trials > 0 && c.Rate() >= 0.6 }
+
+// Matrix is the full Table VII reproduction.
+type Matrix struct {
+	Cells []CellResult
+}
+
+// EvalConfig controls the campaign.
+type EvalConfig struct {
+	// Trials per (fault, strategy) pair (default 6).
+	Trials int
+	// Seed drives fault randomness.
+	Seed int64
+}
+
+// Evaluate runs the recovery-coverage campaign: for every fault in the
+// standard suite and every strategy, inject, detect, recover, and
+// re-test.
+func Evaluate(strategies []Strategy, cfg EvalConfig) (*Matrix, error) {
+	if cfg.Trials <= 0 {
+		cfg.Trials = 6
+	}
+	suiteTemplate := faultlab.StandardSuite(cfg.Seed)
+	m := &Matrix{}
+	for si, strat := range strategies {
+		for fi := range suiteTemplate {
+			cell := CellResult{Strategy: strat.Name()}
+			for trial := 0; trial < cfg.Trials; trial++ {
+				// Fresh fault per trial so incarnation RNG state never
+				// leaks across trials.
+				fault := faultlab.StandardSuite(cfg.Seed + int64(1+trial*31+si*7))[fi]
+				cell.Fault = fault.Spec
+				out, err := runTrial(fault, strat)
+				if err != nil {
+					return nil, fmt.Errorf("recovery: %s vs %s trial %d: %w",
+						strat.Name(), fault.Spec.Name, trial, err)
+				}
+				if !out.Injected {
+					continue
+				}
+				cell.Trials++
+				if out.Recovered {
+					cell.Recoveries++
+				}
+			}
+			m.Cells = append(m.Cells, cell)
+		}
+	}
+	return m, nil
+}
+
+// runTrial runs one inject → detect → recover → re-test cycle.
+func runTrial(fault *faultlab.Fault, strat Strategy) (Outcome, error) {
+	out := Outcome{FaultName: fault.Spec.Name, Strategy: strat.Name()}
+	lab, err := faultlab.NewLab(fault)
+	if err != nil {
+		return out, err
+	}
+	obs, err := lab.RunWorkload()
+	if err != nil {
+		return out, err
+	}
+	if obs.Healthy() {
+		// Fault did not manifest (possible for non-deterministic ones).
+		return out, nil
+	}
+	out.Injected = true
+	out.ObservedSymptom = obs.Symptom
+
+	if err := strat.Recover(lab); err != nil {
+		return out, err
+	}
+	// Judge the recovery on fresh health evidence: replay costs and
+	// errors accumulated during recovery itself are not symptoms.
+	lab.ClearHealth()
+	post, err := lab.RunWorkload()
+	if err != nil {
+		return out, err
+	}
+	out.Recovered = post.Healthy()
+	return out, nil
+}
+
+// Cell returns the result for a (faultName, strategyName) pair.
+func (m *Matrix) Cell(faultName, strategyName string) (CellResult, bool) {
+	for _, c := range m.Cells {
+		if c.Fault.Name == faultName && c.Strategy == strategyName {
+			return c, true
+		}
+	}
+	return CellResult{}, false
+}
+
+// CoverageByTrigger aggregates, per strategy, how many trigger classes
+// it covers (a trigger is covered when the strategy recovers at least
+// one fault with that trigger).
+func (m *Matrix) CoverageByTrigger() map[string]map[taxonomy.Trigger]bool {
+	out := map[string]map[taxonomy.Trigger]bool{}
+	for _, c := range m.Cells {
+		if out[c.Strategy] == nil {
+			out[c.Strategy] = map[taxonomy.Trigger]bool{}
+		}
+		if c.Recovers() {
+			out[c.Strategy][c.Fault.Trigger] = true
+		}
+	}
+	return out
+}
+
+// DeterminismCoverage returns, per strategy, the fraction of
+// deterministic and non-deterministic fault classes it covers.
+func (m *Matrix) DeterminismCoverage() map[string]struct{ Det, NonDet float64 } {
+	type agg struct{ detCov, detTot, ndCov, ndTot int }
+	byStrat := map[string]*agg{}
+	for _, c := range m.Cells {
+		a := byStrat[c.Strategy]
+		if a == nil {
+			a = &agg{}
+			byStrat[c.Strategy] = a
+		}
+		if c.Fault.Deterministic {
+			a.detTot++
+			if c.Recovers() {
+				a.detCov++
+			}
+		} else {
+			a.ndTot++
+			if c.Recovers() {
+				a.ndCov++
+			}
+		}
+	}
+	out := map[string]struct{ Det, NonDet float64 }{}
+	for s, a := range byStrat {
+		var det, nd float64
+		if a.detTot > 0 {
+			det = float64(a.detCov) / float64(a.detTot)
+		}
+		if a.ndTot > 0 {
+			nd = float64(a.ndCov) / float64(a.ndTot)
+		}
+		out[s] = struct{ Det, NonDet float64 }{det, nd}
+	}
+	return out
+}
+
+// Strategies returns the distinct strategy names in evaluation order.
+func (m *Matrix) Strategies() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, c := range m.Cells {
+		if !seen[c.Strategy] {
+			seen[c.Strategy] = true
+			out = append(out, c.Strategy)
+		}
+	}
+	return out
+}
+
+// Faults returns the distinct fault names, sorted.
+func (m *Matrix) Faults() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, c := range m.Cells {
+		if !seen[c.Fault.Name] {
+			seen[c.Fault.Name] = true
+			out = append(out, c.Fault.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

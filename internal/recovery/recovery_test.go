@@ -1,0 +1,269 @@
+package recovery
+
+import (
+	"testing"
+
+	"sdnbugs/internal/faultlab"
+	"sdnbugs/internal/sdn"
+	"sdnbugs/internal/taxonomy"
+)
+
+// evalMatrix runs the standard campaign once per test binary.
+var cachedMatrix *Matrix
+
+func matrix(t *testing.T) *Matrix {
+	t.Helper()
+	if cachedMatrix == nil {
+		m, err := Evaluate(StandardStrategies(), EvalConfig{Trials: 6, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedMatrix = m
+	}
+	return cachedMatrix
+}
+
+func TestMatrixShapeTableVII(t *testing.T) {
+	m := matrix(t)
+	if len(m.Strategies()) != 6 {
+		t.Fatalf("strategies = %d", len(m.Strategies()))
+	}
+	if len(m.Faults()) != 8 {
+		t.Fatalf("faults = %d", len(m.Faults()))
+	}
+	// Shape assertions from the paper's Table VII discussion:
+	mustRecover := []struct{ fault, strategy string }{
+		{"FAUCET-1623-missing-logic", "event-transform"},
+		{"CORD-2470-misconfig-crash", "config-rollback"},
+		{"FAUCET-355-ecosystem-mismatch", "environment-fix"},
+	}
+	for _, mr := range mustRecover {
+		c, ok := m.Cell(mr.fault, mr.strategy)
+		if !ok {
+			t.Fatalf("missing cell %s/%s", mr.fault, mr.strategy)
+		}
+		if !c.Recovers() {
+			t.Errorf("%s should recover %s (rate %.2f)", mr.strategy, mr.fault, c.Rate())
+		}
+	}
+	mustFail := []struct{ fault, strategy string }{
+		// Deterministic bugs defeat restart/replay/failover (§III).
+		{"CORD-2470-misconfig-crash", "crash-restart"},
+		{"CORD-2470-misconfig-crash", "record-replay"},
+		{"CORD-2470-misconfig-crash", "replicated-failover"},
+		{"FAUCET-1623-missing-logic", "crash-restart"},
+		{"FAUCET-355-ecosystem-mismatch", "record-replay"},
+		// Tools scoped to network events miss config/external triggers.
+		{"CORD-2470-misconfig-crash", "event-transform"},
+		{"FAUCET-355-ecosystem-mismatch", "event-transform"},
+		{"VOL-549-reboot-hang", "event-transform"},
+	}
+	for _, mf := range mustFail {
+		c, ok := m.Cell(mf.fault, mf.strategy)
+		if !ok {
+			t.Fatalf("missing cell %s/%s", mf.fault, mf.strategy)
+		}
+		if c.Recovers() {
+			t.Errorf("%s should NOT recover %s (rate %.2f)", mf.strategy, mf.fault, c.Rate())
+		}
+	}
+}
+
+func TestNonDeterministicRecoveredByMost(t *testing.T) {
+	// "most existing systems can easily recover from non-deterministic
+	// issues" (§VII-C).
+	m := matrix(t)
+	for _, fault := range []string{"CORD-1734-concurrency-slowdown", "race-spurious-errors"} {
+		covered := 0
+		for _, s := range m.Strategies() {
+			if c, ok := m.Cell(fault, s); ok && c.Recovers() {
+				covered++
+			}
+		}
+		if covered < 4 {
+			t.Errorf("%s covered by only %d/6 strategies, expected most", fault, covered)
+		}
+	}
+}
+
+func TestDeterministicLargelyUnsolved(t *testing.T) {
+	// "there is very little for deterministic issues" (§VII-C): each
+	// strategy covers at most a narrow slice of the deterministic
+	// classes; no strategy covers a majority of them.
+	m := matrix(t)
+	cov := m.DeterminismCoverage()
+	for s, c := range cov {
+		if c.Det > 0.5 {
+			t.Errorf("%s covers %.0f%% of deterministic classes; Table VII expects sparse coverage", s, c.Det*100)
+		}
+		if c.NonDet < c.Det {
+			t.Errorf("%s: non-deterministic coverage (%.2f) should not lag deterministic (%.2f)",
+				s, c.NonDet, c.Det)
+		}
+	}
+}
+
+func TestMemoryAndLoadUnsolved(t *testing.T) {
+	// The paper calls for new research on load/memory failure
+	// prediction: no surveyed technique recovers them.
+	m := matrix(t)
+	for _, fault := range []string{"ONOS-4859-memory-leak", "ONOS-5992-load-collapse"} {
+		for _, s := range m.Strategies() {
+			if c, ok := m.Cell(fault, s); ok && c.Recovers() {
+				t.Errorf("%s unexpectedly recovers %s", s, fault)
+			}
+		}
+	}
+}
+
+func TestCoverageByTrigger(t *testing.T) {
+	m := matrix(t)
+	cov := m.CoverageByTrigger()
+	// event-transform covers network events, and nothing else.
+	et := cov["event-transform"]
+	if !et[taxonomy.TriggerNetworkEvent] {
+		t.Error("event-transform should cover network-event triggers")
+	}
+	if et[taxonomy.TriggerConfiguration] || et[taxonomy.TriggerExternalCall] {
+		t.Error("event-transform must not cover config/external triggers")
+	}
+	// config-rollback covers configuration.
+	if !cov["config-rollback"][taxonomy.TriggerConfiguration] {
+		t.Error("config-rollback should cover configuration triggers")
+	}
+	// environment-fix covers external calls.
+	if !cov["environment-fix"][taxonomy.TriggerExternalCall] {
+		t.Error("environment-fix should cover external-call triggers")
+	}
+}
+
+func TestExtendedTransformFillsGaps(t *testing.T) {
+	// The paper's recommendation: extend input-transforming tools
+	// beyond network events. The extended variant covers the reboot
+	// hang and the config crash the stock tool misses.
+	ext := &EventTransform{Scope: []sdn.EventKind{
+		sdn.EventNetwork, sdn.EventConfig, sdn.EventExternalCall, sdn.EventHardwareReboot,
+	}}
+	m, err := Evaluate([]Strategy{ext}, EvalConfig{Trials: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fault := range []string{"VOL-549-reboot-hang", "CORD-2470-misconfig-crash"} {
+		c, ok := m.Cell(fault, ext.Name())
+		if !ok || !c.Recovers() {
+			t.Errorf("extended transform should recover %s (rate %.2f)", fault, c.Rate())
+		}
+	}
+}
+
+func TestRecoveryNeverClaimsSuccessWhileSymptomPersists(t *testing.T) {
+	// Invariant: a trial marked recovered must correspond to a healthy
+	// post-run — verified here by re-deriving one known-bad cell.
+	fault := faultlab.NewFault(faultlab.Spec{
+		Name:          "always-crash",
+		Cause:         taxonomy.CauseMissingLogic,
+		Trigger:       taxonomy.TriggerConfiguration,
+		Symptom:       taxonomy.SymptomFailStop,
+		Deterministic: true,
+	}, 1)
+	lab, err := faultlab.NewLab(fault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lab.RunWorkload(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (CrashRestart{}).Recover(lab); err != nil {
+		t.Fatal(err)
+	}
+	lab.ClearHealth()
+	post, err := lab.RunWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post.Healthy() {
+		t.Error("deterministic config crash must persist through a plain restart")
+	}
+}
+
+func TestEvaluateDeterministicForSeed(t *testing.T) {
+	a, err := Evaluate([]Strategy{CrashRestart{}}, EvalConfig{Trials: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Evaluate([]Strategy{CrashRestart{}}, EvalConfig{Trials: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Cells) != len(b.Cells) {
+		t.Fatal("cell counts differ")
+	}
+	for i := range a.Cells {
+		if a.Cells[i] != b.Cells[i] {
+			t.Fatalf("cell %d differs between same-seed runs", i)
+		}
+	}
+}
+
+func TestPredictiveRejuvenationClosesMemoryLoadGap(t *testing.T) {
+	// The paper's research direction: metrics-based failure prediction
+	// should handle the load/memory classes no surveyed tool recovers.
+	m, err := Evaluate([]Strategy{&PredictiveRejuvenation{}}, EvalConfig{Trials: 4, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fault := range []string{"ONOS-4859-memory-leak", "ONOS-5992-load-collapse"} {
+		c, ok := m.Cell(fault, "predictive-rejuvenation")
+		if !ok || !c.Recovers() {
+			t.Errorf("predictive rejuvenation should recover %s (rate %.2f)", fault, c.Rate())
+		}
+	}
+	// It must not claim the deterministic signature bugs.
+	for _, fault := range []string{"CORD-2470-misconfig-crash", "FAUCET-1623-missing-logic"} {
+		c, _ := m.Cell(fault, "predictive-rejuvenation")
+		if c.Recovers() {
+			t.Errorf("predictive rejuvenation should NOT recover %s", fault)
+		}
+	}
+}
+
+func TestCompositionCaveat(t *testing.T) {
+	// §VII-C: a Bouncer-style input filter layered outside a SPHINX-
+	// style flow-graph monitor starves the model.
+	res, err := RunCompositionExperiment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UnfilteredCompleteness != 1 {
+		t.Errorf("unfiltered completeness = %.2f, want 1.0", res.UnfilteredCompleteness)
+	}
+	if !(res.FilteredCompleteness < res.UnfilteredCompleteness) {
+		t.Errorf("filtered completeness %.2f should drop below unfiltered %.2f",
+			res.FilteredCompleteness, res.UnfilteredCompleteness)
+	}
+	if res.DroppedClassSeen != 0 {
+		t.Errorf("monitor saw %d filtered-class packets; the filter sits outside it", res.DroppedClassSeen)
+	}
+}
+
+func TestFlowGraphMonitorKnows(t *testing.T) {
+	m := NewFlowGraphMonitor()
+	if m.Knows(1, 0x11, 1) {
+		t.Error("empty monitor should know nothing")
+	}
+	if c := m.Completeness(mustTopo(t)); c != 0 {
+		t.Errorf("completeness of empty monitor = %v", c)
+	}
+	if c := m.Completeness(sdn.NewNetwork()); c != 0 {
+		t.Errorf("completeness on empty network = %v", c)
+	}
+}
+
+func mustTopo(t *testing.T) *sdn.Network {
+	t.Helper()
+	net, err := sdn.LinearTopology(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}

@@ -1,0 +1,93 @@
+package report
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"sdnbugs/internal/stats"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{Title: "demo", Headers: []string{"name", "value"}}
+	if err := tbl.AddRow("alpha", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddRow("b", "22222"); err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.RenderString()
+	if !strings.Contains(out, "## demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "name") || !strings.Contains(out, "22222") {
+		t.Errorf("render incomplete:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title + header + rule + 2 rows.
+	if len(lines) != 5 {
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestAddRowShape(t *testing.T) {
+	tbl := &Table{Headers: []string{"a", "b"}}
+	if err := tbl.AddRow("only-one"); !errors.Is(err, ErrShape) {
+		t.Errorf("want ErrShape, got %v", err)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tbl := &Table{Headers: []string{"name", "note"}}
+	_ = tbl.AddRow("x", "plain")
+	_ = tbl.AddRow("y", `with,comma and "quote"`)
+	var b strings.Builder
+	if err := tbl.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	if !strings.Contains(got, "name,note\n") {
+		t.Error("missing header line")
+	}
+	if !strings.Contains(got, `"with,comma and ""quote"""`) {
+		t.Errorf("quoting wrong: %s", got)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.6133) != "61.3%" {
+		t.Errorf("Pct = %s", Pct(0.6133))
+	}
+	if F2(1.005) != "1.00" && F2(1.005) != "1.01" {
+		t.Errorf("F2 = %s", F2(1.005))
+	}
+}
+
+func TestSeriesTableAndCDF(t *testing.T) {
+	e, err := stats.NewECDF([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := CDFSeries("onos-config", e, 5)
+	if s.Name != "onos-config" || len(s.Points) != 5 {
+		t.Fatalf("series: %+v", s)
+	}
+	tbl := SeriesTable("figure7", []Series{s})
+	if len(tbl.Rows) != 5 {
+		t.Errorf("rows = %d", len(tbl.Rows))
+	}
+	if tbl.Rows[0][0] != "onos-config" {
+		t.Errorf("series column wrong: %v", tbl.Rows[0])
+	}
+}
+
+func TestChecksTable(t *testing.T) {
+	tbl := ChecksTable("exp", []Check{
+		{Artifact: "E2", Metric: "det", Paper: "96%", Measured: "97.6%", Holds: true},
+		{Artifact: "E9", Metric: "fix", Paper: "poor", Measured: "34%", Holds: false},
+	})
+	out := tbl.RenderString()
+	if !strings.Contains(out, "yes") || !strings.Contains(out, "NO") {
+		t.Errorf("holds column wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,473 @@
+// Package sdn implements the simulated SDN ecosystem of the paper's
+// Figure 1: a dataplane of OpenFlow switches and hosts, an event-driven
+// controller framework reacting to the four canonical event sources
+// (configuration, network events, external calls, hardware reboots),
+// and a learning-switch application on top. The fault-injection lab
+// (internal/faultlab) and the recovery frameworks (internal/recovery)
+// drive this substrate to reproduce Table VII empirically.
+package sdn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sdnbugs/internal/openflow"
+)
+
+// Packet is a simulated Ethernet frame.
+type Packet struct {
+	EthSrc  uint64
+	EthDst  uint64
+	EthType uint16
+	VlanID  uint16
+	Payload []byte
+}
+
+// BroadcastMAC is the all-ones destination address.
+const BroadcastMAC uint64 = 0xffffffffffff
+
+// IsBroadcast reports whether the packet is a broadcast frame.
+func (p Packet) IsBroadcast() bool { return p.EthDst == BroadcastMAC }
+
+// FlowEntry is one row of a switch's flow table.
+type FlowEntry struct {
+	Priority uint16
+	Match    openflow.Match
+	Actions  []openflow.Action
+}
+
+// matches reports whether the entry matches a packet arriving on
+// inPort.
+func (e FlowEntry) matches(p Packet, inPort uint32) bool {
+	m := e.Match
+	if m.MatchInPort && m.InPort != inPort {
+		return false
+	}
+	if m.EthSrc != 0 && m.EthSrc != p.EthSrc {
+		return false
+	}
+	if m.EthDst != 0 && m.EthDst != p.EthDst {
+		return false
+	}
+	if m.EthType != 0 && m.EthType != p.EthType {
+		return false
+	}
+	if m.VlanID != 0 && m.VlanID != p.VlanID {
+		return false
+	}
+	return true
+}
+
+// FlowTable holds prioritized flow entries.
+type FlowTable struct {
+	entries []FlowEntry
+}
+
+// Add inserts an entry, replacing an identical-match same-priority one.
+func (t *FlowTable) Add(e FlowEntry) {
+	for i, old := range t.entries {
+		if old.Priority == e.Priority && old.Match == e.Match {
+			t.entries[i] = e
+			return
+		}
+	}
+	t.entries = append(t.entries, e)
+	// Highest priority first; stable order by insertion otherwise.
+	sort.SliceStable(t.entries, func(a, b int) bool {
+		return t.entries[a].Priority > t.entries[b].Priority
+	})
+}
+
+// Delete removes entries with the given match (any priority) and
+// returns how many were removed.
+func (t *FlowTable) Delete(m openflow.Match) int {
+	kept := t.entries[:0]
+	removed := 0
+	for _, e := range t.entries {
+		if e.Match == m {
+			removed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	t.entries = kept
+	return removed
+}
+
+// Clear removes every entry.
+func (t *FlowTable) Clear() { t.entries = nil }
+
+// Len returns the number of entries.
+func (t *FlowTable) Len() int { return len(t.entries) }
+
+// Lookup returns the highest-priority matching entry, or nil.
+func (t *FlowTable) Lookup(p Packet, inPort uint32) *FlowEntry {
+	for i := range t.entries {
+		if t.entries[i].matches(p, inPort) {
+			return &t.entries[i]
+		}
+	}
+	return nil
+}
+
+// Switch is one simulated datapath.
+type Switch struct {
+	DPID     uint64
+	NumPorts uint32
+	Table    FlowTable
+	portUp   []bool
+}
+
+// NewSwitch builds a switch with all ports up. Port numbers are
+// 1-based, as in OpenFlow.
+func NewSwitch(dpid uint64, numPorts uint32) *Switch {
+	up := make([]bool, numPorts+1)
+	for i := range up {
+		up[i] = true
+	}
+	return &Switch{DPID: dpid, NumPorts: numPorts, portUp: up}
+}
+
+// PortUp reports whether the port is administratively up.
+func (s *Switch) PortUp(port uint32) bool {
+	return port >= 1 && port <= s.NumPorts && s.portUp[port]
+}
+
+// SetPort sets a port's link state.
+func (s *Switch) SetPort(port uint32, up bool) error {
+	if port < 1 || port > s.NumPorts {
+		return fmt.Errorf("sdn: switch %d has no port %d", s.DPID, port)
+	}
+	s.portUp[port] = up
+	return nil
+}
+
+// Reboot clears the flow table and restores all ports, as a power
+// cycle would.
+func (s *Switch) Reboot() {
+	s.Table.Clear()
+	for i := range s.portUp {
+		s.portUp[i] = true
+	}
+}
+
+// PortRef names one switch port.
+type PortRef struct {
+	DPID uint64
+	Port uint32
+}
+
+// Host is an end station attached to a switch port.
+type Host struct {
+	MAC    uint64
+	Attach PortRef
+}
+
+// Network is the dataplane: switches, inter-switch links, and hosts.
+type Network struct {
+	switches map[uint64]*Switch
+	// links maps a port to its peer port (bidirectional).
+	links map[PortRef]PortRef
+	hosts map[uint64]Host // by MAC
+	// hostAt maps a port to the attached host's MAC.
+	hostAt map[PortRef]uint64
+
+	// PacketIns collects punts to the controller generated during
+	// injection; the controller drains this.
+	PacketIns []openflow.PacketIn
+	// Deliveries accumulates every host delivery; drivers drain it.
+	Deliveries []Delivery
+}
+
+// Network errors.
+var (
+	ErrNoSwitch = errors.New("sdn: no such switch")
+	ErrNoHost   = errors.New("sdn: no such host")
+	ErrBadLink  = errors.New("sdn: invalid link")
+)
+
+// NewNetwork returns an empty dataplane.
+func NewNetwork() *Network {
+	return &Network{
+		switches: make(map[uint64]*Switch),
+		links:    make(map[PortRef]PortRef),
+		hosts:    make(map[uint64]Host),
+		hostAt:   make(map[PortRef]uint64),
+	}
+}
+
+// AddSwitch registers a switch.
+func (n *Network) AddSwitch(dpid uint64, numPorts uint32) *Switch {
+	sw := NewSwitch(dpid, numPorts)
+	n.switches[dpid] = sw
+	return sw
+}
+
+// Switch returns a switch by datapath id.
+func (n *Network) Switch(dpid uint64) (*Switch, error) {
+	sw, ok := n.switches[dpid]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoSwitch, dpid)
+	}
+	return sw, nil
+}
+
+// Switches returns all datapath ids in ascending order.
+func (n *Network) Switches() []uint64 {
+	out := make([]uint64, 0, len(n.switches))
+	for id := range n.switches {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AddLink connects two switch ports bidirectionally.
+func (n *Network) AddLink(a, b PortRef) error {
+	for _, ref := range []PortRef{a, b} {
+		sw, ok := n.switches[ref.DPID]
+		if !ok {
+			return fmt.Errorf("%w: switch %d", ErrBadLink, ref.DPID)
+		}
+		if ref.Port < 1 || ref.Port > sw.NumPorts {
+			return fmt.Errorf("%w: switch %d has no port %d", ErrBadLink, ref.DPID, ref.Port)
+		}
+	}
+	n.links[a] = b
+	n.links[b] = a
+	return nil
+}
+
+// AddHost attaches a host to a switch port.
+func (n *Network) AddHost(mac uint64, at PortRef) error {
+	if _, ok := n.switches[at.DPID]; !ok {
+		return fmt.Errorf("%w: %d", ErrNoSwitch, at.DPID)
+	}
+	n.hosts[mac] = Host{MAC: mac, Attach: at}
+	n.hostAt[at] = mac
+	return nil
+}
+
+// Hosts returns all host MACs in ascending order.
+func (n *Network) Hosts() []uint64 {
+	out := make([]uint64, 0, len(n.hosts))
+	for mac := range n.hosts {
+		out = append(out, mac)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Delivery records a packet arriving at a host.
+type Delivery struct {
+	MAC    uint64
+	Packet Packet
+}
+
+// maxHops bounds forwarding walks to break accidental loops.
+const maxHops = 64
+
+// InjectFromHost sends a packet from the named host into the network
+// and returns every host delivery it produces. Table misses punt to
+// n.PacketIns and deliver nothing for that branch.
+func (n *Network) InjectFromHost(srcMAC uint64, p Packet) ([]Delivery, error) {
+	h, ok := n.hosts[srcMAC]
+	if !ok {
+		return nil, fmt.Errorf("%w: %012x", ErrNoHost, srcMAC)
+	}
+	p.EthSrc = srcMAC
+	mark := len(n.Deliveries)
+	n.forward(h.Attach, p, 0)
+	return n.Deliveries[mark:], nil
+}
+
+// forward processes a packet arriving at a switch port.
+func (n *Network) forward(at PortRef, p Packet, hops int) {
+	if hops > maxHops {
+		return
+	}
+	sw, ok := n.switches[at.DPID]
+	if !ok || !sw.PortUp(at.Port) {
+		return
+	}
+	entry := sw.Table.Lookup(p, at.Port)
+	if entry == nil {
+		// Table miss: punt to controller.
+		n.PacketIns = append(n.PacketIns, openflow.PacketIn{
+			DatapathID: sw.DPID,
+			InPort:     at.Port,
+			Reason:     0,
+			Data:       encodePacket(p),
+		})
+		return
+	}
+	cur := p
+	for _, a := range entry.Actions {
+		switch a.Type {
+		case openflow.ActionSetVlan:
+			cur.VlanID = a.Vlan
+		case openflow.ActionDrop:
+			return
+		case openflow.ActionOutput:
+			switch a.Port {
+			case openflow.PortFlood:
+				for port := uint32(1); port <= sw.NumPorts; port++ {
+					if port == at.Port || !sw.PortUp(port) {
+						continue
+					}
+					n.emit(PortRef{sw.DPID, port}, cur, hops)
+				}
+			case openflow.PortController:
+				n.PacketIns = append(n.PacketIns, openflow.PacketIn{
+					DatapathID: sw.DPID, InPort: at.Port, Reason: 1,
+					Data: encodePacket(cur),
+				})
+			default:
+				// OpenFlow semantics: a packet is never sent back out
+				// of its ingress port unless explicitly requested
+				// (OFPP_IN_PORT, which this subset does not model).
+				if a.Port != at.Port && sw.PortUp(a.Port) {
+					n.emit(PortRef{sw.DPID, a.Port}, cur, hops)
+				}
+			}
+		}
+	}
+}
+
+// emit sends a packet out of a switch port: to an attached host, over
+// a link, or into the void.
+func (n *Network) emit(from PortRef, p Packet, hops int) {
+	if mac, ok := n.hostAt[from]; ok {
+		if p.IsBroadcast() || p.EthDst == mac {
+			n.Deliveries = append(n.Deliveries, Delivery{MAC: mac, Packet: p})
+		}
+		return
+	}
+	if peer, ok := n.links[from]; ok {
+		n.forward(peer, p, hops+1)
+	}
+}
+
+// ApplyPacketOut executes a controller packet-out: the carried packet
+// is pushed out of the named switch according to the actions, returning
+// any host deliveries. New table misses downstream punt to PacketIns.
+func (n *Network) ApplyPacketOut(po openflow.PacketOut) ([]Delivery, error) {
+	sw, err := n.Switch(po.DatapathID)
+	if err != nil {
+		return nil, err
+	}
+	pkt, err := DecodePacket(po.Data)
+	if err != nil {
+		return nil, err
+	}
+	mark := len(n.Deliveries)
+	cur := pkt
+	for _, a := range po.Actions {
+		switch a.Type {
+		case openflow.ActionSetVlan:
+			cur.VlanID = a.Vlan
+		case openflow.ActionDrop:
+			return n.Deliveries[mark:], nil
+		case openflow.ActionOutput:
+			if a.Port == openflow.PortFlood {
+				for port := uint32(1); port <= sw.NumPorts; port++ {
+					if port == po.InPort || !sw.PortUp(port) {
+						continue
+					}
+					n.emit(PortRef{sw.DPID, port}, cur, 0)
+				}
+			} else if a.Port != po.InPort && sw.PortUp(a.Port) {
+				// Never reflect out of the declared ingress port.
+				n.emit(PortRef{sw.DPID, a.Port}, cur, 0)
+			}
+		}
+	}
+	return n.Deliveries[mark:], nil
+}
+
+// DrainPacketIns returns and clears the accumulated punts.
+func (n *Network) DrainPacketIns() []openflow.PacketIn {
+	out := n.PacketIns
+	n.PacketIns = nil
+	return out
+}
+
+// DrainDeliveries returns and clears the accumulated host deliveries.
+func (n *Network) DrainDeliveries() []Delivery {
+	out := n.Deliveries
+	n.Deliveries = nil
+	return out
+}
+
+// ApplyFlowMod executes a controller flow-mod against the dataplane.
+func (n *Network) ApplyFlowMod(fm openflow.FlowMod) error {
+	sw, err := n.Switch(fm.DatapathID)
+	if err != nil {
+		return err
+	}
+	switch fm.Command {
+	case openflow.FlowAdd:
+		sw.Table.Add(FlowEntry{Priority: fm.Priority, Match: fm.Match, Actions: fm.Actions})
+	case openflow.FlowDelete:
+		sw.Table.Delete(fm.Match)
+	default:
+		return fmt.Errorf("sdn: unknown flow-mod command %d", fm.Command)
+	}
+	return nil
+}
+
+// encodePacket serializes a Packet into PacketIn data bytes.
+func encodePacket(p Packet) []byte {
+	out := make([]byte, 20+len(p.Payload))
+	putUint48(out[0:], p.EthDst)
+	putUint48(out[6:], p.EthSrc)
+	out[12] = byte(p.EthType >> 8)
+	out[13] = byte(p.EthType)
+	out[14] = byte(p.VlanID >> 8)
+	out[15] = byte(p.VlanID)
+	copy(out[20:], p.Payload)
+	return out
+}
+
+// DecodePacket parses PacketIn data bytes back into a Packet.
+func DecodePacket(b []byte) (Packet, error) {
+	if len(b) < 20 {
+		return Packet{}, errors.New("sdn: packet too short")
+	}
+	return Packet{
+		EthDst:  getUint48(b[0:]),
+		EthSrc:  getUint48(b[6:]),
+		EthType: uint16(b[12])<<8 | uint16(b[13]),
+		VlanID:  uint16(b[14])<<8 | uint16(b[15]),
+		Payload: append([]byte(nil), b[20:]...),
+	}, nil
+}
+
+func putUint48(b []byte, v uint64) {
+	b[0] = byte(v >> 40)
+	b[1] = byte(v >> 32)
+	b[2] = byte(v >> 24)
+	b[3] = byte(v >> 16)
+	b[4] = byte(v >> 8)
+	b[5] = byte(v)
+}
+
+func getUint48(b []byte) uint64 {
+	return uint64(b[0])<<40 | uint64(b[1])<<32 | uint64(b[2])<<24 |
+		uint64(b[3])<<16 | uint64(b[4])<<8 | uint64(b[5])
+}
+
+// EncodePacket serializes a Packet into PacketIn/PacketOut data bytes
+// (the inverse of DecodePacket). Exposed for tools that rewrite
+// in-flight events, e.g. transform-based recovery.
+func EncodePacket(p Packet) []byte { return encodePacket(p) }
+
+// HostAttachment returns the switch port the host is attached to.
+func (n *Network) HostAttachment(mac uint64) (PortRef, error) {
+	h, ok := n.hosts[mac]
+	if !ok {
+		return PortRef{}, fmt.Errorf("%w: %012x", ErrNoHost, mac)
+	}
+	return h.Attach, nil
+}

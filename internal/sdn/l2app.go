@@ -1,0 +1,199 @@
+package sdn
+
+import (
+	"fmt"
+	"strconv"
+
+	"sdnbugs/internal/openflow"
+)
+
+// L2Switch is the reference control application: a reactive learning
+// switch with VLAN configuration, external telemetry calls, and
+// reboot reconciliation — enough surface to express every root-cause
+// class of the taxonomy as an injectable bug.
+type L2Switch struct {
+	// macTable[dpid][mac] = port where mac was learned.
+	macTable map[uint64]map[uint64]uint32
+	// ExpectedVersions is the service API version the app was built
+	// against; mismatches with the live Environment surface as
+	// ecosystem errors.
+	ExpectedVersions map[string]int
+}
+
+var _ App = (*L2Switch)(nil)
+
+// NewL2Switch builds the app expecting the given service versions.
+func NewL2Switch(expected map[string]int) *L2Switch {
+	app := &L2Switch{ExpectedVersions: make(map[string]int)}
+	for k, v := range expected {
+		app.ExpectedVersions[k] = v
+	}
+	app.Reset()
+	return app
+}
+
+// Name implements App.
+func (a *L2Switch) Name() string { return "l2-switch" }
+
+// Reset clears learned state (called on controller restart).
+func (a *L2Switch) Reset() {
+	a.macTable = make(map[uint64]map[uint64]uint32)
+}
+
+// KnownMACs returns how many MACs are learned at the switch.
+func (a *L2Switch) KnownMACs(dpid uint64) int { return len(a.macTable[dpid]) }
+
+// HandleEvent implements App.
+func (a *L2Switch) HandleEvent(c *Controller, ev Event) (int, error) {
+	switch ev.Kind {
+	case EventNetwork:
+		return a.handleNetwork(c, ev)
+	case EventConfig:
+		return a.handleConfig(c, ev)
+	case EventExternalCall:
+		return a.handleExternal(c, ev)
+	case EventHardwareReboot:
+		return a.handleReboot(c, ev)
+	default:
+		return 1, fmt.Errorf("l2-switch: unknown event kind %v", ev.Kind)
+	}
+}
+
+func (a *L2Switch) handleNetwork(c *Controller, ev Event) (int, error) {
+	switch msg := ev.Msg.(type) {
+	case *openflow.PacketIn:
+		return a.handlePacketIn(c, msg)
+	case *openflow.PortStatus:
+		return a.handlePortStatus(c, msg)
+	case *openflow.FlowRemoved:
+		// Re-learn on next packet: forget entries matching the rule.
+		if tbl, ok := a.macTable[msg.DatapathID]; ok && msg.Match.EthDst != 0 {
+			delete(tbl, msg.Match.EthDst)
+		}
+		return 1, nil
+	case *openflow.EchoRequest:
+		return 1, nil
+	default:
+		return 1, fmt.Errorf("l2-switch: unhandled message %v", ev.Msg.Type())
+	}
+}
+
+func (a *L2Switch) handlePacketIn(c *Controller, pi *openflow.PacketIn) (int, error) {
+	pkt, err := DecodePacket(pi.Data)
+	if err != nil {
+		return 1, fmt.Errorf("l2-switch: %w", err)
+	}
+	dpid := pi.DatapathID
+	if a.macTable[dpid] == nil {
+		a.macTable[dpid] = make(map[uint64]uint32)
+	}
+	a.macTable[dpid][pkt.EthSrc] = pi.InPort
+
+	if pkt.IsBroadcast() {
+		// Broadcasts stay reactive (no flood rule): the controller must
+		// see them both to keep learning source MACs and because flood
+		// scope is policy (mirroring, slicing) that can change per
+		// packet.
+		_, err := c.Net.ApplyPacketOut(openflow.PacketOut{
+			DatapathID: dpid, InPort: pi.InPort,
+			Actions: []openflow.Action{{Type: openflow.ActionOutput, Port: openflow.PortFlood}},
+			Data:    pi.Data,
+		})
+		return 2, err
+	}
+
+	if port, ok := a.macTable[dpid][pkt.EthDst]; ok {
+		if err := c.InstallFlow(openflow.FlowMod{
+			DatapathID: dpid,
+			Command:    openflow.FlowAdd,
+			Priority:   10,
+			Match:      openflow.Match{EthDst: pkt.EthDst},
+			Actions:    []openflow.Action{{Type: openflow.ActionOutput, Port: port}},
+		}); err != nil {
+			return 2, fmt.Errorf("l2-switch: install flow: %w", err)
+		}
+		_, err := c.Net.ApplyPacketOut(openflow.PacketOut{
+			DatapathID: dpid, InPort: pi.InPort,
+			Actions: []openflow.Action{{Type: openflow.ActionOutput, Port: port}},
+			Data:    pi.Data,
+		})
+		return 3, err
+	}
+
+	// Unknown destination: flood without installing state.
+	_, err = c.Net.ApplyPacketOut(openflow.PacketOut{
+		DatapathID: dpid, InPort: pi.InPort,
+		Actions: []openflow.Action{{Type: openflow.ActionOutput, Port: openflow.PortFlood}},
+		Data:    pi.Data,
+	})
+	return 2, err
+}
+
+func (a *L2Switch) handlePortStatus(c *Controller, ps *openflow.PortStatus) (int, error) {
+	sw, err := c.Net.Switch(ps.DatapathID)
+	if err != nil {
+		return 1, fmt.Errorf("l2-switch: port status: %w", err)
+	}
+	if err := sw.SetPort(ps.Port, ps.Up); err != nil {
+		return 1, fmt.Errorf("l2-switch: port status: %w", err)
+	}
+	if !ps.Up {
+		// Forget MACs learned on the dead port and their flows.
+		for mac, port := range a.macTable[ps.DatapathID] {
+			if port == ps.Port {
+				delete(a.macTable[ps.DatapathID], mac)
+				sw.Table.Delete(openflow.Match{EthDst: mac})
+			}
+		}
+	}
+	return 2, nil
+}
+
+// handleConfig validates and applies one configuration key. Supported
+// keys: "vlan.<name>" (1..4094), "flood.enabled" (bool), and free-form
+// "app.*" keys.
+func (a *L2Switch) handleConfig(c *Controller, ev Event) (int, error) {
+	switch {
+	case len(ev.Key) > 5 && ev.Key[:5] == "vlan.":
+		v, err := strconv.Atoi(ev.Value)
+		if err != nil || v < 1 || v > 4094 {
+			return 1, fmt.Errorf("l2-switch: invalid vlan %q for %s", ev.Value, ev.Key)
+		}
+	case ev.Key == "flood.enabled":
+		if ev.Value != "true" && ev.Value != "false" {
+			return 1, fmt.Errorf("l2-switch: invalid bool %q for %s", ev.Value, ev.Key)
+		}
+	}
+	c.Config[ev.Key] = ev.Value
+	return 2, nil
+}
+
+// handleExternal performs one call into an external service, checking
+// the API version against expectations.
+func (a *L2Switch) handleExternal(c *Controller, ev Event) (int, error) {
+	live, ok := c.Env.Versions[ev.Service]
+	if !ok {
+		return 1, fmt.Errorf("l2-switch: unknown external service %q", ev.Service)
+	}
+	expected, ok := a.ExpectedVersions[ev.Service]
+	if !ok {
+		expected = live
+	}
+	if live != expected {
+		return 2, fmt.Errorf("l2-switch: %s API v%d incompatible with expected v%d",
+			ev.Service, live, expected)
+	}
+	return 2, nil
+}
+
+// handleReboot reconciles a datapath after a power cycle: clear learned
+// state for it and reinstall nothing (reactive re-learning).
+func (a *L2Switch) handleReboot(c *Controller, ev Event) (int, error) {
+	sw, err := c.Net.Switch(ev.DPID)
+	if err != nil {
+		return 1, fmt.Errorf("l2-switch: reboot: %w", err)
+	}
+	sw.Reboot()
+	delete(a.macTable, ev.DPID)
+	return 5, nil
+}

@@ -1,0 +1,56 @@
+package smell
+
+import (
+	"sdnbugs/internal/taxonomy"
+)
+
+// Refactoring is a recommended remediation for a smell finding. §VI-A
+// correlates these with the taxonomy's fix classes (no logic change /
+// add new logic / change existing logic): design smells are fixed by
+// restructuring existing logic, while broken hierarchies need new
+// logic (the paper's Run/ElectionOperation → AsyncLeaderElector
+// example from ONOS-6594).
+type Refactoring struct {
+	Finding Finding
+	// Technique names the classic refactoring.
+	Technique string
+	// FixClass is the taxonomy grouping the remediation falls into.
+	FixClass taxonomy.FixClass
+}
+
+// remediations maps each smell kind to its standard refactoring and
+// the fix class it corresponds to.
+var remediations = map[Kind]struct {
+	technique string
+	class     taxonomy.FixClass
+}{
+	GodComponent:               {"decompose component into cohesive packages", taxonomy.ChangeExistingLogic},
+	UnstableDependency:         {"invert dependency via an interface owned by the stable side", taxonomy.ChangeExistingLogic},
+	InsufficientModularization: {"extract class / extract method", taxonomy.ChangeExistingLogic},
+	BrokenHierarchy:            {"implement supertype contract or re-parent the subtype", taxonomy.AddNewLogic},
+	HubLikeModularization:      {"split hub responsibilities behind facades", taxonomy.ChangeExistingLogic},
+	MissingHierarchy:           {"replace conditional type logic with polymorphic hierarchy", taxonomy.AddNewLogic},
+}
+
+// Plan derives the remediation plan for a report's findings.
+func Plan(r *Report) []Refactoring {
+	out := make([]Refactoring, 0, len(r.Findings))
+	for _, f := range r.Findings {
+		rem, ok := remediations[f.Kind]
+		if !ok {
+			continue
+		}
+		out = append(out, Refactoring{Finding: f, Technique: rem.technique, FixClass: rem.class})
+	}
+	return out
+}
+
+// FixClassBreakdown aggregates a plan into the paper's three fix
+// classes, returning the count of recommended remediations per class.
+func FixClassBreakdown(plan []Refactoring) map[taxonomy.FixClass]int {
+	out := map[taxonomy.FixClass]int{}
+	for _, p := range plan {
+		out[p.FixClass]++
+	}
+	return out
+}

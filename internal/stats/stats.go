@@ -1,0 +1,236 @@
+// Package stats provides the statistical primitives the study engine
+// uses to reproduce the paper's figures: empirical CDFs (Figure 7 and
+// Figure 12), histograms, percentiles, and association measures between
+// categorical bug labels (phi coefficient and lift).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned for operations that need at least one sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// ECDF is an empirical cumulative distribution function over a sample.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from the sample (copied, then sorted).
+func NewECDF(sample []float64) (*ECDF, error) {
+	if len(sample) == 0 {
+		return nil, ErrEmpty
+	}
+	s := make([]float64, len(sample))
+	copy(s, sample)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}, nil
+}
+
+// At returns P(X <= x) under the empirical distribution.
+func (e *ECDF) At(x float64) float64 {
+	// First index with sorted[i] > x.
+	i := sort.Search(len(e.sorted), func(i int) bool { return e.sorted[i] > x })
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the smallest sample value v with At(v) >= p.
+// p is clamped to [0, 1].
+func (e *ECDF) Quantile(p float64) float64 {
+	if p <= 0 {
+		return e.sorted[0]
+	}
+	if p >= 1 {
+		return e.sorted[len(e.sorted)-1]
+	}
+	idx := int(math.Ceil(p*float64(len(e.sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return e.sorted[idx]
+}
+
+// N returns the sample size.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// Min returns the smallest sample value.
+func (e *ECDF) Min() float64 { return e.sorted[0] }
+
+// Max returns the largest sample value.
+func (e *ECDF) Max() float64 { return e.sorted[len(e.sorted)-1] }
+
+// Points returns up to n evenly spaced (x, P(X<=x)) points suitable for
+// plotting the CDF curve. The last point is always (max, 1).
+func (e *ECDF) Points(n int) []Point {
+	if n < 2 {
+		n = 2
+	}
+	lo, hi := e.Min(), e.Max()
+	out := make([]Point, 0, n)
+	if lo == hi {
+		return []Point{{X: lo, Y: 1}}
+	}
+	step := (hi - lo) / float64(n-1)
+	for i := 0; i < n; i++ {
+		x := lo + float64(i)*step
+		out = append(out, Point{X: x, Y: e.At(x)})
+	}
+	return out
+}
+
+// Point is a single (x, y) coordinate of a plotted series.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Percentile returns the p-th percentile (0..100) of the sample using
+// the nearest-rank method.
+func Percentile(sample []float64, p float64) (float64, error) {
+	e, err := NewECDF(sample)
+	if err != nil {
+		return 0, err
+	}
+	return e.Quantile(p / 100), nil
+}
+
+// Histogram counts sample values into nbins equal-width bins spanning
+// [min, max]. Values equal to max land in the last bin.
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+}
+
+// NewHistogram builds a histogram with nbins bins.
+func NewHistogram(sample []float64, nbins int) (*Histogram, error) {
+	if len(sample) == 0 {
+		return nil, ErrEmpty
+	}
+	if nbins < 1 {
+		return nil, fmt.Errorf("stats: nbins must be >= 1, got %d", nbins)
+	}
+	lo, hi := sample[0], sample[0]
+	for _, v := range sample {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	h := &Histogram{Min: lo, Max: hi, Counts: make([]int, nbins)}
+	width := (hi - lo) / float64(nbins)
+	for _, v := range sample {
+		var idx int
+		if width > 0 {
+			idx = int((v - lo) / width)
+		}
+		if idx >= nbins {
+			idx = nbins - 1
+		}
+		h.Counts[idx]++
+	}
+	return h, nil
+}
+
+// Total returns the number of samples counted.
+func (h *Histogram) Total() int {
+	var n int
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// PhiCoefficient measures association between two binary indicators
+// from their 2x2 contingency counts:
+//
+//	        b=1   b=0
+//	a=1     n11   n10
+//	a=0     n01   n00
+//
+// It returns a value in [-1, 1]; 0 when any marginal is empty.
+func PhiCoefficient(n11, n10, n01, n00 int) float64 {
+	r1 := float64(n11 + n10)
+	r0 := float64(n01 + n00)
+	c1 := float64(n11 + n01)
+	c0 := float64(n10 + n00)
+	den := math.Sqrt(r1 * r0 * c1 * c0)
+	if den == 0 {
+		return 0
+	}
+	return (float64(n11)*float64(n00) - float64(n10)*float64(n01)) / den
+}
+
+// Lift returns P(a ∧ b) / (P(a)·P(b)) over n observations, the classic
+// association-rule lift. It returns 0 when either marginal is empty.
+func Lift(n11, nA, nB, n int) float64 {
+	if nA == 0 || nB == 0 || n == 0 {
+		return 0
+	}
+	pAB := float64(n11) / float64(n)
+	pA := float64(nA) / float64(n)
+	pB := float64(nB) / float64(n)
+	return pAB / (pA * pB)
+}
+
+// PearsonCorrelation returns the sample Pearson correlation of paired
+// observations x and y, or an error on mismatched/empty input.
+func PearsonCorrelation(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("stats: paired samples differ in length: %d vs %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return 0, ErrEmpty
+	}
+	mx, my := mean(x), mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, nil
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+func mean(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// Summary holds the five-number summary plus mean of a sample.
+type Summary struct {
+	N                  int
+	Min, P25, Median   float64
+	P75, P90, P99, Max float64
+	Mean               float64
+}
+
+// Summarize computes a Summary of the sample.
+func Summarize(sample []float64) (Summary, error) {
+	e, err := NewECDF(sample)
+	if err != nil {
+		return Summary{}, err
+	}
+	return Summary{
+		N:      e.N(),
+		Min:    e.Min(),
+		P25:    e.Quantile(0.25),
+		Median: e.Quantile(0.50),
+		P75:    e.Quantile(0.75),
+		P90:    e.Quantile(0.90),
+		P99:    e.Quantile(0.99),
+		Max:    e.Max(),
+		Mean:   mean(sample),
+	}, nil
+}

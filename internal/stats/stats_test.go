@@ -1,0 +1,258 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewECDFEmpty(t *testing.T) {
+	if _, err := NewECDF(nil); err == nil {
+		t.Fatal("want ErrEmpty")
+	}
+}
+
+func TestECDFAt(t *testing.T) {
+	e, err := NewECDF([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{0, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {10, 1},
+	}
+	for _, tt := range tests {
+		if got := e.At(tt.x); got != tt.want {
+			t.Errorf("At(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestECDFQuantile(t *testing.T) {
+	e, _ := NewECDF([]float64{10, 20, 30, 40})
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {0.25, 10}, {0.5, 20}, {0.75, 30}, {1, 40}, {-1, 10}, {2, 40},
+	}
+	for _, tt := range tests {
+		if got := e.Quantile(tt.p); got != tt.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestECDFMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, probes []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		sample := make([]float64, len(raw))
+		for i, v := range raw {
+			sample[i] = math.Mod(v, 1e9)
+		}
+		e, err := NewECDF(sample)
+		if err != nil {
+			return false
+		}
+		ps := make([]float64, len(probes))
+		for i, v := range probes {
+			ps[i] = math.Mod(v, 1e9)
+		}
+		sort.Float64s(ps)
+		prev := -1.0
+		for _, x := range ps {
+			y := e.At(x)
+			if y < prev || y < 0 || y > 1 {
+				return false
+			}
+			prev = y
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestECDFPoints(t *testing.T) {
+	e, _ := NewECDF([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	pts := e.Points(11)
+	if len(pts) != 11 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	if pts[len(pts)-1].Y != 1 {
+		t.Errorf("last point Y = %v, want 1", pts[len(pts)-1].Y)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y < pts[i-1].Y {
+			t.Error("points not monotone")
+		}
+	}
+	// Constant sample collapses to one point.
+	c, _ := NewECDF([]float64{5, 5, 5})
+	if got := c.Points(10); len(got) != 1 || got[0].Y != 1 {
+		t.Errorf("constant-sample points = %v", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	v := []float64{15, 20, 35, 40, 50}
+	got, err := Percentile(v, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 20 {
+		t.Errorf("P40 = %v, want 20", got)
+	}
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Error("want error for empty sample")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 10}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != 10 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.Min != 0 || h.Max != 10 {
+		t.Errorf("range [%v,%v]", h.Min, h.Max)
+	}
+	// Max value must land in last bin, not overflow.
+	if h.Counts[4] == 0 {
+		t.Error("max value not counted in last bin")
+	}
+	if _, err := NewHistogram([]float64{1}, 0); err == nil {
+		t.Error("want error for nbins=0")
+	}
+	if _, err := NewHistogram(nil, 3); err == nil {
+		t.Error("want error for empty sample")
+	}
+	// Constant sample: all mass in one bin.
+	ch, _ := NewHistogram([]float64{2, 2, 2}, 4)
+	if ch.Counts[0] != 3 {
+		t.Errorf("constant sample counts = %v", ch.Counts)
+	}
+}
+
+func TestHistogramTotalProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		sample := make([]float64, len(raw))
+		for i, v := range raw {
+			sample[i] = math.Mod(v, 1e9)
+		}
+		h, err := NewHistogram(sample, 7)
+		return err == nil && h.Total() == len(sample)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPhiCoefficient(t *testing.T) {
+	tests := []struct {
+		name               string
+		n11, n10, n01, n00 int
+		want               float64
+	}{
+		{"perfect-positive", 10, 0, 0, 10, 1},
+		{"perfect-negative", 0, 10, 10, 0, -1},
+		{"independent", 25, 25, 25, 25, 0},
+		{"empty-marginal", 0, 0, 5, 5, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := PhiCoefficient(tt.n11, tt.n10, tt.n01, tt.n00)
+			if math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("phi = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPhiBoundedProperty(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		phi := PhiCoefficient(int(a), int(b), int(c), int(d))
+		return phi >= -1-1e-9 && phi <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLift(t *testing.T) {
+	// a and b always co-occur in half the data: lift = 0.5/(0.5*0.5) = 2.
+	if got := Lift(50, 50, 50, 100); math.Abs(got-2) > 1e-12 {
+		t.Errorf("lift = %v, want 2", got)
+	}
+	// Independent: lift = 1.
+	if got := Lift(25, 50, 50, 100); math.Abs(got-1) > 1e-12 {
+		t.Errorf("lift = %v, want 1", got)
+	}
+	if Lift(0, 0, 10, 100) != 0 || Lift(0, 10, 10, 0) != 0 {
+		t.Error("degenerate lift should be 0")
+	}
+}
+
+func TestPearsonCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	got, err := PearsonCorrelation(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("r = %v, want 1", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	got, _ = PearsonCorrelation(x, neg)
+	if math.Abs(got+1) > 1e-12 {
+		t.Errorf("r = %v, want -1", got)
+	}
+	if _, err := PearsonCorrelation(x, x[:2]); err == nil {
+		t.Error("want mismatch error")
+	}
+	if _, err := PearsonCorrelation([]float64{1}, []float64{1}); err == nil {
+		t.Error("want error for n<2")
+	}
+	// Constant series has no defined correlation; we return 0.
+	r, err := PearsonCorrelation([]float64{1, 1, 1}, []float64{1, 2, 3})
+	if err != nil || r != 0 {
+		t.Errorf("constant series r = %v err = %v", r, err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sample := make([]float64, 1000)
+	for i := range sample {
+		sample[i] = rng.Float64() * 100
+	}
+	s, err := Summarize(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 1000 {
+		t.Errorf("N = %d", s.N)
+	}
+	if !(s.Min <= s.P25 && s.P25 <= s.Median && s.Median <= s.P75 && s.P75 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.Max) {
+		t.Errorf("summary not ordered: %+v", s)
+	}
+	if math.Abs(s.Median-50) > 10 {
+		t.Errorf("median = %v, expected near 50", s.Median)
+	}
+	if _, err := Summarize(nil); err == nil {
+		t.Error("want error for empty")
+	}
+}

@@ -1,0 +1,137 @@
+package study
+
+import (
+	"math"
+	"sort"
+
+	"sdnbugs/internal/stats"
+	"sdnbugs/internal/taxonomy"
+)
+
+// CategoryPair is the association between two category tags from
+// different taxonomy dimensions, over the study's bugs (Figure 12 and
+// the §VII-B correlation discussion).
+type CategoryPair struct {
+	DimA taxonomy.Dimension
+	TagA string
+	DimB taxonomy.Dimension
+	TagB string
+	// Phi is the phi coefficient of the two indicator variables.
+	Phi float64
+	// Lift is P(A∧B) / (P(A)·P(B)).
+	Lift float64
+	// Support is the number of bugs carrying both tags.
+	Support int
+}
+
+// CategoryCorrelations computes the association of every cross-
+// dimension tag pair, ordered by descending |phi|. Tags that never
+// occur are skipped (their association is undefined).
+func (s *Study) CategoryCorrelations() []CategoryPair {
+	dims := taxonomy.Dimensions()
+	n := len(s.bugs)
+
+	// Precompute indicator counts per (dimension, tag).
+	type key struct {
+		d   taxonomy.Dimension
+		tag string
+	}
+	has := make(map[key][]bool)
+	counts := make(map[key]int)
+	for _, d := range dims {
+		for _, tag := range d.Categories() {
+			k := key{d, tag}
+			v := make([]bool, n)
+			for i, b := range s.bugs {
+				if b.Label.Tag(d) == tag {
+					v[i] = true
+					counts[k]++
+				}
+			}
+			has[k] = v
+		}
+	}
+
+	var out []CategoryPair
+	for ai, da := range dims {
+		for _, db := range dims[ai+1:] {
+			for _, ta := range da.Categories() {
+				ka := key{da, ta}
+				if counts[ka] == 0 {
+					continue
+				}
+				for _, tb := range db.Categories() {
+					kb := key{db, tb}
+					if counts[kb] == 0 {
+						continue
+					}
+					va, vb := has[ka], has[kb]
+					var n11, n10, n01, n00 int
+					for i := 0; i < n; i++ {
+						switch {
+						case va[i] && vb[i]:
+							n11++
+						case va[i] && !vb[i]:
+							n10++
+						case !va[i] && vb[i]:
+							n01++
+						default:
+							n00++
+						}
+					}
+					out = append(out, CategoryPair{
+						DimA: da, TagA: ta, DimB: db, TagB: tb,
+						Phi:     stats.PhiCoefficient(n11, n10, n01, n00),
+						Lift:    stats.Lift(n11, counts[ka], counts[kb], n),
+						Support: n11,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return math.Abs(out[i].Phi) > math.Abs(out[j].Phi)
+	})
+	return out
+}
+
+// CorrelationCDF reproduces Figure 12: the empirical CDF of |phi|
+// across all category pairs. Most pairs are weakly correlated; the
+// long tail holds the strong pairs (paper: 6.28 %).
+func (s *Study) CorrelationCDF() (*stats.ECDF, error) {
+	pairs := s.CategoryCorrelations()
+	sample := make([]float64, 0, len(pairs))
+	for _, p := range pairs {
+		sample = append(sample, math.Abs(p.Phi))
+	}
+	return stats.NewECDF(sample)
+}
+
+// StrongPairs returns the pairs with |phi| at or above threshold,
+// strongest first — the diagnosis shortcuts of §VII-B (e.g. memory ↔
+// deterministic, third-party trigger ↔ add-compatibility fix).
+func (s *Study) StrongPairs(threshold float64) []CategoryPair {
+	var out []CategoryPair
+	for _, p := range s.CategoryCorrelations() {
+		if math.Abs(p.Phi) >= threshold {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// StrongFraction returns the share of category pairs whose |phi|
+// reaches threshold (paper: 6.28 % at the knee of Figure 12).
+func (s *Study) StrongFraction(threshold float64) float64 {
+	pairs := s.CategoryCorrelations()
+	if len(pairs) == 0 {
+		return 0
+	}
+	strong := 0
+	for _, p := range pairs {
+		if math.Abs(p.Phi) >= threshold {
+			strong++
+		}
+	}
+	return float64(strong) / float64(len(pairs))
+}

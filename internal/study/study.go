@@ -1,0 +1,331 @@
+// Package study is the analysis engine of the reproduction: it takes a
+// labeled bug corpus and computes every distribution, CDF, correlation
+// and guideline the paper reports for RQ1–RQ5 (Sections III–V and VII).
+package study
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"sdnbugs/internal/stats"
+	"sdnbugs/internal/taxonomy"
+	"sdnbugs/internal/tracker"
+)
+
+// ErrNoBugs is returned when an analysis has no bugs to work on.
+var ErrNoBugs = errors.New("study: no bugs")
+
+// LabeledBug is one issue with its taxonomy label (manual ground truth
+// or NLP prediction, depending on the pipeline stage).
+type LabeledBug struct {
+	Issue tracker.Issue
+	Label taxonomy.Label
+}
+
+// Study is an analyzable collection of labeled bugs.
+type Study struct {
+	bugs []LabeledBug
+}
+
+// New builds a Study, rejecting structurally invalid labels.
+func New(bugs []LabeledBug) (*Study, error) {
+	if len(bugs) == 0 {
+		return nil, ErrNoBugs
+	}
+	for i, b := range bugs {
+		if err := b.Label.Validate(); err != nil {
+			return nil, fmt.Errorf("study: bug %d (%s): %w", i, b.Issue.ID, err)
+		}
+	}
+	cp := make([]LabeledBug, len(bugs))
+	copy(cp, bugs)
+	return &Study{bugs: cp}, nil
+}
+
+// Len returns the number of bugs in the study.
+func (s *Study) Len() int { return len(s.bugs) }
+
+// Bugs returns the labeled bugs (callers must not modify).
+func (s *Study) Bugs() []LabeledBug { return s.bugs }
+
+// Filter returns a sub-study of bugs satisfying pred, or ErrNoBugs if
+// none do.
+func (s *Study) Filter(pred func(LabeledBug) bool) (*Study, error) {
+	var out []LabeledBug
+	for _, b := range s.bugs {
+		if pred(b) {
+			out = append(out, b)
+		}
+	}
+	return New(out)
+}
+
+// ByController returns the sub-study of one controller's bugs.
+func (s *Study) ByController(c tracker.Controller) (*Study, error) {
+	return s.Filter(func(b LabeledBug) bool { return b.Issue.Controller == c })
+}
+
+// Share is one category's share of a distribution.
+type Share struct {
+	Category string  `json:"category"`
+	Count    int     `json:"count"`
+	Fraction float64 `json:"fraction"`
+}
+
+// Distribution computes the share of each category of dimension d,
+// in canonical category order. Bugs whose tag is unknown are counted
+// under "unknown" and appended last when present.
+func (s *Study) Distribution(d taxonomy.Dimension) []Share {
+	counts := map[string]int{}
+	for _, b := range s.bugs {
+		counts[b.Label.Tag(d)]++
+	}
+	var out []Share
+	n := float64(len(s.bugs))
+	for _, cat := range d.Categories() {
+		out = append(out, Share{Category: cat, Count: counts[cat], Fraction: float64(counts[cat]) / n})
+	}
+	if u := counts["unknown"]; u > 0 {
+		out = append(out, Share{Category: "unknown", Count: u, Fraction: float64(u) / n})
+	}
+	return out
+}
+
+// Fraction returns the share of bugs satisfying pred.
+func (s *Study) Fraction(pred func(LabeledBug) bool) float64 {
+	hits := 0
+	for _, b := range s.bugs {
+		if pred(b) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(s.bugs))
+}
+
+// DeterminismByController reproduces §III: the deterministic share per
+// controller (paper: FAUCET 96 %, ONOS 94 %, CORD 94 %).
+func (s *Study) DeterminismByController() map[tracker.Controller]float64 {
+	out := make(map[tracker.Controller]float64)
+	for _, c := range tracker.Controllers() {
+		sub, err := s.ByController(c)
+		if err != nil {
+			continue
+		}
+		out[c] = sub.Fraction(func(b LabeledBug) bool {
+			return b.Label.Type == taxonomy.Deterministic
+		})
+	}
+	return out
+}
+
+// ByzantineBreakdown reproduces §IV's refinement of byzantine bugs
+// (gray failures / stalling / incorrect behaviour), as fractions of the
+// byzantine bugs.
+func (s *Study) ByzantineBreakdown() map[taxonomy.ByzantineMode]float64 {
+	counts := map[taxonomy.ByzantineMode]int{}
+	total := 0
+	for _, b := range s.bugs {
+		if b.Label.Symptom == taxonomy.SymptomByzantine {
+			counts[b.Label.Byzantine]++
+			total++
+		}
+	}
+	out := make(map[taxonomy.ByzantineMode]float64)
+	if total == 0 {
+		return out
+	}
+	for _, m := range taxonomy.ByzantineModes() {
+		out[m] = float64(counts[m]) / float64(total)
+	}
+	return out
+}
+
+// CauseBySymptom reproduces Figure 2: for each symptom, the root-cause
+// distribution, per controller.
+func (s *Study) CauseBySymptom(c tracker.Controller, sym taxonomy.Symptom) ([]Share, error) {
+	sub, err := s.Filter(func(b LabeledBug) bool {
+		return b.Issue.Controller == c && b.Label.Symptom == sym
+	})
+	if err != nil {
+		return nil, fmt.Errorf("study: %s/%s: %w", c, sym, err)
+	}
+	return sub.Distribution(taxonomy.DimCause), nil
+}
+
+// ConfigSubcategories reproduces Table III: the configuration-scope
+// split among configuration-triggered bugs, per controller.
+func (s *Study) ConfigSubcategories(c tracker.Controller) (map[taxonomy.ConfigScope]float64, error) {
+	sub, err := s.Filter(func(b LabeledBug) bool {
+		return b.Issue.Controller == c && b.Label.Trigger == taxonomy.TriggerConfiguration
+	})
+	if err != nil {
+		return nil, fmt.Errorf("study: config bugs for %s: %w", c, err)
+	}
+	out := make(map[taxonomy.ConfigScope]float64)
+	for _, scope := range taxonomy.ConfigScopes() {
+		out[scope] = sub.Fraction(func(b LabeledBug) bool { return b.Label.ConfigScope == scope })
+	}
+	return out, nil
+}
+
+// FixAnalysis reproduces §V-A's fix findings.
+type FixAnalysis struct {
+	// ConfigBugsFixedByConfig is the share of configuration-triggered
+	// bugs resolved by changing configuration (paper: 25 %).
+	ConfigBugsFixedByConfig float64
+	// ExternalCompatibilityFixes is the share of external-call bugs
+	// fixed by compatibility changes or package upgrades (paper: 41.4 %).
+	ExternalCompatibilityFixes float64
+	// NetworkEventAddLogic is the share of network-event bugs fixed by
+	// adding logic or exception handling.
+	NetworkEventAddLogic float64
+}
+
+// AnalyzeFixes computes FixAnalysis over the study.
+func (s *Study) AnalyzeFixes() (FixAnalysis, error) {
+	var out FixAnalysis
+	conf, err := s.Filter(func(b LabeledBug) bool { return b.Label.Trigger == taxonomy.TriggerConfiguration })
+	if err != nil {
+		return out, fmt.Errorf("study: no configuration bugs: %w", err)
+	}
+	out.ConfigBugsFixedByConfig = conf.Fraction(func(b LabeledBug) bool {
+		return b.Label.Fix == taxonomy.FixConfiguration
+	})
+	ext, err := s.Filter(func(b LabeledBug) bool { return b.Label.Trigger == taxonomy.TriggerExternalCall })
+	if err != nil {
+		return out, fmt.Errorf("study: no external-call bugs: %w", err)
+	}
+	out.ExternalCompatibilityFixes = ext.Fraction(func(b LabeledBug) bool {
+		return b.Label.Fix == taxonomy.FixAddCompatibility || b.Label.Fix == taxonomy.FixUpgradePackages
+	})
+	net, err := s.Filter(func(b LabeledBug) bool { return b.Label.Trigger == taxonomy.TriggerNetworkEvent })
+	if err != nil {
+		return out, fmt.Errorf("study: no network-event bugs: %w", err)
+	}
+	out.NetworkEventAddLogic = net.Fraction(func(b LabeledBug) bool {
+		return b.Label.Fix == taxonomy.FixAddLogic
+	})
+	return out, nil
+}
+
+// ResolutionCDF reproduces Figure 7: the empirical CDF of resolution
+// time (in days) for one controller and trigger. Bugs without a known
+// resolution time (open bugs; all GitHub-mined bugs) are skipped.
+func (s *Study) ResolutionCDF(c tracker.Controller, trig taxonomy.Trigger) (*stats.ECDF, error) {
+	var sample []float64
+	for _, b := range s.bugs {
+		if b.Issue.Controller != c || b.Label.Trigger != trig {
+			continue
+		}
+		if d, ok := b.Issue.ResolutionTime(); ok {
+			sample = append(sample, d.Hours()/24)
+		}
+	}
+	e, err := stats.NewECDF(sample)
+	if err != nil {
+		return nil, fmt.Errorf("study: resolution CDF %s/%s: %w", c, trig, err)
+	}
+	return e, nil
+}
+
+// ReleaseBurst reproduces §II-B's observation that bug creation bursts
+// around releases: it returns the share of bugs created within window
+// after any of the release dates.
+func (s *Study) ReleaseBurst(releases []time.Time, window time.Duration) float64 {
+	return s.Fraction(func(b LabeledBug) bool {
+		for _, r := range releases {
+			d := b.Issue.Created.Sub(r)
+			if d >= 0 && d <= window {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// ControllerGuideline reproduces §VII-A (Table VI context): the per-
+// controller stability indicators the paper bases its selection
+// guideline on.
+type ControllerGuideline struct {
+	Controller tracker.Controller
+	// MissingLogicShare flags immature codebases (FAUCET: 52.5 %).
+	MissingLogicShare float64
+	// LoadShare flags load-fragile controllers (CORD 30 % vs ONOS 16 %).
+	LoadShare float64
+	// FailStopShare is the availability risk.
+	FailStopShare float64
+	// DeterministicShare is RQ1's reproducibility measure.
+	DeterministicShare float64
+}
+
+// Guidelines computes ControllerGuideline for every controller, sorted
+// by ascending combined risk (the paper recommends ONOS).
+func (s *Study) Guidelines() ([]ControllerGuideline, error) {
+	var out []ControllerGuideline
+	for _, c := range tracker.Controllers() {
+		sub, err := s.ByController(c)
+		if err != nil {
+			return nil, fmt.Errorf("study: guidelines: %w", err)
+		}
+		out = append(out, ControllerGuideline{
+			Controller: c,
+			MissingLogicShare: sub.Fraction(func(b LabeledBug) bool {
+				return b.Label.Cause == taxonomy.CauseMissingLogic
+			}),
+			LoadShare: sub.Fraction(func(b LabeledBug) bool {
+				return b.Label.Cause == taxonomy.CauseLoad
+			}),
+			FailStopShare: sub.Fraction(func(b LabeledBug) bool {
+				return b.Label.Symptom == taxonomy.SymptomFailStop
+			}),
+			DeterministicShare: sub.Fraction(func(b LabeledBug) bool {
+				return b.Label.Type == taxonomy.Deterministic
+			}),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return risk(out[i]) < risk(out[j])
+	})
+	return out, nil
+}
+
+// risk is the combined instability score used only for ordering the
+// guideline table: equal-weight sum of the fragility indicators.
+func risk(g ControllerGuideline) float64 {
+	return g.MissingLogicShare + g.LoadShare + g.FailStopShare
+}
+
+// DomainComparison reproduces the related-work table (§IX): symptom
+// shares for SDN (measured) against the cloud and BGP bug studies the
+// paper cites. Reference values are percentages from the paper's table;
+// NA entries are represented as negative values.
+type DomainComparison struct {
+	Symptom     taxonomy.Symptom
+	SDNMeasured float64
+	CloudRef    float64
+	BGPRef      float64
+}
+
+// CompareDomains computes the comparison rows.
+func (s *Study) CompareDomains() []DomainComparison {
+	refs := map[taxonomy.Symptom][2]float64{
+		taxonomy.SymptomFailStop:     {0.59, 0.39},
+		taxonomy.SymptomPerformance:  {0.14, -1},
+		taxonomy.SymptomErrorMessage: {-1, -1},
+		taxonomy.SymptomByzantine:    {0.25, 0.38},
+	}
+	var out []DomainComparison
+	for _, sym := range taxonomy.Symptoms() {
+		out = append(out, DomainComparison{
+			Symptom: sym,
+			SDNMeasured: s.Fraction(func(b LabeledBug) bool {
+				return b.Label.Symptom == sym
+			}),
+			CloudRef: refs[sym][0],
+			BGPRef:   refs[sym][1],
+		})
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package study
+
+import (
+	"fmt"
+	"sort"
+
+	"sdnbugs/internal/nlp/lda"
+	"sdnbugs/internal/nlp/nmf"
+	"sdnbugs/internal/nlp/tfidf"
+	"sdnbugs/internal/taxonomy"
+)
+
+// TopicUniqueness is one category's topic-uniqueness score (Figure 14):
+// how exclusively the category's bugs own their dominant NMF topics.
+// A score near 1 means the category's reports read unlike any other
+// category's; near 0 means its topics are shared.
+type TopicUniqueness struct {
+	Dimension taxonomy.Dimension
+	Tag       string
+	Score     float64
+	Support   int
+}
+
+// TopicConfig controls the Figure 14 analysis.
+type TopicConfig struct {
+	// Rank is the NMF topic count (default 12).
+	Rank int
+	// Seed drives NMF initialization.
+	Seed int64
+	// MinSupport skips categories with fewer bugs (default 5).
+	MinSupport int
+	// MaxVocab caps the TF-IDF vocabulary (default 400).
+	MaxVocab int
+}
+
+func (c TopicConfig) withDefaults() TopicConfig {
+	if c.Rank <= 0 {
+		c.Rank = 12
+	}
+	if c.MinSupport <= 0 {
+		c.MinSupport = 5
+	}
+	if c.MaxVocab <= 0 {
+		c.MaxVocab = 400
+	}
+	return c
+}
+
+// TopicUniquenessAnalysis reproduces Figure 14: NMF topics over the
+// bugs' TF-IDF matrix, a dominant topic per bug, and per category the
+// exclusivity-weighted share of its dominant topics. Results are
+// sorted by descending score.
+func (s *Study) TopicUniquenessAnalysis(cfg TopicConfig) ([]TopicUniqueness, error) {
+	cfg = cfg.withDefaults()
+	docs := tokenizeAll(s.bugs)
+	vec := &tfidf.Vectorizer{MaxVocab: cfg.MaxVocab, MinDF: 2}
+	x, err := vec.FitTransform(docs)
+	if err != nil {
+		return nil, fmt.Errorf("study: topics tfidf: %w", err)
+	}
+	rank := cfg.Rank
+	if rank > vec.VocabSize() {
+		rank = vec.VocabSize()
+	}
+	model, err := nmf.Factorize(x, nmf.Config{Rank: rank, Seed: cfg.Seed, MaxIter: 150})
+	if err != nil {
+		return nil, fmt.Errorf("study: nmf: %w", err)
+	}
+	dom := make([]int, len(s.bugs))
+	topicTotal := make([]int, rank)
+	for i := range s.bugs {
+		t, err := model.DominantTopic(i)
+		if err != nil {
+			return nil, err
+		}
+		dom[i] = t
+		topicTotal[t]++
+	}
+
+	var out []TopicUniqueness
+	for _, d := range taxonomy.Dimensions() {
+		for _, tag := range d.Categories() {
+			// Per-topic counts for this category.
+			counts := make([]int, rank)
+			support := 0
+			for i, b := range s.bugs {
+				if b.Label.Tag(d) == tag {
+					counts[dom[i]]++
+					support++
+				}
+			}
+			if support < cfg.MinSupport {
+				continue
+			}
+			// Score = Σ_t P(t|c) · exclusivity(t,c), where exclusivity
+			// is the category's share of all bugs on that topic.
+			var score float64
+			for t := 0; t < rank; t++ {
+				if counts[t] == 0 {
+					continue
+				}
+				pTC := float64(counts[t]) / float64(support)
+				excl := float64(counts[t]) / float64(topicTotal[t])
+				score += pTC * excl
+			}
+			out = append(out, TopicUniqueness{
+				Dimension: d, Tag: tag, Score: score, Support: support,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Tag < out[j].Tag
+	})
+	return out, nil
+}
+
+// TopicUniquenessAnalysisLDA is the Figure 14 analysis computed with
+// LDA topics instead of NMF — the alternative the paper considered and
+// rejected (§II-C). Scores use the same exclusivity metric so the two
+// models are directly comparable.
+func (s *Study) TopicUniquenessAnalysisLDA(cfg TopicConfig) ([]TopicUniqueness, error) {
+	cfg = cfg.withDefaults()
+	docs := tokenizeAll(s.bugs)
+	model, err := lda.Fit(docs, lda.Config{Topics: cfg.Rank, Seed: cfg.Seed, Iterations: 120})
+	if err != nil {
+		return nil, fmt.Errorf("study: lda: %w", err)
+	}
+	dom := make([]int, len(s.bugs))
+	topicTotal := make([]int, cfg.Rank)
+	for i := range s.bugs {
+		t, err := model.DominantTopic(i)
+		if err != nil {
+			return nil, err
+		}
+		dom[i] = t
+		topicTotal[t]++
+	}
+	return scoreUniqueness(s.bugs, dom, topicTotal, cfg.MinSupport), nil
+}
+
+// scoreUniqueness computes the exclusivity-weighted uniqueness of every
+// category given per-document dominant topics.
+func scoreUniqueness(bugs []LabeledBug, dom []int, topicTotal []int, minSupport int) []TopicUniqueness {
+	var out []TopicUniqueness
+	for _, d := range taxonomy.Dimensions() {
+		for _, tag := range d.Categories() {
+			counts := make([]int, len(topicTotal))
+			support := 0
+			for i, b := range bugs {
+				if b.Label.Tag(d) == tag {
+					counts[dom[i]]++
+					support++
+				}
+			}
+			if support < minSupport {
+				continue
+			}
+			var score float64
+			for t := range topicTotal {
+				if counts[t] == 0 {
+					continue
+				}
+				pTC := float64(counts[t]) / float64(support)
+				excl := float64(counts[t]) / float64(topicTotal[t])
+				score += pTC * excl
+			}
+			out = append(out, TopicUniqueness{Dimension: d, Tag: tag, Score: score, Support: support})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Tag < out[j].Tag
+	})
+	return out
+}

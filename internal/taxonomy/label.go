@@ -1,0 +1,294 @@
+package taxonomy
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Label is one bug's full classification: at most one tag per dimension
+// (per the paper's labeling protocol) plus the refinement sub-tags.
+type Label struct {
+	Type         BugType
+	Cause        RootCause
+	Symptom      Symptom
+	Byzantine    ByzantineMode // meaningful only when Symptom == SymptomByzantine
+	Fix          Fix
+	Trigger      Trigger
+	ExternalKind ExternalCallKind // meaningful only when Trigger == TriggerExternalCall
+	ConfigScope  ConfigScope      // meaningful only when Trigger == TriggerConfiguration
+}
+
+// Validation errors returned by Label.Validate.
+var (
+	ErrDanglingByzantineMode = errors.New("taxonomy: byzantine mode set without byzantine symptom")
+	ErrMissingByzantineMode  = errors.New("taxonomy: byzantine symptom requires a byzantine mode")
+	ErrDanglingExternalKind  = errors.New("taxonomy: external-call kind set without external-call trigger")
+	ErrMissingExternalKind   = errors.New("taxonomy: external-call trigger requires a call kind")
+	ErrDanglingConfigScope   = errors.New("taxonomy: config scope set without configuration trigger")
+	ErrMissingConfigScope    = errors.New("taxonomy: configuration trigger requires a config scope")
+)
+
+// Validate checks the structural rules of the taxonomy: refinement tags
+// must be present exactly when their parent tag is, and no tag may be
+// outside its dimension's universe. A completely empty label is valid
+// (an unlabeled bug).
+func (l Label) Validate() error {
+	if l.Byzantine != ByzantineNone && l.Symptom != SymptomByzantine {
+		return ErrDanglingByzantineMode
+	}
+	if l.Symptom == SymptomByzantine && l.Byzantine == ByzantineNone {
+		return ErrMissingByzantineMode
+	}
+	if l.ExternalKind != ExternalCallNone && l.Trigger != TriggerExternalCall {
+		return ErrDanglingExternalKind
+	}
+	if l.Trigger == TriggerExternalCall && l.ExternalKind == ExternalCallNone {
+		return ErrMissingExternalKind
+	}
+	if l.ConfigScope != ConfigScopeNone && l.Trigger != TriggerConfiguration {
+		return ErrDanglingConfigScope
+	}
+	if l.Trigger == TriggerConfiguration && l.ConfigScope == ConfigScopeNone {
+		return ErrMissingConfigScope
+	}
+	if l.Type < BugTypeUnknown || l.Type > NonDeterministic {
+		return fmt.Errorf("taxonomy: bug type %d out of range", l.Type)
+	}
+	if l.Cause < RootCauseUnknown || l.Cause > CauseEcosystem {
+		return fmt.Errorf("taxonomy: root cause %d out of range", l.Cause)
+	}
+	if l.Symptom < SymptomUnknown || l.Symptom > SymptomByzantine {
+		return fmt.Errorf("taxonomy: symptom %d out of range", l.Symptom)
+	}
+	if l.Fix < FixUnknown || l.Fix > FixWorkaround {
+		return fmt.Errorf("taxonomy: fix %d out of range", l.Fix)
+	}
+	if l.Trigger < TriggerUnknown || l.Trigger > TriggerHardwareReboot {
+		return fmt.Errorf("taxonomy: trigger %d out of range", l.Trigger)
+	}
+	return nil
+}
+
+// Complete reports whether every primary dimension has a concrete tag.
+func (l Label) Complete() bool {
+	return l.Type != BugTypeUnknown &&
+		l.Cause != RootCauseUnknown &&
+		l.Symptom != SymptomUnknown &&
+		l.Fix != FixUnknown &&
+		l.Trigger != TriggerUnknown
+}
+
+// labelJSON is the wire form of Label: all tags as their string names.
+type labelJSON struct {
+	Type         string `json:"type"`
+	Cause        string `json:"cause"`
+	Symptom      string `json:"symptom"`
+	Byzantine    string `json:"byzantine,omitempty"`
+	Fix          string `json:"fix"`
+	Trigger      string `json:"trigger"`
+	ExternalKind string `json:"external_kind,omitempty"`
+	ConfigScope  string `json:"config_scope,omitempty"`
+}
+
+// MarshalJSON encodes the label with human-readable tag names.
+func (l Label) MarshalJSON() ([]byte, error) {
+	w := labelJSON{
+		Type:    l.Type.String(),
+		Cause:   l.Cause.String(),
+		Symptom: l.Symptom.String(),
+		Fix:     l.Fix.String(),
+		Trigger: l.Trigger.String(),
+	}
+	if l.Byzantine != ByzantineNone {
+		w.Byzantine = l.Byzantine.String()
+	}
+	if l.ExternalKind != ExternalCallNone {
+		w.ExternalKind = l.ExternalKind.String()
+	}
+	if l.ConfigScope != ConfigScopeNone {
+		w.ConfigScope = l.ConfigScope.String()
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes the string-name wire form. Unknown primary tags
+// decode to the Unknown value only when spelled "unknown"; anything
+// else is an error.
+func (l *Label) UnmarshalJSON(data []byte) error {
+	var w labelJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("taxonomy: decode label: %w", err)
+	}
+	out := Label{}
+	var err error
+	if w.Type != "" && w.Type != "unknown" {
+		if out.Type, err = ParseBugType(w.Type); err != nil {
+			return err
+		}
+	}
+	if w.Cause != "" && w.Cause != "unknown" {
+		if out.Cause, err = ParseRootCause(w.Cause); err != nil {
+			return err
+		}
+	}
+	if w.Symptom != "" && w.Symptom != "unknown" {
+		if out.Symptom, err = ParseSymptom(w.Symptom); err != nil {
+			return err
+		}
+	}
+	if out.Byzantine, err = ParseByzantineMode(w.Byzantine); err != nil {
+		return err
+	}
+	if w.Fix != "" && w.Fix != "unknown" {
+		if out.Fix, err = ParseFix(w.Fix); err != nil {
+			return err
+		}
+	}
+	if w.Trigger != "" && w.Trigger != "unknown" {
+		if out.Trigger, err = ParseTrigger(w.Trigger); err != nil {
+			return err
+		}
+	}
+	if out.ExternalKind, err = ParseExternalCallKind(w.ExternalKind); err != nil {
+		return err
+	}
+	if out.ConfigScope, err = ParseConfigScope(w.ConfigScope); err != nil {
+		return err
+	}
+	*l = out
+	return nil
+}
+
+// Dimension identifies one axis of the taxonomy; used by the study and
+// classification code to iterate dimensions generically.
+type Dimension int
+
+// Dimension values.
+const (
+	DimensionUnknown Dimension = iota
+	DimType
+	DimCause
+	DimSymptom
+	DimFix
+	DimTrigger
+)
+
+// Dimensions lists every concrete Dimension.
+func Dimensions() []Dimension {
+	return []Dimension{DimType, DimCause, DimSymptom, DimFix, DimTrigger}
+}
+
+func (d Dimension) String() string {
+	switch d {
+	case DimType:
+		return "bug-type"
+	case DimCause:
+		return "root-cause"
+	case DimSymptom:
+		return "symptom"
+	case DimFix:
+		return "fix"
+	case DimTrigger:
+		return "trigger"
+	default:
+		return "unknown"
+	}
+}
+
+// Categories returns the string names of the dimension's category
+// universe, in canonical order.
+func (d Dimension) Categories() []string {
+	switch d {
+	case DimType:
+		out := make([]string, 0, len(BugTypes()))
+		for _, v := range BugTypes() {
+			out = append(out, v.String())
+		}
+		return out
+	case DimCause:
+		out := make([]string, 0, len(RootCauses()))
+		for _, v := range RootCauses() {
+			out = append(out, v.String())
+		}
+		return out
+	case DimSymptom:
+		out := make([]string, 0, len(Symptoms()))
+		for _, v := range Symptoms() {
+			out = append(out, v.String())
+		}
+		return out
+	case DimFix:
+		out := make([]string, 0, len(Fixes()))
+		for _, v := range Fixes() {
+			out = append(out, v.String())
+		}
+		return out
+	case DimTrigger:
+		out := make([]string, 0, len(Triggers()))
+		for _, v := range Triggers() {
+			out = append(out, v.String())
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// Tag returns the label's tag name along dimension d.
+func (l Label) Tag(d Dimension) string {
+	switch d {
+	case DimType:
+		return l.Type.String()
+	case DimCause:
+		return l.Cause.String()
+	case DimSymptom:
+		return l.Symptom.String()
+	case DimFix:
+		return l.Fix.String()
+	case DimTrigger:
+		return l.Trigger.String()
+	default:
+		return "unknown"
+	}
+}
+
+// SetTag assigns the named tag along dimension d, returning an error if
+// the name is not in that dimension's universe.
+func (l *Label) SetTag(d Dimension, name string) error {
+	switch d {
+	case DimType:
+		v, err := ParseBugType(name)
+		if err != nil {
+			return err
+		}
+		l.Type = v
+	case DimCause:
+		v, err := ParseRootCause(name)
+		if err != nil {
+			return err
+		}
+		l.Cause = v
+	case DimSymptom:
+		v, err := ParseSymptom(name)
+		if err != nil {
+			return err
+		}
+		l.Symptom = v
+	case DimFix:
+		v, err := ParseFix(name)
+		if err != nil {
+			return err
+		}
+		l.Fix = v
+	case DimTrigger:
+		v, err := ParseTrigger(name)
+		if err != nil {
+			return err
+		}
+		l.Trigger = v
+	default:
+		return fmt.Errorf("taxonomy: cannot set tag on dimension %v", d)
+	}
+	return nil
+}

@@ -1,0 +1,425 @@
+// Package taxonomy defines the bug taxonomy of Table I in the paper: the
+// five classification dimensions (bug type, root cause, symptom, fix,
+// trigger) and their category universes, plus the sub-categories the
+// paper uses for deeper analysis (Byzantine failure modes, configuration
+// scopes, external-call kinds).
+//
+// Every bug receives at most one tag per dimension; Label.Validate
+// enforces the structural rules the paper's manual labeling followed.
+package taxonomy
+
+import (
+	"fmt"
+)
+
+// BugType classifies reproducibility (paper §III).
+type BugType int
+
+// BugType values. Deterministic bugs reproduce under a fixed input
+// sequence; non-deterministic bugs do not.
+const (
+	BugTypeUnknown BugType = iota
+	Deterministic
+	NonDeterministic
+)
+
+// BugTypes lists every concrete BugType.
+func BugTypes() []BugType { return []BugType{Deterministic, NonDeterministic} }
+
+func (t BugType) String() string {
+	switch t {
+	case Deterministic:
+		return "deterministic"
+	case NonDeterministic:
+		return "non-deterministic"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseBugType parses the string form produced by String.
+func ParseBugType(s string) (BugType, error) {
+	for _, t := range BugTypes() {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return BugTypeUnknown, fmt.Errorf("taxonomy: unknown bug type %q", s)
+}
+
+// RootCause classifies why the bug exists (Table I).
+type RootCause int
+
+// RootCause values. The first four are controller-logic causes; the
+// last two are non-controller causes (human misconfiguration and
+// ecosystem interaction).
+const (
+	RootCauseUnknown RootCause = iota
+	CauseLoad
+	CauseConcurrency
+	CauseMemory
+	CauseMissingLogic
+	CauseHumanMisconfig
+	CauseEcosystem
+)
+
+// RootCauses lists every concrete RootCause.
+func RootCauses() []RootCause {
+	return []RootCause{
+		CauseLoad, CauseConcurrency, CauseMemory,
+		CauseMissingLogic, CauseHumanMisconfig, CauseEcosystem,
+	}
+}
+
+// IsControllerLogic reports whether the cause lies in controller code
+// (as opposed to human error or the surrounding ecosystem).
+func (c RootCause) IsControllerLogic() bool {
+	switch c {
+	case CauseLoad, CauseConcurrency, CauseMemory, CauseMissingLogic:
+		return true
+	default:
+		return false
+	}
+}
+
+func (c RootCause) String() string {
+	switch c {
+	case CauseLoad:
+		return "load"
+	case CauseConcurrency:
+		return "concurrency"
+	case CauseMemory:
+		return "memory"
+	case CauseMissingLogic:
+		return "missing-logic"
+	case CauseHumanMisconfig:
+		return "human-misconfiguration"
+	case CauseEcosystem:
+		return "ecosystem-interaction"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseRootCause parses the string form produced by String.
+func ParseRootCause(s string) (RootCause, error) {
+	for _, c := range RootCauses() {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return RootCauseUnknown, fmt.Errorf("taxonomy: unknown root cause %q", s)
+}
+
+// Symptom classifies the operational impact (paper §IV).
+type Symptom int
+
+// Symptom values.
+const (
+	SymptomUnknown Symptom = iota
+	SymptomPerformance
+	SymptomFailStop
+	SymptomErrorMessage
+	SymptomByzantine
+)
+
+// Symptoms lists every concrete Symptom.
+func Symptoms() []Symptom {
+	return []Symptom{SymptomPerformance, SymptomFailStop, SymptomErrorMessage, SymptomByzantine}
+}
+
+func (s Symptom) String() string {
+	switch s {
+	case SymptomPerformance:
+		return "performance"
+	case SymptomFailStop:
+		return "fail-stop"
+	case SymptomErrorMessage:
+		return "error-message"
+	case SymptomByzantine:
+		return "byzantine"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseSymptom parses the string form produced by String.
+func ParseSymptom(s string) (Symptom, error) {
+	for _, v := range Symptoms() {
+		if v.String() == s {
+			return v, nil
+		}
+	}
+	return SymptomUnknown, fmt.Errorf("taxonomy: unknown symptom %q", s)
+}
+
+// ByzantineMode refines SymptomByzantine (paper §IV: gray failures,
+// stalling, incorrect behavior).
+type ByzantineMode int
+
+// ByzantineMode values.
+const (
+	ByzantineNone ByzantineMode = iota
+	GrayFailure
+	Stalling
+	IncorrectBehavior
+)
+
+// ByzantineModes lists every concrete ByzantineMode.
+func ByzantineModes() []ByzantineMode {
+	return []ByzantineMode{GrayFailure, Stalling, IncorrectBehavior}
+}
+
+func (m ByzantineMode) String() string {
+	switch m {
+	case GrayFailure:
+		return "gray-failure"
+	case Stalling:
+		return "stalling"
+	case IncorrectBehavior:
+		return "incorrect-behavior"
+	default:
+		return "none"
+	}
+}
+
+// ParseByzantineMode parses the string form produced by String.
+func ParseByzantineMode(s string) (ByzantineMode, error) {
+	if s == "none" || s == "" {
+		return ByzantineNone, nil
+	}
+	for _, v := range ByzantineModes() {
+		if v.String() == s {
+			return v, nil
+		}
+	}
+	return ByzantineNone, fmt.Errorf("taxonomy: unknown byzantine mode %q", s)
+}
+
+// Fix classifies the resolution strategy (Table I).
+type Fix int
+
+// Fix values, grouped as the paper groups them: no logic change
+// (rollback, upgrade packages), new logic (add logic), or modification
+// of existing logic (synchronization, configuration, compatibility,
+// workaround).
+const (
+	FixUnknown Fix = iota
+	FixRollbackUpgrade
+	FixUpgradePackages
+	FixAddLogic
+	FixAddSynchronization
+	FixConfiguration
+	FixAddCompatibility
+	FixWorkaround
+)
+
+// Fixes lists every concrete Fix.
+func Fixes() []Fix {
+	return []Fix{
+		FixRollbackUpgrade, FixUpgradePackages, FixAddLogic,
+		FixAddSynchronization, FixConfiguration, FixAddCompatibility, FixWorkaround,
+	}
+}
+
+// FixClass is the paper's three-way grouping of fixes.
+type FixClass int
+
+// FixClass values.
+const (
+	FixClassUnknown FixClass = iota
+	NoLogicChange
+	AddNewLogic
+	ChangeExistingLogic
+)
+
+func (fc FixClass) String() string {
+	switch fc {
+	case NoLogicChange:
+		return "no-logic-change"
+	case AddNewLogic:
+		return "add-new-logic"
+	case ChangeExistingLogic:
+		return "change-existing-logic"
+	default:
+		return "unknown"
+	}
+}
+
+// Class returns the paper's grouping for the fix.
+func (f Fix) Class() FixClass {
+	switch f {
+	case FixRollbackUpgrade, FixUpgradePackages:
+		return NoLogicChange
+	case FixAddLogic:
+		return AddNewLogic
+	case FixAddSynchronization, FixConfiguration, FixAddCompatibility, FixWorkaround:
+		return ChangeExistingLogic
+	default:
+		return FixClassUnknown
+	}
+}
+
+func (f Fix) String() string {
+	switch f {
+	case FixRollbackUpgrade:
+		return "rollback-upgrade"
+	case FixUpgradePackages:
+		return "upgrade-packages"
+	case FixAddLogic:
+		return "add-logic"
+	case FixAddSynchronization:
+		return "add-synchronization"
+	case FixConfiguration:
+		return "fix-configuration"
+	case FixAddCompatibility:
+		return "add-compatibility"
+	case FixWorkaround:
+		return "workaround"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseFix parses the string form produced by String.
+func ParseFix(s string) (Fix, error) {
+	for _, f := range Fixes() {
+		if f.String() == s {
+			return f, nil
+		}
+	}
+	return FixUnknown, fmt.Errorf("taxonomy: unknown fix %q", s)
+}
+
+// Trigger classifies the event that initiates the bug (Table I).
+type Trigger int
+
+// Trigger values, aligned with the canonical event-driven controller of
+// the paper's Figure 1.
+const (
+	TriggerUnknown Trigger = iota
+	TriggerConfiguration
+	TriggerExternalCall
+	TriggerNetworkEvent
+	TriggerHardwareReboot
+)
+
+// Triggers lists every concrete Trigger.
+func Triggers() []Trigger {
+	return []Trigger{
+		TriggerConfiguration, TriggerExternalCall,
+		TriggerNetworkEvent, TriggerHardwareReboot,
+	}
+}
+
+func (t Trigger) String() string {
+	switch t {
+	case TriggerConfiguration:
+		return "configuration"
+	case TriggerExternalCall:
+		return "external-call"
+	case TriggerNetworkEvent:
+		return "network-event"
+	case TriggerHardwareReboot:
+		return "hardware-reboot"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseTrigger parses the string form produced by String.
+func ParseTrigger(s string) (Trigger, error) {
+	for _, t := range Triggers() {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return TriggerUnknown, fmt.Errorf("taxonomy: unknown trigger %q", s)
+}
+
+// ExternalCallKind refines TriggerExternalCall for the whole-dataset
+// analysis (Figure 13: system calls, third-party calls, application
+// calls all belong to external calls).
+type ExternalCallKind int
+
+// ExternalCallKind values.
+const (
+	ExternalCallNone ExternalCallKind = iota
+	SystemCall
+	ThirdPartyCall
+	ApplicationCall
+)
+
+// ExternalCallKinds lists every concrete ExternalCallKind.
+func ExternalCallKinds() []ExternalCallKind {
+	return []ExternalCallKind{SystemCall, ThirdPartyCall, ApplicationCall}
+}
+
+func (k ExternalCallKind) String() string {
+	switch k {
+	case SystemCall:
+		return "system-call"
+	case ThirdPartyCall:
+		return "third-party-call"
+	case ApplicationCall:
+		return "application-call"
+	default:
+		return "none"
+	}
+}
+
+// ParseExternalCallKind parses the string form produced by String.
+func ParseExternalCallKind(s string) (ExternalCallKind, error) {
+	if s == "none" || s == "" {
+		return ExternalCallNone, nil
+	}
+	for _, k := range ExternalCallKinds() {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return ExternalCallNone, fmt.Errorf("taxonomy: unknown external call kind %q", s)
+}
+
+// ConfigScope refines TriggerConfiguration (Table III: controller,
+// data-plane, or third-party configuration).
+type ConfigScope int
+
+// ConfigScope values.
+const (
+	ConfigScopeNone ConfigScope = iota
+	ConfigController
+	ConfigDataPlane
+	ConfigThirdParty
+)
+
+// ConfigScopes lists every concrete ConfigScope.
+func ConfigScopes() []ConfigScope {
+	return []ConfigScope{ConfigController, ConfigDataPlane, ConfigThirdParty}
+}
+
+func (s ConfigScope) String() string {
+	switch s {
+	case ConfigController:
+		return "controller-config"
+	case ConfigDataPlane:
+		return "data-plane-config"
+	case ConfigThirdParty:
+		return "third-party-config"
+	default:
+		return "none"
+	}
+}
+
+// ParseConfigScope parses the string form produced by String.
+func ParseConfigScope(str string) (ConfigScope, error) {
+	if str == "none" || str == "" {
+		return ConfigScopeNone, nil
+	}
+	for _, s := range ConfigScopes() {
+		if s.String() == str {
+			return s, nil
+		}
+	}
+	return ConfigScopeNone, fmt.Errorf("taxonomy: unknown config scope %q", str)
+}

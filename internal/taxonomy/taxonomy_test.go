@@ -1,0 +1,317 @@
+package taxonomy
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestStringParseRoundTrips(t *testing.T) {
+	for _, v := range BugTypes() {
+		got, err := ParseBugType(v.String())
+		if err != nil || got != v {
+			t.Errorf("BugType %v round-trip: %v, %v", v, got, err)
+		}
+	}
+	for _, v := range RootCauses() {
+		got, err := ParseRootCause(v.String())
+		if err != nil || got != v {
+			t.Errorf("RootCause %v round-trip: %v, %v", v, got, err)
+		}
+	}
+	for _, v := range Symptoms() {
+		got, err := ParseSymptom(v.String())
+		if err != nil || got != v {
+			t.Errorf("Symptom %v round-trip: %v, %v", v, got, err)
+		}
+	}
+	for _, v := range ByzantineModes() {
+		got, err := ParseByzantineMode(v.String())
+		if err != nil || got != v {
+			t.Errorf("ByzantineMode %v round-trip: %v, %v", v, got, err)
+		}
+	}
+	for _, v := range Fixes() {
+		got, err := ParseFix(v.String())
+		if err != nil || got != v {
+			t.Errorf("Fix %v round-trip: %v, %v", v, got, err)
+		}
+	}
+	for _, v := range Triggers() {
+		got, err := ParseTrigger(v.String())
+		if err != nil || got != v {
+			t.Errorf("Trigger %v round-trip: %v, %v", v, got, err)
+		}
+	}
+	for _, v := range ExternalCallKinds() {
+		got, err := ParseExternalCallKind(v.String())
+		if err != nil || got != v {
+			t.Errorf("ExternalCallKind %v round-trip: %v, %v", v, got, err)
+		}
+	}
+	for _, v := range ConfigScopes() {
+		got, err := ParseConfigScope(v.String())
+		if err != nil || got != v {
+			t.Errorf("ConfigScope %v round-trip: %v, %v", v, got, err)
+		}
+	}
+}
+
+func TestParseRejectsUnknown(t *testing.T) {
+	if _, err := ParseBugType("bogus"); err == nil {
+		t.Error("ParseBugType should reject bogus")
+	}
+	if _, err := ParseRootCause("bogus"); err == nil {
+		t.Error("ParseRootCause should reject bogus")
+	}
+	if _, err := ParseSymptom("bogus"); err == nil {
+		t.Error("ParseSymptom should reject bogus")
+	}
+	if _, err := ParseFix("bogus"); err == nil {
+		t.Error("ParseFix should reject bogus")
+	}
+	if _, err := ParseTrigger("bogus"); err == nil {
+		t.Error("ParseTrigger should reject bogus")
+	}
+}
+
+func TestRootCauseIsControllerLogic(t *testing.T) {
+	logic := map[RootCause]bool{
+		CauseLoad: true, CauseConcurrency: true, CauseMemory: true,
+		CauseMissingLogic: true, CauseHumanMisconfig: false, CauseEcosystem: false,
+	}
+	for c, want := range logic {
+		if got := c.IsControllerLogic(); got != want {
+			t.Errorf("%v.IsControllerLogic() = %v, want %v", c, got, want)
+		}
+	}
+}
+
+func TestFixClass(t *testing.T) {
+	tests := []struct {
+		fix  Fix
+		want FixClass
+	}{
+		{FixRollbackUpgrade, NoLogicChange},
+		{FixUpgradePackages, NoLogicChange},
+		{FixAddLogic, AddNewLogic},
+		{FixAddSynchronization, ChangeExistingLogic},
+		{FixConfiguration, ChangeExistingLogic},
+		{FixAddCompatibility, ChangeExistingLogic},
+		{FixWorkaround, ChangeExistingLogic},
+		{FixUnknown, FixClassUnknown},
+	}
+	for _, tt := range tests {
+		if got := tt.fix.Class(); got != tt.want {
+			t.Errorf("%v.Class() = %v, want %v", tt.fix, got, tt.want)
+		}
+	}
+}
+
+func validLabel() Label {
+	return Label{
+		Type:      Deterministic,
+		Cause:     CauseMissingLogic,
+		Symptom:   SymptomByzantine,
+		Byzantine: GrayFailure,
+		Fix:       FixAddLogic,
+		Trigger:   TriggerNetworkEvent,
+	}
+}
+
+func TestLabelValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Label)
+		wantErr error
+	}{
+		{"valid", func(*Label) {}, nil},
+		{"empty-label-valid", func(l *Label) { *l = Label{} }, nil},
+		{
+			"dangling-byzantine",
+			func(l *Label) { l.Symptom = SymptomFailStop },
+			ErrDanglingByzantineMode,
+		},
+		{
+			"missing-byzantine-mode",
+			func(l *Label) { l.Byzantine = ByzantineNone },
+			ErrMissingByzantineMode,
+		},
+		{
+			"external-call-needs-kind",
+			func(l *Label) { l.Trigger = TriggerExternalCall },
+			ErrMissingExternalKind,
+		},
+		{
+			"dangling-external-kind",
+			func(l *Label) { l.ExternalKind = ThirdPartyCall },
+			ErrDanglingExternalKind,
+		},
+		{
+			"config-needs-scope",
+			func(l *Label) { l.Trigger = TriggerConfiguration },
+			ErrMissingConfigScope,
+		},
+		{
+			"dangling-config-scope",
+			func(l *Label) { l.ConfigScope = ConfigController },
+			ErrDanglingConfigScope,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			l := validLabel()
+			tt.mutate(&l)
+			err := l.Validate()
+			if tt.wantErr == nil && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if tt.wantErr != nil && !errors.Is(err, tt.wantErr) {
+				t.Fatalf("got %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestLabelComplete(t *testing.T) {
+	if (Label{}).Complete() {
+		t.Error("empty label should not be complete")
+	}
+	if !validLabel().Complete() {
+		t.Error("valid label should be complete")
+	}
+	l := validLabel()
+	l.Fix = FixUnknown
+	if l.Complete() {
+		t.Error("label with unknown fix should not be complete")
+	}
+}
+
+func TestLabelJSONRoundTrip(t *testing.T) {
+	cases := []Label{
+		validLabel(),
+		{
+			Type: NonDeterministic, Cause: CauseConcurrency,
+			Symptom: SymptomPerformance, Fix: FixAddSynchronization,
+			Trigger: TriggerExternalCall, ExternalKind: ThirdPartyCall,
+		},
+		{
+			Type: Deterministic, Cause: CauseHumanMisconfig,
+			Symptom: SymptomFailStop, Fix: FixConfiguration,
+			Trigger: TriggerConfiguration, ConfigScope: ConfigThirdParty,
+		},
+		{}, // empty label
+	}
+	for i, l := range cases {
+		data, err := json.Marshal(l)
+		if err != nil {
+			t.Fatalf("case %d marshal: %v", i, err)
+		}
+		var got Label
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("case %d unmarshal: %v", i, err)
+		}
+		if got != l {
+			t.Errorf("case %d: round trip %+v != %+v", i, got, l)
+		}
+	}
+}
+
+func TestLabelJSONRejectsBadTags(t *testing.T) {
+	var l Label
+	if err := json.Unmarshal([]byte(`{"type":"sometimes"}`), &l); err == nil {
+		t.Error("want error for bad bug type")
+	}
+	if err := json.Unmarshal([]byte(`{"trigger":"cosmic-ray"}`), &l); err == nil {
+		t.Error("want error for bad trigger")
+	}
+	if err := json.Unmarshal([]byte(`not json`), &l); err == nil {
+		t.Error("want error for invalid JSON")
+	}
+}
+
+func TestDimensionCategories(t *testing.T) {
+	wantCounts := map[Dimension]int{
+		DimType: 2, DimCause: 6, DimSymptom: 4, DimFix: 7, DimTrigger: 4,
+	}
+	for _, d := range Dimensions() {
+		cats := d.Categories()
+		if len(cats) != wantCounts[d] {
+			t.Errorf("%v has %d categories, want %d", d, len(cats), wantCounts[d])
+		}
+		seen := map[string]bool{}
+		for _, c := range cats {
+			if seen[c] {
+				t.Errorf("%v has duplicate category %q", d, c)
+			}
+			seen[c] = true
+		}
+	}
+	if DimensionUnknown.Categories() != nil {
+		t.Error("unknown dimension should have nil categories")
+	}
+}
+
+func TestLabelTagAndSetTag(t *testing.T) {
+	l := validLabel()
+	for _, d := range Dimensions() {
+		tag := l.Tag(d)
+		var fresh Label
+		if err := fresh.SetTag(d, tag); err != nil {
+			t.Errorf("SetTag(%v, %q): %v", d, tag, err)
+		}
+		if fresh.Tag(d) != tag {
+			t.Errorf("Tag after SetTag = %q, want %q", fresh.Tag(d), tag)
+		}
+		if err := fresh.SetTag(d, "no-such-tag"); err == nil {
+			t.Errorf("SetTag(%v) should reject unknown tag", d)
+		}
+	}
+	var l2 Label
+	if err := l2.SetTag(DimensionUnknown, "x"); err == nil {
+		t.Error("SetTag on unknown dimension should fail")
+	}
+}
+
+func TestLabelValidateProperty(t *testing.T) {
+	// Any combination of concrete primary tags with matching refinement
+	// tags validates; quick.Check drives the tag choices.
+	f := func(ti, ci, si, fi, tri, bzi, eki, csi uint8) bool {
+		l := Label{
+			Type:    BugTypes()[int(ti)%len(BugTypes())],
+			Cause:   RootCauses()[int(ci)%len(RootCauses())],
+			Symptom: Symptoms()[int(si)%len(Symptoms())],
+			Fix:     Fixes()[int(fi)%len(Fixes())],
+			Trigger: Triggers()[int(tri)%len(Triggers())],
+		}
+		if l.Symptom == SymptomByzantine {
+			l.Byzantine = ByzantineModes()[int(bzi)%len(ByzantineModes())]
+		}
+		if l.Trigger == TriggerExternalCall {
+			l.ExternalKind = ExternalCallKinds()[int(eki)%len(ExternalCallKinds())]
+		}
+		if l.Trigger == TriggerConfiguration {
+			l.ConfigScope = ConfigScopes()[int(csi)%len(ConfigScopes())]
+		}
+		if err := l.Validate(); err != nil {
+			return false
+		}
+		if !l.Complete() {
+			return false
+		}
+		// And the JSON round trip preserves it.
+		data, err := json.Marshal(l)
+		if err != nil {
+			return false
+		}
+		var back Label
+		if err := json.Unmarshal(data, &back); err != nil {
+			return false
+		}
+		return back == l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

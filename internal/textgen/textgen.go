@@ -1,0 +1,342 @@
+// Package textgen synthesizes realistic bug-report text (title,
+// description, discussion comments) for a taxonomy label and a target
+// controller. It is the stand-in for the real JIRA/GitHub report bodies
+// the paper's authors read.
+//
+// The generator is built so that the *amount* of categorical signal in
+// the text mirrors what the paper observed about real reports:
+//
+//   - bug type (deterministic vs not) leaves a strong lexical trace
+//     ("consistently reproducible" vs "intermittent") — the paper's SVM
+//     reached ≈96 % on it;
+//   - symptoms leave a good but noisier trace (crash words bleed into
+//     byzantine reports and vice versa) — the paper reached ≈86 %;
+//   - fixes leave almost no trace, because reporters describe problems,
+//     not solutions — the paper "found it hard to find any algorithm to
+//     predict bug fixes accurately".
+package textgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"sdnbugs/internal/taxonomy"
+	"sdnbugs/internal/tracker"
+)
+
+// Probabilities shaping how much signal each dimension leaves in text.
+const (
+	// pTypeSignalDropped is how often the report omits any
+	// reproducibility language (caps bug-type accuracy near 96 %).
+	pTypeSignalDropped = 0.05
+	// pSymptomAmbiguous is how often the reporter misdescribes the
+	// symptom entirely — the primary symptom sentence comes from a
+	// random pool. This is what caps symptom accuracy near the paper's
+	// ≈86 %: no classifier can recover a label the text contradicts.
+	pSymptomAmbiguous = 0.18
+	// pSymptomCross is how often an extra sentence from a different
+	// symptom's pool bleeds in on top of an accurate description.
+	pSymptomCross = 0.25
+	// pSymptomSecond is how often the reporter describes the symptom
+	// with a second sentence, reinforcing the signal.
+	pSymptomSecond = 0.35
+	// pFixMentioned is how often the resolution comment describes the
+	// fix at all (keeps fix prediction poor, as in the paper).
+	pFixMentioned = 0.15
+)
+
+var symptomPhrases = map[taxonomy.Symptom][]string{
+	taxonomy.SymptomFailStop: {
+		"the controller process crashes and must be restarted",
+		"controller exits with a fatal error and all switches disconnect",
+		"we observed a hard crash with the stack trace attached",
+		"the daemon terminates unexpectedly causing total downtime",
+		"service aborts during startup and never comes up",
+	},
+	taxonomy.SymptomPerformance: {
+		"flow setup latency increases dramatically under normal workload",
+		"API calls become extremely slow over time",
+		"throughput degrades until the controller is unusable",
+		"CPU usage stays at maximum and event processing lags behind",
+		"response time grows steadily and queues build up",
+	},
+	taxonomy.SymptomErrorMessage: {
+		"a warning is logged repeatedly but forwarding continues",
+		"the log fills with spurious error messages",
+		"an exception is printed although behaviour seems otherwise fine",
+		"noisy stack traces appear in the log without functional impact",
+		"misleading error output confuses operators",
+	},
+	taxonomy.SymptomByzantine: {
+		"forwarding behaviour is wrong although the controller stays up",
+		"some functions keep working while others silently fail",
+		"the controller installs incorrect flow rules without any alert",
+		"state shown by the CLI disagrees with what the switches do",
+		"traffic is silently dropped for a subset of ports",
+	},
+}
+
+var byzantinePhrases = map[taxonomy.ByzantineMode][]string{
+	taxonomy.GrayFailure: {
+		"unicast keeps flowing but broadcast handling is broken",
+		"only part of the functionality is affected, a partial outage",
+		"host discovery works while route programming does not",
+	},
+	taxonomy.Stalling: {
+		"the controller freezes temporarily and then recovers",
+		"event processing stalls for minutes at a time",
+		"the main loop hangs until a timeout expires",
+	},
+	taxonomy.IncorrectBehavior: {
+		"packets are forwarded to the wrong destination",
+		"the computed path violates the configured policy",
+		"wrong VLAN tags are pushed onto egress traffic",
+	},
+}
+
+var triggerPhrases = map[taxonomy.Trigger][]string{
+	taxonomy.TriggerConfiguration: {
+		"this happens after reloading the configuration file",
+		"editing the YAML config and signalling a reload exposes the problem",
+		"the faulty behaviour starts right after a config push",
+		"a malformed configuration stanza is accepted without validation",
+	},
+	taxonomy.TriggerExternalCall: {
+		"the failure originates in a call into an external library",
+		"an upgraded dependency changed its API and the call now fails",
+		"the client library returns a payload the controller cannot parse",
+		"a REST call to the companion service fails with a type mismatch",
+	},
+	taxonomy.TriggerNetworkEvent: {
+		"the problem is triggered while processing an OpenFlow message",
+		"a burst of packet-in events puts the controller in this state",
+		"a port-status notification from the switch starts the failure",
+		"receiving a flow-removed message leads to the observed behaviour",
+	},
+	taxonomy.TriggerHardwareReboot: {
+		"after the device reboots the controller never reconciles state",
+		"power-cycling the hardware reproduces the problem",
+		"when the OLT reboots the core thread waits forever for the adapter",
+		"a switch reboot leaves stale bindings in the abstraction layer",
+	},
+}
+
+var configScopePhrases = map[taxonomy.ConfigScope][]string{
+	taxonomy.ConfigController: {
+		"the relevant stanza lives in the controller's own settings",
+		"it is the controller configuration that is mis-handled",
+	},
+	taxonomy.ConfigDataPlane: {
+		"the switch-side pipeline configuration is involved",
+		"data plane table settings trigger the path",
+	},
+	taxonomy.ConfigThirdParty: {
+		"the third-party service's configuration file is what breaks it",
+		"settings of the bundled external component are involved",
+	},
+}
+
+var externalKindPhrases = map[taxonomy.ExternalCallKind][]string{
+	taxonomy.SystemCall: {
+		"a system call returns an error the code never checks",
+		"the OS-level socket operation fails under this condition",
+	},
+	taxonomy.ThirdPartyCall: {
+		"the third-party library call is incompatible with our version",
+		"the vendored package changed behaviour between releases",
+	},
+	taxonomy.ApplicationCall: {
+		"an application northbound call hits the broken code path",
+		"the app library invokes the controller with unexpected arguments",
+	},
+}
+
+var causePhrases = map[taxonomy.RootCause][]string{
+	taxonomy.CauseLoad: {
+		"this only shows up at high event rates",
+		"under sustained load the queue overflows",
+		"scaling the number of switches makes it worse",
+	},
+	taxonomy.CauseConcurrency: {
+		"two threads interleave and corrupt shared state",
+		"there is a race between the handlers",
+		"a lock ordering problem is suspected",
+	},
+	taxonomy.CauseMemory: {
+		"a null pointer dereference is involved",
+		"heap usage keeps growing, looks like a memory leak",
+		"an out of memory condition precedes the failure",
+	},
+	taxonomy.CauseMissingLogic: {
+		"the code simply has no case for this input",
+		"an unhandled edge case is hit",
+		"validation for this scenario is missing entirely",
+	},
+	taxonomy.CauseHumanMisconfig: {
+		"the value supplied by the operator was out of range",
+		"a typo in the deployment manifest caused it",
+		"the operator enabled two mutually exclusive options",
+	},
+	taxonomy.CauseEcosystem: {
+		"the surrounding service stack behaves differently than assumed",
+		"an interaction with the bundled ecosystem component is at fault",
+		"the companion daemon and the controller disagree on the protocol",
+	},
+}
+
+var deterministicPhrases = []string{
+	"this is reliably reproducible with the steps below",
+	"it happens every single time on a clean install",
+	"the failure is fully deterministic",
+	"reproduced consistently on three separate machines",
+}
+
+var nonDeterministicPhrases = []string{
+	"it happens only intermittently and we cannot reproduce it on demand",
+	"the failure is flaky, roughly one run in ten",
+	"timing dependent, sometimes it works and sometimes it does not",
+	"no reliable reproduction, it appears under unclear conditions",
+}
+
+var fixPhrases = map[taxonomy.Fix][]string{
+	taxonomy.FixRollbackUpgrade:    {"rolled back to the previous release as a fix"},
+	taxonomy.FixUpgradePackages:    {"bumping the dependency to the latest release resolves it"},
+	taxonomy.FixAddLogic:           {"fixed by adding a new branch handling this case"},
+	taxonomy.FixAddSynchronization: {"fixed by adding locking around the shared structure"},
+	taxonomy.FixConfiguration:      {"resolved by correcting the configuration value"},
+	taxonomy.FixAddCompatibility:   {"patched the call site to match the new library signature"},
+	taxonomy.FixWorkaround:         {"applied a workaround until a proper fix lands"},
+}
+
+var controllerVocab = map[tracker.Controller][]string{
+	tracker.FAUCET: {
+		"faucet", "gauge", "ryu", "acl", "vlan", "yaml", "prometheus",
+		"chewie", "dp", "stack", "mirror port", "python",
+	},
+	tracker.ONOS: {
+		"onos", "intent subsystem", "karaf", "cluster", "raft store",
+		"netcfg", "flow objective", "mastership", "java", "atomix",
+	},
+	tracker.CORD: {
+		"cord", "xos", "voltha", "olt", "onu", "fabric", "openstack",
+		"docker", "vtn", "rcord profile", "synchronizer",
+	},
+}
+
+var noiseSentences = []string{
+	"we first noticed this in the staging environment",
+	"attaching the relevant log excerpt for reference",
+	"let me know if more information is needed",
+	"this blocks our current deployment",
+	"the same setup worked fine last month",
+	"we are running the default installation otherwise",
+	"marking as high priority for the next sprint",
+	"downgrading is not an option for us",
+}
+
+var titleVerbs = []string{
+	"fails", "breaks", "misbehaves", "regresses", "malfunctions",
+}
+
+// Report is generated bug-report text.
+type Report struct {
+	Title       string
+	Description string
+	// Comments holds the discussion thread, possibly including a weak
+	// resolution note.
+	Comments []string
+}
+
+// Generate synthesizes a report for the label on the controller, using
+// only rng for randomness (deterministic per seed).
+func Generate(rng *rand.Rand, c tracker.Controller, l taxonomy.Label) Report {
+	vocab := controllerVocab[c]
+	if len(vocab) == 0 {
+		vocab = []string{"controller"}
+	}
+	pickVocab := func() string { return vocab[rng.Intn(len(vocab))] }
+	pick := func(ss []string) string { return ss[rng.Intn(len(ss))] }
+
+	var sentences []string
+
+	// Symptom signal: usually accurate (possibly reinforced and/or
+	// cross-polluted), occasionally misdescribed entirely.
+	symptomPool := symptomPhrases[l.Symptom]
+	if symptomPool == nil {
+		symptomPool = noiseSentences
+	}
+	if rng.Float64() < pSymptomAmbiguous {
+		any := taxonomy.Symptoms()[rng.Intn(len(taxonomy.Symptoms()))]
+		sentences = append(sentences, pick(symptomPhrases[any]))
+	} else {
+		sentences = append(sentences, pick(symptomPool))
+		if rng.Float64() < pSymptomSecond {
+			sentences = append(sentences, pick(symptomPool))
+		}
+	}
+	if l.Symptom == taxonomy.SymptomByzantine && l.Byzantine != taxonomy.ByzantineNone {
+		sentences = append(sentences, pick(byzantinePhrases[l.Byzantine]))
+	}
+	if rng.Float64() < pSymptomCross {
+		other := taxonomy.Symptoms()[rng.Intn(len(taxonomy.Symptoms()))]
+		sentences = append(sentences, pick(symptomPhrases[other]))
+	}
+
+	// Trigger signal with refinements.
+	if pool := triggerPhrases[l.Trigger]; pool != nil {
+		sentences = append(sentences, pick(pool))
+	}
+	if l.ConfigScope != taxonomy.ConfigScopeNone {
+		sentences = append(sentences, pick(configScopePhrases[l.ConfigScope]))
+	}
+	if l.ExternalKind != taxonomy.ExternalCallNone {
+		sentences = append(sentences, pick(externalKindPhrases[l.ExternalKind]))
+	}
+
+	// Root-cause hints.
+	if pool := causePhrases[l.Cause]; pool != nil {
+		sentences = append(sentences, pick(pool))
+	}
+
+	// Determinism signal.
+	if rng.Float64() >= pTypeSignalDropped {
+		switch l.Type {
+		case taxonomy.Deterministic:
+			sentences = append(sentences, pick(deterministicPhrases))
+		case taxonomy.NonDeterministic:
+			sentences = append(sentences, pick(nonDeterministicPhrases))
+		}
+	}
+
+	// Flavour and noise.
+	sentences = append(sentences,
+		fmt.Sprintf("the %s component of %s is involved", pickVocab(), c),
+		pick(noiseSentences),
+	)
+	if rng.Float64() < 0.5 {
+		sentences = append(sentences, pick(noiseSentences))
+	}
+	rng.Shuffle(len(sentences), func(i, j int) {
+		sentences[i], sentences[j] = sentences[j], sentences[i]
+	})
+
+	title := fmt.Sprintf("%s %s %s", strings.ToUpper(c.String()), pickVocab(), pick(titleVerbs))
+	if l.Symptom == taxonomy.SymptomFailStop {
+		title = fmt.Sprintf("%s: crash in %s", strings.ToUpper(c.String()), pickVocab())
+	}
+
+	var comments []string
+	if rng.Float64() < 0.7 {
+		comments = append(comments, pick(noiseSentences))
+	}
+	if l.Fix != taxonomy.FixUnknown && rng.Float64() < pFixMentioned {
+		comments = append(comments, pick(fixPhrases[l.Fix]))
+	}
+
+	return Report{
+		Title:       title,
+		Description: strings.Join(sentences, ". ") + ".",
+		Comments:    comments,
+	}
+}

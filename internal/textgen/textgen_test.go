@@ -1,0 +1,139 @@
+package textgen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sdnbugs/internal/taxonomy"
+	"sdnbugs/internal/tracker"
+)
+
+func label() taxonomy.Label {
+	return taxonomy.Label{
+		Type:      taxonomy.Deterministic,
+		Cause:     taxonomy.CauseMissingLogic,
+		Symptom:   taxonomy.SymptomByzantine,
+		Byzantine: taxonomy.GrayFailure,
+		Fix:       taxonomy.FixAddLogic,
+		Trigger:   taxonomy.TriggerNetworkEvent,
+	}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r := Generate(rng, tracker.ONOS, label())
+	if r.Title == "" || r.Description == "" {
+		t.Fatal("title and description required")
+	}
+	if !strings.Contains(r.Title, "ONOS") {
+		t.Errorf("title should name the controller: %q", r.Title)
+	}
+	if !strings.HasSuffix(r.Description, ".") {
+		t.Errorf("description should be sentence-terminated: %q", r.Description)
+	}
+}
+
+func TestGenerateDeterministicPerSeed(t *testing.T) {
+	a := Generate(rand.New(rand.NewSource(42)), tracker.CORD, label())
+	b := Generate(rand.New(rand.NewSource(42)), tracker.CORD, label())
+	if a.Title != b.Title || a.Description != b.Description {
+		t.Error("same seed must give identical text")
+	}
+	c := Generate(rand.New(rand.NewSource(43)), tracker.CORD, label())
+	if a.Description == c.Description {
+		t.Error("different seeds should give different text (overwhelmingly)")
+	}
+}
+
+func TestControllerVocabularyAppears(t *testing.T) {
+	// Over many samples, controller-specific vocabulary must show up.
+	rng := rand.New(rand.NewSource(2))
+	found := false
+	for i := 0; i < 20 && !found; i++ {
+		r := Generate(rng, tracker.FAUCET, label())
+		text := strings.ToLower(r.Title + " " + r.Description)
+		for _, w := range []string{"faucet", "ryu", "vlan", "acl", "gauge"} {
+			if strings.Contains(text, w) {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Error("FAUCET vocabulary never appeared in 20 samples")
+	}
+}
+
+func TestDeterminismSignalFrequency(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	l := label()
+	l.Type = taxonomy.NonDeterministic
+	hits := 0
+	n := 400
+	for i := 0; i < n; i++ {
+		r := Generate(rng, tracker.ONOS, l)
+		text := strings.ToLower(r.Description)
+		for _, w := range []string{"intermittent", "flaky", "sometimes", "no reliable reproduction"} {
+			if strings.Contains(text, w) {
+				hits++
+				break
+			}
+		}
+	}
+	frac := float64(hits) / float64(n)
+	if frac < 0.90 {
+		t.Errorf("non-determinism signal present in %v of reports, want >= 0.90", frac)
+	}
+	if frac == 1 {
+		t.Error("signal should occasionally be dropped (pTypeSignalDropped)")
+	}
+}
+
+func TestFixSignalIsRare(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	l := label()
+	hits := 0
+	n := 500
+	for i := 0; i < n; i++ {
+		r := Generate(rng, tracker.ONOS, l)
+		all := r.Description + " " + strings.Join(r.Comments, " ")
+		if strings.Contains(all, "fixed by adding a new branch") {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(n)
+	if frac > 0.25 {
+		t.Errorf("fix signal in %v of reports; must stay rare (<= 0.25)", frac)
+	}
+	if hits == 0 {
+		t.Error("fix signal should appear occasionally")
+	}
+}
+
+func TestFailStopTitle(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	l := label()
+	l.Symptom = taxonomy.SymptomFailStop
+	l.Byzantine = taxonomy.ByzantineNone
+	r := Generate(rng, tracker.CORD, l)
+	if !strings.Contains(r.Title, "crash") {
+		t.Errorf("fail-stop title should mention crash: %q", r.Title)
+	}
+}
+
+func TestUnknownControllerFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	r := Generate(rng, tracker.ControllerUnknown, label())
+	if r.Description == "" {
+		t.Error("generation must not fail for unknown controller")
+	}
+}
+
+func TestEmptyLabelStillGenerates(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	r := Generate(rng, tracker.ONOS, taxonomy.Label{})
+	if r.Title == "" || r.Description == "" {
+		t.Error("empty label should still produce text")
+	}
+}

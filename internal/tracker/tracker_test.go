@@ -1,0 +1,206 @@
+package tracker
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func day(n int) time.Time {
+	return time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC).AddDate(0, 0, n)
+}
+
+func TestControllerParse(t *testing.T) {
+	for _, c := range Controllers() {
+		got, err := ParseController(c.String())
+		if err != nil || got != c {
+			t.Errorf("round-trip %v: %v %v", c, got, err)
+		}
+	}
+	if got, err := ParseController("onos"); err != nil || got != ONOS {
+		t.Errorf("case-insensitive parse failed: %v %v", got, err)
+	}
+	if _, err := ParseController("odl"); err == nil {
+		t.Error("want error for unstudied controller")
+	}
+}
+
+func TestTrackerFor(t *testing.T) {
+	if TrackerFor(ONOS) != KindJIRA || TrackerFor(CORD) != KindJIRA {
+		t.Error("ONOS and CORD use JIRA")
+	}
+	if TrackerFor(FAUCET) != KindGitHub {
+		t.Error("FAUCET uses GitHub")
+	}
+	if TrackerFor(ControllerUnknown) != KindUnknown {
+		t.Error("unknown controller has unknown tracker")
+	}
+}
+
+func TestSeverity(t *testing.T) {
+	if !SeverityBlocker.Critical() || !SeverityCritical.Critical() {
+		t.Error("blocker/critical must be critical band")
+	}
+	if SeverityMajor.Critical() || SeverityMinor.Critical() {
+		t.Error("major/minor must not be critical band")
+	}
+	got, err := ParseSeverity("critical")
+	if err != nil || got != SeverityCritical {
+		t.Errorf("parse: %v %v", got, err)
+	}
+	if _, err := ParseSeverity("catastrophic"); err == nil {
+		t.Error("want parse error")
+	}
+}
+
+func TestExtractSeverity(t *testing.T) {
+	tests := []struct {
+		text string
+		want Severity
+	}{
+		{"Controller crash on malformed packet", SeverityCritical},
+		{"Total outage after upgrade", SeverityBlocker},
+		{"Wrong flow installed for mirrored ports", SeverityMajor},
+		{"Typo in log message", SeverityMinor},
+		{"Improve docs for ACL syntax", SeverityTrivial},
+		{"NullPointerException traceback attached", SeverityCritical},
+	}
+	for _, tt := range tests {
+		if got := ExtractSeverity(tt.text); got != tt.want {
+			t.Errorf("ExtractSeverity(%q) = %v, want %v", tt.text, got, tt.want)
+		}
+	}
+}
+
+func TestIssueResolutionTime(t *testing.T) {
+	i := Issue{Created: day(0), Resolved: day(10)}
+	d, ok := i.ResolutionTime()
+	if !ok || d != 10*24*time.Hour {
+		t.Errorf("got %v %v", d, ok)
+	}
+	open := Issue{Created: day(0)}
+	if _, ok := open.ResolutionTime(); ok {
+		t.Error("open issue has no resolution time")
+	}
+	weird := Issue{Created: day(5), Resolved: day(1)}
+	if _, ok := weird.ResolutionTime(); ok {
+		t.Error("resolved-before-created must be rejected")
+	}
+}
+
+func TestIssueText(t *testing.T) {
+	i := Issue{
+		Title:       "Crash",
+		Description: "It crashed.",
+		Comments:    []Comment{{Body: "Stack trace attached."}},
+	}
+	want := "Crash\nIt crashed.\nStack trace attached."
+	if got := i.Text(); got != want {
+		t.Errorf("Text = %q", got)
+	}
+}
+
+func storeWithIssues(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore()
+	issues := []Issue{
+		{ID: "ONOS-1", Controller: ONOS, Severity: SeverityCritical, Status: StatusClosed, Created: day(1)},
+		{ID: "ONOS-2", Controller: ONOS, Severity: SeverityMinor, Status: StatusOpen, Created: day(2)},
+		{ID: "CORD-1", Controller: CORD, Severity: SeverityBlocker, Status: StatusClosed, Created: day(3)},
+		{ID: "faucet#1", Controller: FAUCET, Severity: SeverityCritical, Status: StatusClosed, Created: day(4)},
+		{ID: "ONOS-3", Controller: ONOS, Severity: SeverityCritical, Status: StatusOpen, Created: day(5)},
+	}
+	for _, iss := range issues {
+		if err := s.Put(iss); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestStorePutGet(t *testing.T) {
+	s := storeWithIssues(t)
+	if s.Len() != 5 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	got, err := s.Get("ONOS-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Controller != ONOS || got.ControllerName != "ONOS" {
+		t.Errorf("controller fields: %+v", got)
+	}
+	if _, err := s.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("want ErrNotFound, got %v", err)
+	}
+	if err := s.Put(Issue{}); err == nil {
+		t.Error("want error for missing ID")
+	}
+	// Replacing keeps Len stable.
+	if err := s.Put(Issue{ID: "ONOS-1", Controller: ONOS, Created: day(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 5 {
+		t.Errorf("Len after replace = %d", s.Len())
+	}
+}
+
+func TestStoreIsolation(t *testing.T) {
+	s := NewStore()
+	src := Issue{ID: "X-1", Labels: []string{"bug"}, Comments: []Comment{{Body: "hi"}}}
+	if err := s.Put(src); err != nil {
+		t.Fatal(err)
+	}
+	src.Labels[0] = "mutated"
+	got, _ := s.Get("X-1")
+	if got.Labels[0] != "bug" {
+		t.Error("store must copy labels")
+	}
+}
+
+func TestStoreQueryFilters(t *testing.T) {
+	s := storeWithIssues(t)
+	tests := []struct {
+		name string
+		q    Query
+		want int
+	}{
+		{"all", Query{}, 5},
+		{"by-controller", Query{Controller: ONOS}, 3},
+		{"critical-band", Query{MinSeverity: SeverityCritical}, 4},
+		{"closed-only", Query{Status: StatusClosed}, 3},
+		{"created-after", Query{CreatedAfter: day(3)}, 3},
+		{"created-before", Query{CreatedBefore: day(2)}, 2},
+		{"combo", Query{Controller: ONOS, Status: StatusClosed}, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, total := s.List(tt.q)
+			if len(got) != tt.want || total != tt.want {
+				t.Errorf("got %d/%d, want %d", len(got), total, tt.want)
+			}
+		})
+	}
+}
+
+func TestStoreQueryPagination(t *testing.T) {
+	s := storeWithIssues(t)
+	page1, total := s.List(Query{Limit: 2})
+	if total != 5 || len(page1) != 2 {
+		t.Fatalf("page1: %d/%d", len(page1), total)
+	}
+	page2, _ := s.List(Query{Offset: 2, Limit: 2})
+	page3, _ := s.List(Query{Offset: 4, Limit: 2})
+	if len(page2) != 2 || len(page3) != 1 {
+		t.Fatalf("pages: %d %d", len(page2), len(page3))
+	}
+	// Ordered by creation time.
+	if page1[0].ID != "ONOS-1" || page3[0].ID != "ONOS-3" {
+		t.Errorf("ordering wrong: %v %v", page1[0].ID, page3[0].ID)
+	}
+	// Offset past the end.
+	empty, total := s.List(Query{Offset: 100})
+	if len(empty) != 0 || total != 5 {
+		t.Errorf("past-end: %d/%d", len(empty), total)
+	}
+}

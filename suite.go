@@ -1,0 +1,199 @@
+package sdnbugs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"sdnbugs/internal/corpus"
+	"sdnbugs/internal/report"
+	"sdnbugs/internal/study"
+	"sdnbugs/internal/tracker"
+)
+
+// ExperimentResult is one reproduced table or figure with its
+// paper-vs-measured checks and renderable artifacts.
+type ExperimentResult struct {
+	// ID is the experiment id from DESIGN.md (E01..E20).
+	ID string
+	// Title names the paper artifact.
+	Title string
+	// Checks compare measured values to the paper's published ones.
+	Checks []report.Check
+	// Tables are the regenerated artifacts.
+	Tables []*report.Table
+}
+
+// Holds reports whether every check passed.
+func (r ExperimentResult) Holds() bool {
+	for _, c := range r.Checks {
+		if !c.Holds {
+			return false
+		}
+	}
+	return true
+}
+
+// Suite materializes the study's data once and runs experiments
+// against it. All randomness derives from the seed; two suites with
+// the same seed produce identical results.
+type Suite struct {
+	Seed int64
+
+	corpusOnce sync.Once
+	corpusErr  error
+	corpus     *corpus.Corpus
+	manual     *study.Study
+	full       *study.Study
+
+	pipeOnce sync.Once
+	pipeErr  error
+	pipeline *study.Pipeline
+}
+
+// NewSuite returns a lazily-initialized suite.
+func NewSuite(seed int64) *Suite {
+	return &Suite{Seed: seed}
+}
+
+// ErrSuite wraps suite-level initialization failures.
+var ErrSuite = errors.New("sdnbugs: suite")
+
+// Corpus returns the generated bug corpus (built on first use).
+func (s *Suite) Corpus() (*corpus.Corpus, error) {
+	s.corpusOnce.Do(func() {
+		c, err := corpus.Generate(s.Seed)
+		if err != nil {
+			s.corpusErr = fmt.Errorf("%w: corpus: %v", ErrSuite, err)
+			return
+		}
+		s.corpus = c
+
+		issues, labels := c.ManualSubset()
+		manualBugs := make([]study.LabeledBug, len(issues))
+		for i := range issues {
+			manualBugs[i] = study.LabeledBug{Issue: issues[i], Label: labels[i]}
+		}
+		manual, err := study.New(manualBugs)
+		if err != nil {
+			s.corpusErr = fmt.Errorf("%w: manual study: %v", ErrSuite, err)
+			return
+		}
+		s.manual = manual
+
+		fullBugs := make([]study.LabeledBug, len(c.Issues))
+		for i, iss := range c.Issues {
+			fullBugs[i] = study.LabeledBug{Issue: iss, Label: c.Labels[iss.ID]}
+		}
+		full, err := study.New(fullBugs)
+		if err != nil {
+			s.corpusErr = fmt.Errorf("%w: full study: %v", ErrSuite, err)
+			return
+		}
+		s.full = full
+	})
+	return s.corpus, s.corpusErr
+}
+
+// Manual returns the 150-bug manual-analysis study.
+func (s *Suite) Manual() (*study.Study, error) {
+	if _, err := s.Corpus(); err != nil {
+		return nil, err
+	}
+	return s.manual, nil
+}
+
+// Full returns the 795-bug full study.
+func (s *Suite) Full() (*study.Study, error) {
+	if _, err := s.Corpus(); err != nil {
+		return nil, err
+	}
+	return s.full, nil
+}
+
+// Pipeline returns the NLP pipeline fitted on the manual set.
+func (s *Suite) Pipeline() (*study.Pipeline, error) {
+	s.pipeOnce.Do(func() {
+		manual, err := s.Manual()
+		if err != nil {
+			s.pipeErr = err
+			return
+		}
+		p := study.NewPipeline(study.PipelineConfig{Seed: s.Seed})
+		if err := p.Fit(manual.Bugs()); err != nil {
+			s.pipeErr = fmt.Errorf("%w: pipeline: %v", ErrSuite, err)
+			return
+		}
+		s.pipeline = p
+	})
+	return s.pipeline, s.pipeErr
+}
+
+// Experiments runs every experiment in order.
+func (s *Suite) Experiments() ([]ExperimentResult, error) {
+	runs := []func() (ExperimentResult, error){
+		s.E01CorpusMining,
+		s.E02Determinism,
+		s.E03Symptoms,
+		s.E04RootCauseBySymptom,
+		s.E05Triggers,
+		s.E06ConfigSubcategories,
+		s.E07FixAnalysis,
+		s.E08ResolutionCDF,
+		s.E09NLPValidation,
+		s.E10CorrelationCDF,
+		s.E11TopicUniqueness,
+		s.E12FullDatasetPrediction,
+		s.E13SmellTrend,
+		s.E14CommitsPerRelease,
+		s.E15FaucetBurn,
+		s.E16DependencyBurn,
+		s.E17VulnerabilityScan,
+		s.E18ControllerSelection,
+		s.E19RecoveryCoverage,
+		s.E20CrossDomainComparison,
+	}
+	out := make([]ExperimentResult, 0, len(runs))
+	for _, run := range runs {
+		res, err := run()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Ablations runs the design-choice studies (A01–A06).
+func (s *Suite) Ablations() ([]ExperimentResult, error) {
+	runs := []func() (ExperimentResult, error){
+		s.AblationFeatures,
+		s.AblationScaling,
+		s.AblationNMFRank,
+		s.AblationTransformScope,
+		s.AblationTopicModel,
+		s.AblationPrediction,
+		s.AblationLayering,
+	}
+	out := make([]ExperimentResult, 0, len(runs))
+	for _, run := range runs {
+		res, err := run()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// within reports |got-want| <= tol.
+func within(got, want, tol float64) bool {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+// controllerOrder is the display order used across tables.
+var controllerOrder = []tracker.Controller{tracker.FAUCET, tracker.ONOS, tracker.CORD}

@@ -1,0 +1,124 @@
+package sdnbugs
+
+import (
+	"strings"
+	"testing"
+
+	"sdnbugs/internal/report"
+)
+
+// sharedSuite is reused across tests in this package to avoid
+// re-running the expensive NLP fits.
+var sharedSuite = NewSuite(1)
+
+func TestSuiteLazyInit(t *testing.T) {
+	s := NewSuite(2)
+	corp, err := s.Corpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corp.Issues) != 795 {
+		t.Errorf("corpus size = %d", len(corp.Issues))
+	}
+	manual, err := s.Manual()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if manual.Len() != 150 {
+		t.Errorf("manual size = %d", manual.Len())
+	}
+	full, err := s.Full()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Len() != 795 {
+		t.Errorf("full size = %d", full.Len())
+	}
+	// Second call returns the same objects (cached).
+	corp2, _ := s.Corpus()
+	if corp != corp2 {
+		t.Error("corpus should be cached")
+	}
+}
+
+func TestFastExperimentsHold(t *testing.T) {
+	// The non-NLP experiments run quickly; every check must hold.
+	runs := []func() (ExperimentResult, error){
+		sharedSuite.E01CorpusMining,
+		sharedSuite.E02Determinism,
+		sharedSuite.E03Symptoms,
+		sharedSuite.E04RootCauseBySymptom,
+		sharedSuite.E05Triggers,
+		sharedSuite.E06ConfigSubcategories,
+		sharedSuite.E07FixAnalysis,
+		sharedSuite.E08ResolutionCDF,
+		sharedSuite.E10CorrelationCDF,
+		sharedSuite.E13SmellTrend,
+		sharedSuite.E14CommitsPerRelease,
+		sharedSuite.E15FaucetBurn,
+		sharedSuite.E16DependencyBurn,
+		sharedSuite.E17VulnerabilityScan,
+		sharedSuite.E18ControllerSelection,
+		sharedSuite.E20CrossDomainComparison,
+	}
+	for _, run := range runs {
+		res, err := run()
+		if err != nil {
+			t.Fatalf("%v", err)
+		}
+		t.Run(res.ID, func(t *testing.T) {
+			if len(res.Checks) == 0 {
+				t.Fatal("experiment produced no checks")
+			}
+			if len(res.Tables) == 0 {
+				t.Fatal("experiment produced no tables")
+			}
+			for _, c := range res.Checks {
+				if !c.Holds {
+					t.Errorf("check failed: %s — paper %q, measured %q", c.Metric, c.Paper, c.Measured)
+				}
+			}
+			for _, tbl := range res.Tables {
+				if out := tbl.RenderString(); !strings.Contains(out, "##") {
+					t.Error("table should render with a title")
+				}
+			}
+		})
+	}
+}
+
+func TestSlowExperimentsHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("NLP experiments are slow; skipped with -short")
+	}
+	runs := []func() (ExperimentResult, error){
+		sharedSuite.E09NLPValidation,
+		sharedSuite.E11TopicUniqueness,
+		sharedSuite.E12FullDatasetPrediction,
+		sharedSuite.E19RecoveryCoverage,
+	}
+	for _, run := range runs {
+		res, err := run()
+		if err != nil {
+			t.Fatalf("%v", err)
+		}
+		t.Run(res.ID, func(t *testing.T) {
+			for _, c := range res.Checks {
+				if !c.Holds {
+					t.Errorf("check failed: %s — paper %q, measured %q", c.Metric, c.Paper, c.Measured)
+				}
+			}
+		})
+	}
+}
+
+func TestExperimentResultHolds(t *testing.T) {
+	r := ExperimentResult{}
+	if !r.Holds() {
+		t.Error("empty result should hold")
+	}
+	r.Checks = append(r.Checks, report.Check{Holds: true}, report.Check{Holds: false})
+	if r.Holds() {
+		t.Error("result with a failing check must not hold")
+	}
+}
