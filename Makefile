@@ -1,0 +1,26 @@
+# Development targets. `make verify` is the tier-1 recipe (build +
+# test) extended with `go vet` and a race-detector pass so the
+# concurrent experiment engine stays continuously checked.
+
+GO ?= go
+
+.PHONY: build vet test race bench verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race pass is what guards the engine's worker pool and the
+# Suite's documented safe-for-concurrent-use contract.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x .
+
+verify: build vet test race

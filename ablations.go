@@ -3,12 +3,25 @@ package sdnbugs
 import (
 	"fmt"
 
+	"sdnbugs/internal/engine"
 	"sdnbugs/internal/recovery"
 	"sdnbugs/internal/report"
 	"sdnbugs/internal/sdn"
 	"sdnbugs/internal/study"
 	"sdnbugs/internal/taxonomy"
 )
+
+// registerAblations registers the design-choice studies (A01–A07)
+// with the engine in order.
+func (s *Suite) registerAblations(r *engine.Registry[ExperimentResult]) {
+	registerSuite(r, "A01", "Ablation: feature blocks (TF-IDF vs Word2Vec vs both)", engine.KindAblation, s.AblationFeatures)
+	registerSuite(r, "A02", "Ablation: feature normalization for the SVM", engine.KindAblation, s.AblationScaling)
+	registerSuite(r, "A03", "Ablation: NMF rank sensitivity (Figure 14)", engine.KindAblation, s.AblationNMFRank)
+	registerSuite(r, "A04", "Ablation: extending input-transform tools beyond network events", engine.KindAblation, s.AblationTransformScope)
+	registerSuite(r, "A05", "Ablation: NMF vs LDA topic models (Figure 14)", engine.KindAblation, s.AblationTopicModel)
+	registerSuite(r, "A06", "Ablation: predictive rejuvenation vs the memory/load gap", engine.KindAblation, s.AblationPrediction)
+	registerSuite(r, "A07", "Ablation: naive tool composition (SPHINX ⊕ Bouncer, §VII-C)", engine.KindAblation, s.AblationLayering)
+}
 
 // AblationFeatures compares the classification feature blocks: TF-IDF
 // only, Word2Vec only, and the paper's concatenation of both.

@@ -9,12 +9,46 @@
 package sdnbugs
 
 import (
+	"context"
 	"strconv"
 	"testing"
 )
 
 // benchSuite is shared so corpora and NLP fits amortize across benches.
 var benchSuite = NewSuite(1)
+
+// benchSuiteRun executes the whole E01–E20 slate through the engine
+// at a given parallelism, so BenchmarkSuite_Sequential vs
+// BenchmarkSuite_Parallel measures (rather than asserts) the worker
+// pool's speedup. The reported "speedup" metric is serial-time over
+// wall-time for the last iteration; it approaches the core count on
+// multi-core hardware and ~1.0 when GOMAXPROCS is 1.
+func benchSuiteRun(b *testing.B, parallelism int) {
+	b.Helper()
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		run, err := benchSuite.Run(ctx, RunOptions{Parallelism: parallelism})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ok, failed, errored := run.Counts()
+		if failed+errored > 0 {
+			b.Fatalf("suite run: %d ok, %d failed checks, %d errored: %v",
+				ok, failed, errored, run.Err())
+		}
+		if i == b.N-1 && run.Wall > 0 {
+			b.ReportMetric(float64(run.Serial())/float64(run.Wall), "speedup")
+		}
+	}
+}
+
+// BenchmarkSuite_Sequential runs all twenty experiments on one worker.
+func BenchmarkSuite_Sequential(b *testing.B) { benchSuiteRun(b, 1) }
+
+// BenchmarkSuite_Parallel runs the same slate on a GOMAXPROCS pool;
+// compare ns/op against BenchmarkSuite_Sequential for the wall-clock
+// win.
+func BenchmarkSuite_Parallel(b *testing.B) { benchSuiteRun(b, 0) }
 
 // runExperiment executes one experiment per iteration and asserts its
 // checks, then lets the bench report headline metrics.

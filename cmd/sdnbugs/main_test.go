@@ -2,10 +2,33 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
+
+// capture redirects one of the process streams (a pointer to
+// os.Stdout or os.Stderr) while fn runs and returns what was written.
+func capture(t *testing.T, stream **os.File, fn func()) string {
+	t.Helper()
+	old := *stream
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	*stream = w
+	defer func() { *stream = old }()
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	fn()
+	_ = w.Close()
+	return <-done
+}
 
 func TestRunUsage(t *testing.T) {
 	if code := run(nil); code != 2 {
@@ -49,5 +72,93 @@ func TestGenerateWritesCorpus(t *testing.T) {
 func TestClassifyRequiresText(t *testing.T) {
 	if code := run([]string{"classify"}); code != 1 {
 		t.Errorf("classify without -text exit code = %d, want 1", code)
+	}
+}
+
+// TestReportParallelDeterminism is the CLI half of the determinism
+// contract: report -parallel 4 must emit byte-identical stdout to the
+// sequential run, even with -timings (which writes to stderr only).
+func TestReportParallelDeterminism(t *testing.T) {
+	reportOut := func(extra ...string) string {
+		var code int
+		args := append([]string{"report", "-seed", "1", "-experiments", "E02,E05,E13,E14"}, extra...)
+		out := capture(t, &os.Stdout, func() { code = run(args) })
+		if code != 0 {
+			t.Fatalf("%v exit code = %d", args, code)
+		}
+		return out
+	}
+	seq := reportOut("-parallel", "1")
+	par := reportOut("-parallel", "4", "-timings")
+	if seq != par {
+		t.Errorf("parallel stdout diverged from sequential:\n--- seq ---\n%s--- par ---\n%s", seq, par)
+	}
+	if !strings.Contains(seq, "=== E02") || !strings.Contains(seq, "=== E14") {
+		t.Errorf("report output missing selected experiments:\n%s", seq)
+	}
+}
+
+func TestReportTimingsOnStderr(t *testing.T) {
+	var code int
+	errOut := capture(t, &os.Stderr, func() {
+		_ = capture(t, &os.Stdout, func() {
+			code = run([]string{"report", "-seed", "1", "-experiments", "E02", "-timings"})
+		})
+	})
+	if code != 0 {
+		t.Fatalf("exit code = %d", code)
+	}
+	for _, frag := range []string{"1 experiments in", "Per-experiment timings", "Slowest"} {
+		if !strings.Contains(errOut, frag) {
+			t.Errorf("-timings stderr missing %q:\n%s", frag, errOut)
+		}
+	}
+}
+
+func TestReportUnknownExperimentFails(t *testing.T) {
+	var code int
+	errOut := capture(t, &os.Stderr, func() {
+		code = run([]string{"report", "-experiments", "E99"})
+	})
+	if code != 1 {
+		t.Errorf("unknown id exit code = %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "E99") {
+		t.Errorf("error should name the unknown id:\n%s", errOut)
+	}
+}
+
+func TestChecksSummaryLine(t *testing.T) {
+	var code int
+	out := capture(t, &os.Stdout, func() {
+		code = run([]string{"checks", "-seed", "1", "-experiments", "E02,E05,E14", "-parallel", "2"})
+	})
+	if code != 0 {
+		t.Fatalf("checks exit code = %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "3 experiments: 3 passed, 0 failed, 0 errored") {
+		t.Errorf("checks output missing the per-experiment summary:\n%s", out)
+	}
+}
+
+func TestExperimentsSubcommandSelection(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "experiments.md")
+	code := run([]string{"experiments", "-seed", "1", "-experiments", "E02,A06",
+		"-parallel", "2", "-out", out})
+	if code != 0 {
+		t.Fatalf("experiments exit code = %d", code)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(data)
+	for _, frag := range []string{"## E02", "## A06", "0 failed"} {
+		if !strings.Contains(body, frag) {
+			t.Errorf("experiments output missing %q:\n%s", frag, body)
+		}
+	}
+	if strings.Contains(body, "## E01") {
+		t.Error("unselected experiment rendered")
 	}
 }

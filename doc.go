@@ -23,8 +23,17 @@
 //   - internal/codemodel,smell — the Designite-style analysis of §VI-A
 //   - internal/vcs,burn        — the burn analysis of §VI-B
 //   - internal/depscan         — the dependency-vulnerability scan
+//   - internal/engine          — the registry-driven concurrent
+//     experiment engine (worker pool, per-run timing, partial-failure
+//     outcomes)
 //
-// The Suite type in this package runs every experiment (E01–E20, one
-// per table/figure — see DESIGN.md) and reports paper-vs-measured
-// checks; bench_test.go regenerates each artifact as a benchmark.
+// The Suite type in this package registers every experiment (E01–E20,
+// one per table/figure — see DESIGN.md) and ablation (A01–A07) with
+// the engine and reports paper-vs-measured checks. Suite.Run selects
+// experiments by ID and executes them on a configurable worker pool —
+// a Suite is safe for concurrent use because its shared artifacts are
+// built behind sync.Once accessors — while Suite.Experiments and
+// Suite.Ablations remain thin sequential wrappers. bench_test.go
+// regenerates each artifact as a benchmark and measures the
+// sequential-vs-parallel suite speedup.
 package sdnbugs

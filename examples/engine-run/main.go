@@ -1,0 +1,70 @@
+// Engine-run: drive the experiment suite through the concurrent
+// engine — ID-set selection, a bounded worker pool, streamed
+// start/finish events, and the timing report that shows where the
+// wall-clock time went.
+//
+//	go run ./examples/engine-run
+//	go run ./examples/engine-run -parallel 8 -ids E01,E08,A06
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"sdnbugs"
+	"sdnbugs/internal/engine"
+)
+
+func main() {
+	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
+	ids := flag.String("ids", "E02,E05,E13,E14,E15", "comma-separated experiment/ablation ids")
+	seed := flag.Int64("seed", 1, "suite seed")
+	flag.Parse()
+	if err := run(*seed, *parallel, *ids); err != nil {
+		fmt.Fprintln(os.Stderr, "engine-run:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64, parallel int, ids string) error {
+	suite := sdnbugs.NewSuite(seed)
+	res, err := suite.Run(context.Background(), sdnbugs.RunOptions{
+		IDs:         engine.ParseIDs(ids),
+		Parallelism: parallel,
+		// The engine serializes event delivery, so the hook can print
+		// without its own locking.
+		OnEvent: func(ev engine.Event) {
+			switch ev.Type {
+			case engine.EventStart:
+				fmt.Printf("[%d/%d] %s  %s\n", ev.Index+1, ev.Total, ev.ID, ev.Title)
+			case engine.EventFinish:
+				status := "done"
+				if ev.Err != nil {
+					status = "ERROR " + ev.Err.Error()
+				}
+				fmt.Printf("[%d/%d] %s  %s (%s)\n", ev.Index+1, ev.Total, ev.ID, status, ev.Duration)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	rep := engine.NewReport(res)
+	fmt.Println()
+	fmt.Println(rep.Summary())
+	fmt.Println()
+	if err := rep.TimingTable().Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := rep.SlowestTable(3).Render(os.Stdout); err != nil {
+		return err
+	}
+	for _, f := range rep.Failures() {
+		fmt.Println("failure:", f)
+	}
+	return res.Err()
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"sdnbugs/internal/corpus"
+	"sdnbugs/internal/engine"
 	"sdnbugs/internal/ghsim"
 	"sdnbugs/internal/jirasim"
 	"sdnbugs/internal/report"
@@ -14,6 +15,21 @@ import (
 	"sdnbugs/internal/taxonomy"
 	"sdnbugs/internal/tracker"
 )
+
+// registerCorpusExperiments registers the corpus-analysis experiments
+// (E01–E10) with the engine in paper order.
+func (s *Suite) registerCorpusExperiments(r *engine.Registry[ExperimentResult]) {
+	registerSuite(r, "E01", "§II-B data set: tracker mining and corpus shape", engine.KindExperiment, s.E01CorpusMining)
+	registerSuite(r, "E02", "§III bug type: determinism per controller", engine.KindExperiment, s.E02Determinism)
+	registerSuite(r, "E03", "§IV operational impact: symptom distribution", engine.KindExperiment, s.E03Symptoms)
+	registerSuite(r, "E04", "Figure 2: root causes by symptom and controller", engine.KindExperiment, s.E04RootCauseBySymptom)
+	registerSuite(r, "E05", "§V-A bug triggers", engine.KindExperiment, s.E05Triggers)
+	registerSuite(r, "E06", "Table III: configuration sub-categories", engine.KindExperiment, s.E06ConfigSubcategories)
+	registerSuite(r, "E07", "§V-A fixes: config and compatibility shares", engine.KindExperiment, s.E07FixAnalysis)
+	registerSuite(r, "E08", "Figure 7: resolution-time CDFs per trigger", engine.KindExperiment, s.E08ResolutionCDF)
+	registerSuite(r, "E09", "§II-C NLP validation: SVM vs DT vs AdaBoost vs PCA", engine.KindExperiment, s.E09NLPValidation)
+	registerSuite(r, "E10", "Figure 12: bug-category correlation CDF", engine.KindExperiment, s.E10CorrelationCDF)
+}
 
 // E01CorpusMining reproduces §II-B's data collection: the corpus is
 // loaded into the JIRA and GitHub simulators and mined back over HTTP,

@@ -7,6 +7,7 @@ import (
 	"sdnbugs/internal/burn"
 	"sdnbugs/internal/codemodel"
 	"sdnbugs/internal/depscan"
+	"sdnbugs/internal/engine"
 	"sdnbugs/internal/recovery"
 	"sdnbugs/internal/report"
 	"sdnbugs/internal/smell"
@@ -15,6 +16,21 @@ import (
 	"sdnbugs/internal/tracker"
 	"sdnbugs/internal/vcs"
 )
+
+// registerSystemsExperiments registers the systems-analysis
+// experiments (E11–E20) with the engine in paper order.
+func (s *Suite) registerSystemsExperiments(r *engine.Registry[ExperimentResult]) {
+	registerSuite(r, "E11", "Figure 14: unique topic percentage per category", engine.KindExperiment, s.E11TopicUniqueness)
+	registerSuite(r, "E12", "Figure 13: predicted trigger distribution over the full corpus", engine.KindExperiment, s.E12FullDatasetPrediction)
+	registerSuite(r, "E13", "Figure 8: code smells across ONOS releases", engine.KindExperiment, s.E13SmellTrend)
+	registerSuite(r, "E14", "Figure 10: commits per ONOS release", engine.KindExperiment, s.E14CommitsPerRelease)
+	registerSuite(r, "E15", "Figure 11: FAUCET commit distribution", engine.KindExperiment, s.E15FaucetBurn)
+	registerSuite(r, "E16", "Table IV: FAUCET dependency burn-down", engine.KindExperiment, s.E16DependencyBurn)
+	registerSuite(r, "E17", "§V-A: ONOS dependency vulnerabilities over versions", engine.KindExperiment, s.E17VulnerabilityScan)
+	registerSuite(r, "E18", "§VII-A / Table VI: controller selection guideline", engine.KindExperiment, s.E18ControllerSelection)
+	registerSuite(r, "E19", "Table VII: recovery-framework coverage (empirical)", engine.KindExperiment, s.E19RecoveryCoverage)
+	registerSuite(r, "E20", "§IX: symptom shares across domains", engine.KindExperiment, s.E20CrossDomainComparison)
+}
 
 // E11TopicUniqueness reproduces Figure 14: topic uniqueness per
 // category via NMF over the manual set.

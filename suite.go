@@ -1,11 +1,13 @@
 package sdnbugs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 
 	"sdnbugs/internal/corpus"
+	"sdnbugs/internal/engine"
 	"sdnbugs/internal/report"
 	"sdnbugs/internal/study"
 	"sdnbugs/internal/tracker"
@@ -37,6 +39,13 @@ func (r ExperimentResult) Holds() bool {
 // Suite materializes the study's data once and runs experiments
 // against it. All randomness derives from the seed; two suites with
 // the same seed produce identical results.
+//
+// A Suite is safe for concurrent use: the shared artifacts (corpus,
+// manual/full studies, fitted NLP pipeline) are built exactly once
+// behind sync.Once accessors and are immutable afterwards, so the
+// engine may run any set of experiments in parallel against one
+// Suite. TestParallelMatchesSequential exercises that property under
+// the race detector.
 type Suite struct {
 	Seed int64
 
@@ -49,6 +58,9 @@ type Suite struct {
 	pipeOnce sync.Once
 	pipeErr  error
 	pipeline *study.Pipeline
+
+	regOnce sync.Once
+	reg     *engine.Registry[ExperimentResult]
 }
 
 // NewSuite returns a lazily-initialized suite.
@@ -129,61 +141,108 @@ func (s *Suite) Pipeline() (*study.Pipeline, error) {
 	return s.pipeline, s.pipeErr
 }
 
-// Experiments runs every experiment in order.
-func (s *Suite) Experiments() ([]ExperimentResult, error) {
-	runs := []func() (ExperimentResult, error){
-		s.E01CorpusMining,
-		s.E02Determinism,
-		s.E03Symptoms,
-		s.E04RootCauseBySymptom,
-		s.E05Triggers,
-		s.E06ConfigSubcategories,
-		s.E07FixAnalysis,
-		s.E08ResolutionCDF,
-		s.E09NLPValidation,
-		s.E10CorrelationCDF,
-		s.E11TopicUniqueness,
-		s.E12FullDatasetPrediction,
-		s.E13SmellTrend,
-		s.E14CommitsPerRelease,
-		s.E15FaucetBurn,
-		s.E16DependencyBurn,
-		s.E17VulnerabilityScan,
-		s.E18ControllerSelection,
-		s.E19RecoveryCoverage,
-		s.E20CrossDomainComparison,
-	}
-	out := make([]ExperimentResult, 0, len(runs))
-	for _, run := range runs {
-		res, err := run()
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, res)
-	}
-	return out, nil
+// Registry returns the suite's experiment registry: E01–E20 and
+// A01–A07 in paper order, each bound to this suite's shared
+// artifacts. The registry is built once and shared; it is safe for
+// concurrent lookups and selection.
+func (s *Suite) Registry() *engine.Registry[ExperimentResult] {
+	s.regOnce.Do(func() {
+		r := engine.NewRegistry[ExperimentResult]()
+		s.registerCorpusExperiments(r)
+		s.registerSystemsExperiments(r)
+		s.registerAblations(r)
+		s.reg = r
+	})
+	return s.reg
 }
 
-// Ablations runs the design-choice studies (A01–A06).
-func (s *Suite) Ablations() ([]ExperimentResult, error) {
-	runs := []func() (ExperimentResult, error){
-		s.AblationFeatures,
-		s.AblationScaling,
-		s.AblationNMFRank,
-		s.AblationTransformScope,
-		s.AblationTopicModel,
-		s.AblationPrediction,
-		s.AblationLayering,
-	}
-	out := make([]ExperimentResult, 0, len(runs))
-	for _, run := range runs {
-		res, err := run()
-		if err != nil {
-			return nil, err
+// registerSuite wires one context-free suite method into a registry.
+// The suite's experiments predate context plumbing; the engine still
+// honors cancellation between experiments.
+func registerSuite(r *engine.Registry[ExperimentResult], id, title string,
+	kind engine.Kind, run func() (ExperimentResult, error)) {
+	r.MustRegister(engine.Experiment[ExperimentResult]{
+		ID: id, Title: title, Kind: kind,
+		Run: func(context.Context) (ExperimentResult, error) { return run() },
+	})
+}
+
+// countChecks tallies a result's checks for the engine's outcomes.
+func countChecks(res ExperimentResult) (passed, failed int) {
+	for _, c := range res.Checks {
+		if c.Holds {
+			passed++
+		} else {
+			failed++
 		}
-		out = append(out, res)
 	}
-	return out, nil
+	return passed, failed
+}
+
+// RunOptions configures an engine-backed suite run.
+type RunOptions struct {
+	// IDs selects experiments and/or ablations by ID ("E02", "a05");
+	// empty selects every experiment, plus every ablation when
+	// Ablations is set.
+	IDs []string
+	// Ablations includes A01–A07 when IDs is empty.
+	Ablations bool
+	// Parallelism bounds the engine's worker pool; <= 0 means
+	// GOMAXPROCS. Results come back in registration order either way.
+	Parallelism int
+	// OnEvent streams per-experiment start/finish events.
+	OnEvent func(engine.Event)
+}
+
+// Run executes the selected experiments through the engine,
+// returning one outcome per experiment — including the failed ones —
+// in registration order. The error reports selection problems
+// (unknown IDs) or context cancellation; per-experiment failures
+// live in the outcomes.
+func (s *Suite) Run(ctx context.Context, opts RunOptions) (engine.Run[ExperimentResult], error) {
+	reg := s.Registry()
+	var exps []engine.Experiment[ExperimentResult]
+	if len(opts.IDs) > 0 {
+		var err error
+		if exps, err = reg.Select(opts.IDs); err != nil {
+			return engine.Run[ExperimentResult]{}, err
+		}
+	} else {
+		exps = reg.OfKind(engine.KindExperiment)
+		if opts.Ablations {
+			exps = append(exps, reg.OfKind(engine.KindAblation)...)
+		}
+	}
+	runner := &engine.Runner[ExperimentResult]{
+		Parallelism: opts.Parallelism,
+		Checks:      countChecks,
+		OnEvent:     opts.OnEvent,
+	}
+	return runner.Run(ctx, exps)
+}
+
+// runKind runs every experiment of one kind sequentially and
+// unwraps the outcomes fail-fast — the legacy slice-returning view.
+func (s *Suite) runKind(k engine.Kind) ([]ExperimentResult, error) {
+	runner := &engine.Runner[ExperimentResult]{Parallelism: 1, Checks: countChecks}
+	run, err := runner.Run(context.Background(), s.Registry().OfKind(k))
+	if err != nil {
+		return nil, err
+	}
+	return run.Results()
+}
+
+// Experiments runs every experiment (E01–E20) in order. It is a thin
+// sequential wrapper over Run; use Run directly for parallelism,
+// ID selection and per-experiment outcomes.
+func (s *Suite) Experiments() ([]ExperimentResult, error) {
+	return s.runKind(engine.KindExperiment)
+}
+
+// Ablations runs the design-choice studies (A01–A07) in order, as a
+// thin sequential wrapper over the engine like Experiments.
+func (s *Suite) Ablations() ([]ExperimentResult, error) {
+	return s.runKind(engine.KindAblation)
 }
 
 // within reports |got-want| <= tol.
