@@ -4,6 +4,13 @@
 //
 //	trackersim -seed 1 -jira :8081 -github :8082
 //
+// With -chaos-rate > 0 both endpoints are wrapped in the deterministic
+// fault injector (rate limits, 5xx bursts, latency spikes, truncated
+// bodies, dropped connections), seeded by -chaos-seed — a live target
+// for exercising retrying clients:
+//
+//	trackersim -seed 1 -chaos-rate 0.3 -chaos-seed 7
+//
 // Try:
 //
 //	curl 'http://localhost:8081/rest/api/2/search?project=ONOS&maxResults=2'
@@ -20,6 +27,7 @@ import (
 	"os/signal"
 	"time"
 
+	"sdnbugs/internal/chaos"
 	"sdnbugs/internal/corpus"
 	"sdnbugs/internal/ghsim"
 	"sdnbugs/internal/jirasim"
@@ -37,6 +45,8 @@ func run() error {
 	seed := flag.Int64("seed", 1, "corpus seed")
 	jiraAddr := flag.String("jira", ":8081", "JIRA simulator listen address")
 	ghAddr := flag.String("github", ":8082", "GitHub simulator listen address")
+	chaosRate := flag.Float64("chaos-rate", 0, "per-request fault injection probability in [0,1]; 0 disables chaos")
+	chaosSeed := flag.Int64("chaos-seed", 1, "fault injection schedule seed")
 	flag.Parse()
 
 	corp, err := corpus.Generate(*seed)
@@ -55,14 +65,25 @@ func run() error {
 		}
 	}
 
-	jiraSrv := &http.Server{Addr: *jiraAddr, Handler: jirasim.NewHandler(jiraStore), ReadHeaderTimeout: 5 * time.Second}
-	ghSrv := &http.Server{Addr: *ghAddr, Handler: ghsim.NewHandler(ghStore, "faucetsdn", "faucet"), ReadHeaderTimeout: 5 * time.Second}
+	var jiraHandler http.Handler = jirasim.NewHandler(jiraStore)
+	var ghHandler http.Handler = ghsim.NewHandler(ghStore, "faucetsdn", "faucet")
+	if *chaosRate > 0 {
+		ccfg := chaos.Config{Seed: *chaosSeed, Rate: *chaosRate}
+		jiraHandler = chaos.Wrap(jiraHandler, ccfg)
+		ghHandler = chaos.Wrap(ghHandler, ccfg)
+	}
+	jiraSrv := &http.Server{Addr: *jiraAddr, Handler: jiraHandler, ReadHeaderTimeout: 5 * time.Second}
+	ghSrv := &http.Server{Addr: *ghAddr, Handler: ghHandler, ReadHeaderTimeout: 5 * time.Second}
 
 	errc := make(chan error, 2)
 	go func() { errc <- jiraSrv.ListenAndServe() }()
 	go func() { errc <- ghSrv.ListenAndServe() }()
-	fmt.Printf("trackersim: JIRA (%d issues) on %s, GitHub (%d issues) on %s\n",
-		jiraStore.Len(), *jiraAddr, ghStore.Len(), *ghAddr)
+	mode := "no fault injection"
+	if *chaosRate > 0 {
+		mode = fmt.Sprintf("chaos rate %.2f seed %d", *chaosRate, *chaosSeed)
+	}
+	fmt.Printf("trackersim: JIRA (%d issues) on %s, GitHub (%d issues) on %s, %s\n",
+		jiraStore.Len(), *jiraAddr, ghStore.Len(), *ghAddr, mode)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

@@ -44,18 +44,9 @@ func (s *Suite) E01CorpusMining() (ExperimentResult, error) {
 
 	// Load the simulators exactly as the real trackers would hold the
 	// data: ONOS/CORD in JIRA, FAUCET in GitHub.
-	jiraStore := tracker.NewStore()
-	ghStore := tracker.NewStore()
-	for _, iss := range corp.Issues {
-		var putErr error
-		if tracker.TrackerFor(iss.Controller) == tracker.KindJIRA {
-			putErr = jiraStore.Put(iss)
-		} else {
-			putErr = ghStore.Put(iss)
-		}
-		if putErr != nil {
-			return res, fmt.Errorf("sdnbugs: load store: %w", putErr)
-		}
+	jiraStore, ghStore, err := loadTrackerStores(corp)
+	if err != nil {
+		return res, err
 	}
 	jiraSrv := httptest.NewServer(jirasim.NewHandler(jiraStore))
 	defer jiraSrv.Close()

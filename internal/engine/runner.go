@@ -3,11 +3,29 @@ package engine
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"context"
 )
+
+// PanicError records an experiment that panicked instead of returning.
+// The runner converts panics into errored outcomes so one bad
+// experiment cannot take down the whole batch (or, worse, a worker
+// goroutine, wedging the pool).
+type PanicError struct {
+	// ID is the panicking experiment.
+	ID string
+	// Value is what was passed to panic.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery time.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("engine: experiment %s panicked: %v", e.ID, e.Value)
+}
 
 // Outcome is one experiment's execution record: its result or error,
 // how long it took, and how its paper-vs-measured checks went.
@@ -123,7 +141,7 @@ func (r *Runner[T]) runOne(ctx context.Context, e Experiment[T], i, total int) O
 	begin := time.Now()
 	if err := ctx.Err(); err != nil {
 		out.Err = fmt.Errorf("engine: %s not started: %w", e.ID, err)
-	} else if res, err := e.Run(ctx); err != nil {
+	} else if res, err := runProtected(ctx, e); err != nil {
 		out.Err = err
 	} else {
 		out.Result = res
@@ -135,6 +153,19 @@ func (r *Runner[T]) runOne(ctx context.Context, e Experiment[T], i, total int) O
 	r.emit(Event{Type: EventFinish, ID: e.ID, Title: e.Title, Index: i, Total: total,
 		Duration: out.Duration, Err: out.Err})
 	return out
+}
+
+// runProtected invokes the experiment with panic recovery: a panic
+// becomes a *PanicError carrying the panic value and stack, and the
+// worker goroutine survives to run the remaining experiments.
+func runProtected[T any](ctx context.Context, e Experiment[T]) (res T, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			var zero T
+			res, err = zero, &PanicError{ID: e.ID, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return e.Run(ctx)
 }
 
 // emit serializes OnEvent calls across workers.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -163,6 +164,38 @@ func TestRunnerEventStream(t *testing.T) {
 	}
 	if finishes["A"] != nil || finishes["B"] == nil {
 		t.Errorf("finishes = %v, want A ok and B errored", finishes)
+	}
+}
+
+func TestRunnerRecoversPanickingExperiment(t *testing.T) {
+	exps := []Experiment[int]{
+		{ID: "A", Run: func(context.Context) (int, error) { return 1, nil }},
+		{ID: "B", Run: func(context.Context) (int, error) { panic("nil map write") }},
+		{ID: "C", Run: func(context.Context) (int, error) { return 3, nil }},
+	}
+	r := &Runner[int]{Parallelism: 1}
+	run, err := r.Run(context.Background(), exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The panic becomes one errored outcome; the pool survives and C
+	// still runs on the same worker.
+	var pe *PanicError
+	if !errors.As(run.Outcomes[1].Err, &pe) {
+		t.Fatalf("B err = %v, want *PanicError", run.Outcomes[1].Err)
+	}
+	if pe.ID != "B" || pe.Value != "nil map write" || len(pe.Stack) == 0 {
+		t.Errorf("PanicError = {ID:%s Value:%v stack:%dB}", pe.ID, pe.Value, len(pe.Stack))
+	}
+	if s := pe.Error(); !strings.Contains(s, "B") || !strings.Contains(s, "nil map write") {
+		t.Errorf("Error() = %q, want ID and value", s)
+	}
+	if run.Outcomes[0].Result != 1 || run.Outcomes[2].Result != 3 {
+		t.Errorf("neighbors disturbed: %+v", run.Outcomes)
+	}
+	ok, failed, errored := run.Counts()
+	if ok != 2 || failed != 0 || errored != 1 {
+		t.Errorf("Counts = %d/%d/%d, want 2/0/1", ok, failed, errored)
 	}
 }
 

@@ -11,11 +11,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
 	"strconv"
 	"time"
 
+	"sdnbugs/internal/resilience"
 	"sdnbugs/internal/tracker"
 )
 
@@ -181,48 +183,118 @@ func atoiDefault(s string, def int) int {
 	return n
 }
 
+// Client hardening defaults (mirroring jirasim).
+const (
+	// DefaultUserAgent identifies the miner to the server.
+	DefaultUserAgent = "sdnbugs-miner/1.0"
+	// DefaultMaxBodyBytes caps how much of a response body is read.
+	DefaultMaxBodyBytes = 10 << 20
+	// DefaultMaxPages bounds a paging loop.
+	DefaultMaxPages = 1000
+)
+
+// DefaultClient is used when Client.HTTPClient is nil: a retrying
+// transport with exponential backoff, full jitter, and Retry-After
+// honoring.
+var DefaultClient = &http.Client{Transport: resilience.NewTransport(nil, resilience.Policy{
+	MaxAttempts:       4,
+	BaseDelay:         50 * time.Millisecond,
+	MaxDelay:          2 * time.Second,
+	PerAttemptTimeout: 30 * time.Second,
+}, nil)}
+
 // Client mines issues from a GitHub-like server.
 type Client struct {
 	// BaseURL is the server root.
 	BaseURL string
 	// Repo is the owner/name path, e.g. "faucetsdn/faucet".
 	Repo string
-	// HTTPClient defaults to http.DefaultClient.
+	// HTTPClient defaults to DefaultClient (a resilient, retrying
+	// client — pass a plain http.Client to opt out).
 	HTTPClient *http.Client
 	// PerPage is the page size (default 30).
 	PerPage int
+	// UserAgent overrides DefaultUserAgent.
+	UserAgent string
+	// MaxBodyBytes caps response bodies (default DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+	// MaxPages caps a single FetchAll/Resume paging loop
+	// (default DefaultMaxPages).
+	MaxPages int
 }
 
 func (c *Client) http() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
 	}
-	return http.DefaultClient
+	return DefaultClient
+}
+
+func (c *Client) userAgent() string {
+	if c.UserAgent != "" {
+		return c.UserAgent
+	}
+	return DefaultUserAgent
+}
+
+func (c *Client) maxBody() int64 {
+	if c.MaxBodyBytes > 0 {
+		return c.MaxBodyBytes
+	}
+	return DefaultMaxBodyBytes
+}
+
+// Cursor is a resumable position in a paged issue listing. After a
+// failed Resume the cursor holds every fully-fetched page, so retrying
+// picks up from the last completed page instead of page one.
+type Cursor struct {
+	// Page is the next page number to request (pages start at 1; the
+	// zero value is normalized to 1).
+	Page int
+	// Issues accumulates the issues fetched so far.
+	Issues []tracker.Issue
 }
 
 // FetchAll pages through the repository's issues with the given state
 // ("open", "closed", or "" for all), converting to the neutral model
 // and applying keyword severity extraction.
 func (c *Client) FetchAll(ctx context.Context, state string) ([]tracker.Issue, error) {
+	var cur Cursor
+	if err := c.Resume(ctx, state, &cur); err != nil {
+		return nil, err
+	}
+	return cur.Issues, nil
+}
+
+// Resume continues a paged listing from cur, appending each completed
+// page before advancing, so the cursor stays valid if a page fails
+// mid-run. Paging is bounded by MaxPages.
+func (c *Client) Resume(ctx context.Context, state string, cur *Cursor) error {
 	perPage := c.PerPage
 	if perPage <= 0 {
 		perPage = 30
 	}
-	var out []tracker.Issue
-	for page := 1; ; page++ {
-		batch, err := c.fetchPage(ctx, state, page, perPage)
+	maxPages := c.MaxPages
+	if maxPages <= 0 {
+		maxPages = DefaultMaxPages
+	}
+	if cur.Page < 1 {
+		cur.Page = 1
+	}
+	for pages := 0; ; pages++ {
+		if pages >= maxPages {
+			return fmt.Errorf("ghsim: listing exceeded %d pages (page=%d) — refusing to page forever", maxPages, cur.Page)
+		}
+		batch, err := c.fetchPage(ctx, state, cur.Page, perPage)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if len(batch) == 0 {
-			break
-		}
-		out = append(out, batch...)
+		cur.Issues = append(cur.Issues, batch...)
+		cur.Page++
 		if len(batch) < perPage {
-			break
+			return nil
 		}
 	}
-	return out, nil
 }
 
 func (c *Client) fetchPage(ctx context.Context, state string, page, perPage int) ([]tracker.Issue, error) {
@@ -242,16 +314,20 @@ func (c *Client) fetchPage(ctx context.Context, state string, page, perPage int)
 	if err != nil {
 		return nil, fmt.Errorf("ghsim: build request: %w", err)
 	}
+	req.Header.Set("Accept", "application/json")
+	req.Header.Set("User-Agent", c.userAgent())
 	resp, err := c.http().Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("ghsim: list issues: %w", err)
 	}
 	defer func() { _ = resp.Body.Close() }()
 	if resp.StatusCode != http.StatusOK {
+		// Drain (bounded) so the connection can be reused.
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 		return nil, fmt.Errorf("ghsim: list issues returned %s", resp.Status)
 	}
 	var wires []wireIssue
-	if err := json.NewDecoder(resp.Body).Decode(&wires); err != nil {
+	if err := json.NewDecoder(io.LimitReader(resp.Body, c.maxBody())).Decode(&wires); err != nil {
 		return nil, fmt.Errorf("ghsim: decode issues: %w", err)
 	}
 	out := make([]tracker.Issue, 0, len(wires))

@@ -1,0 +1,142 @@
+package ghsim
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sdnbugs/internal/chaos"
+	"sdnbugs/internal/resilience"
+	"sdnbugs/internal/tracker"
+)
+
+func resilientClient() (*http.Client, *resilience.Transport) {
+	rt := resilience.NewTransport(nil, resilience.Policy{
+		MaxAttempts:   8,
+		BaseDelay:     100 * time.Microsecond,
+		MaxDelay:      time.Millisecond,
+		MaxRetryAfter: 5 * time.Millisecond,
+	}, nil)
+	return &http.Client{Transport: rt}, rt
+}
+
+func TestMiningUnderChaosIsByteIdentical(t *testing.T) {
+	srv, store := newServer(t)
+	seed(t, store)
+	baseline, err := (&Client{BaseURL: srv.URL, Repo: "faucetsdn/faucet", PerPage: 1}).FetchAll(
+		context.Background(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flaky := httptest.NewServer(chaos.Wrap(NewHandler(store, "faucetsdn", "faucet"), chaos.Config{
+		Seed: 17, Rate: 0.5, RetryAfter: time.Millisecond, Latency: time.Millisecond,
+	}))
+	defer flaky.Close()
+	hc, rt := resilientClient()
+	got, err := (&Client{BaseURL: flaky.URL, Repo: "faucetsdn/faucet",
+		HTTPClient: hc, PerPage: 1}).FetchAll(context.Background(), "")
+	if err != nil {
+		t.Fatalf("mining under chaos failed: %v", err)
+	}
+	if !reflect.DeepEqual(got, baseline) {
+		t.Errorf("chaos changed the mined data:\n got %+v\nwant %+v", got, baseline)
+	}
+	if m := rt.Metrics(); m.Retries == 0 {
+		t.Errorf("metrics = %+v: chaos at rate 0.5 should have forced retries", m)
+	}
+}
+
+func TestResumeContinuesFromLastCompletedPage(t *testing.T) {
+	srv, store := newServer(t)
+	base := time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 1; i <= 73; i++ {
+		if err := store.Put(tracker.Issue{
+			ID: fmt.Sprintf("FAUCET#%d", i), Controller: tracker.FAUCET,
+			Title: "t", Description: "d", Status: tracker.StatusClosed,
+			Created: base.Add(time.Duration(i) * time.Hour),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	full, err := (&Client{BaseURL: srv.URL, Repo: "faucetsdn/faucet", PerPage: 20}).FetchAll(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serve two pages, then fail until healed.
+	var down atomic.Bool
+	down.Store(true)
+	var pageHits atomic.Int32
+	gate := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if pageHits.Add(1) > 2 && down.Load() {
+			http.Error(w, "outage", http.StatusBadGateway)
+			return
+		}
+		NewHandler(store, "faucetsdn", "faucet").ServeHTTP(w, r)
+	}))
+	defer gate.Close()
+
+	c := Client{BaseURL: gate.URL, Repo: "faucetsdn/faucet",
+		HTTPClient: &http.Client{}, PerPage: 20}
+	var cur Cursor
+	if err := c.Resume(ctx, "", &cur); err == nil {
+		t.Fatal("want failure on the third page")
+	}
+	if cur.Page != 3 || len(cur.Issues) != 40 {
+		t.Fatalf("cursor after failure: page=%d issues=%d, want 3/40", cur.Page, len(cur.Issues))
+	}
+	down.Store(false)
+	if err := c.Resume(ctx, "", &cur); err != nil {
+		t.Fatalf("resume after heal: %v", err)
+	}
+	if !reflect.DeepEqual(cur.Issues, full) {
+		t.Errorf("resumed mining diverged: %d issues vs %d baseline", len(cur.Issues), len(full))
+	}
+}
+
+func TestClientSendsMiningHeaders(t *testing.T) {
+	var accept, ua string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		accept, ua = r.Header.Get("Accept"), r.Header.Get("User-Agent")
+		_, _ = w.Write([]byte(`[]`))
+	}))
+	defer srv.Close()
+	c := Client{BaseURL: srv.URL, Repo: "faucetsdn/faucet", HTTPClient: &http.Client{}}
+	if _, err := c.FetchAll(context.Background(), ""); err != nil {
+		t.Fatal(err)
+	}
+	if accept != "application/json" || ua != DefaultUserAgent {
+		t.Errorf("headers = Accept %q, User-Agent %q", accept, ua)
+	}
+	c.UserAgent = "custom/2.0"
+	if _, err := c.FetchAll(context.Background(), ""); err != nil {
+		t.Fatal(err)
+	}
+	if ua != "custom/2.0" {
+		t.Errorf("User-Agent override = %q", ua)
+	}
+}
+
+func TestPageCapStopsRunawayPaging(t *testing.T) {
+	// A server that always returns a full page: the hard page cap bounds
+	// the loop.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = fmt.Fprint(w, `[{"number":1,"title":"t","body":"d","state":"open",`+
+			`"created_at":"2019-01-01T00:00:00Z"}]`)
+	}))
+	defer srv.Close()
+	c := Client{BaseURL: srv.URL, Repo: "faucetsdn/faucet",
+		HTTPClient: &http.Client{}, PerPage: 1, MaxPages: 5}
+	_, err := c.FetchAll(context.Background(), "")
+	if err == nil || !strings.Contains(err.Error(), "exceeded 5 pages") {
+		t.Fatalf("err = %v, want page-cap error", err)
+	}
+}

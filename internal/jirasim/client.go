@@ -4,28 +4,92 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
 	"strconv"
+	"time"
 
+	"sdnbugs/internal/resilience"
 	"sdnbugs/internal/tracker"
 )
+
+// Client hardening defaults.
+const (
+	// DefaultUserAgent identifies the miner; real trackers (and the
+	// chaos-wrapped simulators) throttle anonymous clients harder.
+	DefaultUserAgent = "sdnbugs-miner/1.0"
+	// DefaultMaxBodyBytes caps how much of a response body is read.
+	DefaultMaxBodyBytes = 10 << 20
+	// DefaultMaxPages bounds a paging loop against servers whose total
+	// keeps growing (or lying).
+	DefaultMaxPages = 1000
+)
+
+// DefaultClient is used when Client.HTTPClient is nil: a retrying
+// transport with exponential backoff, full jitter, and Retry-After
+// honoring, so transient tracker failures never surface to callers.
+var DefaultClient = &http.Client{Transport: resilience.NewTransport(nil, resilience.Policy{
+	MaxAttempts:       4,
+	BaseDelay:         50 * time.Millisecond,
+	MaxDelay:          2 * time.Second,
+	PerAttemptTimeout: 30 * time.Second,
+}, nil)}
 
 // Client mines issues from a JIRA-like server.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
-	// HTTPClient defaults to http.DefaultClient.
+	// HTTPClient defaults to DefaultClient (a resilient, retrying
+	// client — pass a plain http.Client to opt out).
 	HTTPClient *http.Client
 	// PageSize is the maxResults per search page (default 50).
 	PageSize int
+	// UserAgent overrides DefaultUserAgent.
+	UserAgent string
+	// MaxBodyBytes caps response bodies (default DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+	// MaxPages caps a single FetchAll/Resume paging loop
+	// (default DefaultMaxPages).
+	MaxPages int
 }
 
 func (c *Client) http() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
 	}
-	return http.DefaultClient
+	return DefaultClient
+}
+
+func (c *Client) userAgent() string {
+	if c.UserAgent != "" {
+		return c.UserAgent
+	}
+	return DefaultUserAgent
+}
+
+func (c *Client) maxBody() int64 {
+	if c.MaxBodyBytes > 0 {
+		return c.MaxBodyBytes
+	}
+	return DefaultMaxBodyBytes
+}
+
+// do sends a GET for u with the standard mining headers.
+func (c *Client) do(ctx context.Context, u string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, fmt.Errorf("jirasim: build request: %w", err)
+	}
+	req.Header.Set("Accept", "application/json")
+	req.Header.Set("User-Agent", c.userAgent())
+	return c.http().Do(req)
+}
+
+// drain empties a response body (bounded) so the underlying connection
+// can be reused even on non-200 responses.
+func drain(body io.Reader) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(body, 4096))
 }
 
 // SearchOptions filter a mining run.
@@ -38,27 +102,57 @@ type SearchOptions struct {
 	Status string
 }
 
+// Cursor is a resumable position in a paged search. After a failed
+// Resume the cursor holds every fully-fetched page, so retrying picks
+// up from the last completed page instead of page zero.
+type Cursor struct {
+	// StartAt is the next startAt offset to request.
+	StartAt int
+	// Results accumulates the issues fetched so far.
+	Results []IssueResult
+}
+
 // FetchAll pages through /rest/api/2/search until every matching issue
 // has been retrieved.
 func (c *Client) FetchAll(ctx context.Context, opts SearchOptions) ([]IssueResult, error) {
+	var cur Cursor
+	if err := c.Resume(ctx, opts, &cur); err != nil {
+		return nil, err
+	}
+	return cur.Results, nil
+}
+
+// Resume continues a paged search from cur, appending each completed
+// page before advancing, so the cursor stays valid if a page fails
+// mid-run. Paging is bounded by MaxPages, and a server that reports
+// more results than it serves (an inconsistent total) is detected
+// rather than looped on.
+func (c *Client) Resume(ctx context.Context, opts SearchOptions, cur *Cursor) error {
 	pageSize := c.PageSize
 	if pageSize <= 0 {
 		pageSize = 50
 	}
-	var out []IssueResult
-	startAt := 0
-	for {
-		page, total, err := c.fetchPage(ctx, opts, startAt, pageSize)
-		if err != nil {
-			return nil, err
+	maxPages := c.MaxPages
+	if maxPages <= 0 {
+		maxPages = DefaultMaxPages
+	}
+	for pages := 0; ; pages++ {
+		if pages >= maxPages {
+			return fmt.Errorf("jirasim: search exceeded %d pages (startAt=%d) — refusing to page forever", maxPages, cur.StartAt)
 		}
-		out = append(out, page...)
-		startAt += len(page)
-		if startAt >= total || len(page) == 0 {
-			break
+		page, total, err := c.fetchPage(ctx, opts, cur.StartAt, pageSize)
+		if err != nil {
+			return err
+		}
+		cur.Results = append(cur.Results, page...)
+		cur.StartAt += len(page)
+		if cur.StartAt >= total {
+			return nil
+		}
+		if len(page) == 0 {
+			return fmt.Errorf("jirasim: no paging progress at startAt=%d with total=%d (inconsistent server total)", cur.StartAt, total)
 		}
 	}
-	return out, nil
 }
 
 // IssueResult is one mined issue in the neutral model, plus the raw key.
@@ -86,20 +180,17 @@ func (c *Client) fetchPage(ctx context.Context, opts SearchOptions, startAt, max
 	q.Set("maxResults", strconv.Itoa(max))
 	u.RawQuery = q.Encode()
 
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
-	if err != nil {
-		return nil, 0, fmt.Errorf("jirasim: build request: %w", err)
-	}
-	resp, err := c.http().Do(req)
+	resp, err := c.do(ctx, u.String())
 	if err != nil {
 		return nil, 0, fmt.Errorf("jirasim: search: %w", err)
 	}
 	defer func() { _ = resp.Body.Close() }()
 	if resp.StatusCode != http.StatusOK {
+		drain(resp.Body)
 		return nil, 0, fmt.Errorf("jirasim: search returned %s", resp.Status)
 	}
 	var sr searchResponse
-	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+	if err := json.NewDecoder(io.LimitReader(resp.Body, c.maxBody())).Decode(&sr); err != nil {
 		return nil, 0, fmt.Errorf("jirasim: decode search response: %w", err)
 	}
 	out := make([]IssueResult, 0, len(sr.Issues))
@@ -115,24 +206,21 @@ func (c *Client) fetchPage(ctx context.Context, opts SearchOptions, startAt, max
 
 // GetIssue fetches a single issue by key.
 func (c *Client) GetIssue(ctx context.Context, key string) (tracker.Issue, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.BaseURL+"/rest/api/2/issue/"+url.PathEscape(key), nil)
-	if err != nil {
-		return tracker.Issue{}, fmt.Errorf("jirasim: build request: %w", err)
-	}
-	resp, err := c.http().Do(req)
+	resp, err := c.do(ctx, c.BaseURL+"/rest/api/2/issue/"+url.PathEscape(key))
 	if err != nil {
 		return tracker.Issue{}, fmt.Errorf("jirasim: get issue: %w", err)
 	}
 	defer func() { _ = resp.Body.Close() }()
 	if resp.StatusCode == http.StatusNotFound {
+		drain(resp.Body)
 		return tracker.Issue{}, fmt.Errorf("jirasim: issue %s: %w", key, tracker.ErrNotFound)
 	}
 	if resp.StatusCode != http.StatusOK {
+		drain(resp.Body)
 		return tracker.Issue{}, fmt.Errorf("jirasim: get issue returned %s", resp.Status)
 	}
 	var wi wireIssue
-	if err := json.NewDecoder(resp.Body).Decode(&wi); err != nil {
+	if err := json.NewDecoder(io.LimitReader(resp.Body, c.maxBody())).Decode(&wi); err != nil {
 		return tracker.Issue{}, fmt.Errorf("jirasim: decode issue: %w", err)
 	}
 	return fromWire(wi)

@@ -1,0 +1,163 @@
+package jirasim
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sdnbugs/internal/chaos"
+	"sdnbugs/internal/resilience"
+	"sdnbugs/internal/tracker"
+)
+
+// resilientClient builds a fast retrying client whose attempt budget
+// exceeds the chaos progress bound, so every page eventually lands.
+func resilientClient() (*http.Client, *resilience.Transport) {
+	rt := resilience.NewTransport(nil, resilience.Policy{
+		MaxAttempts:   8,
+		BaseDelay:     100 * time.Microsecond,
+		MaxDelay:      time.Millisecond,
+		MaxRetryAfter: 5 * time.Millisecond,
+	}, nil)
+	return &http.Client{Transport: rt}, rt
+}
+
+func TestMiningUnderChaosIsByteIdentical(t *testing.T) {
+	// The tentpole property: aggressive fault injection changes the
+	// retry schedule, never the mined data.
+	srv, store := newServer(t)
+	seedIssues(t, store)
+	baseline, err := (&Client{BaseURL: srv.URL, PageSize: 2}).FetchAll(
+		context.Background(), SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flaky := httptest.NewServer(chaos.Wrap(NewHandler(store), chaos.Config{
+		Seed: 11, Rate: 0.5, RetryAfter: time.Millisecond, Latency: time.Millisecond,
+	}))
+	defer flaky.Close()
+	hc, rt := resilientClient()
+	got, err := (&Client{BaseURL: flaky.URL, HTTPClient: hc, PageSize: 2}).FetchAll(
+		context.Background(), SearchOptions{})
+	if err != nil {
+		t.Fatalf("mining under chaos failed: %v", err)
+	}
+	if !reflect.DeepEqual(got, baseline) {
+		t.Errorf("chaos changed the mined data:\n got %+v\nwant %+v", got, baseline)
+	}
+	if m := rt.Metrics(); m.Retries == 0 {
+		t.Errorf("metrics = %+v: chaos at rate 0.5 should have forced retries", m)
+	}
+}
+
+func TestResumeContinuesFromLastCompletedPage(t *testing.T) {
+	srv, store := newServer(t)
+	base := time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 137; i++ {
+		if err := store.Put(tracker.Issue{
+			ID:         fmt.Sprintf("ONOS-%d", 1000+i),
+			Controller: tracker.ONOS, Title: "t", Description: "d",
+			Severity: tracker.SeverityCritical, Status: tracker.StatusClosed,
+			Created: base.Add(time.Duration(i) * time.Hour),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	full, err := (&Client{BaseURL: srv.URL, PageSize: 25}).FetchAll(ctx, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A gate that serves two pages, then fails until healed.
+	var down atomic.Bool
+	down.Store(true)
+	var pageHits atomic.Int32
+	gate := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if pageHits.Add(1) > 2 && down.Load() {
+			http.Error(w, "outage", http.StatusBadGateway)
+			return
+		}
+		NewHandler(store).ServeHTTP(w, r)
+	}))
+	defer gate.Close()
+
+	// Plain client (no retries) so the outage surfaces immediately.
+	c := Client{BaseURL: gate.URL, HTTPClient: &http.Client{}, PageSize: 25}
+	var cur Cursor
+	if err := c.Resume(ctx, SearchOptions{}, &cur); err == nil {
+		t.Fatal("want failure on the third page")
+	}
+	if cur.StartAt != 50 || len(cur.Results) != 50 {
+		t.Fatalf("cursor after failure: startAt=%d results=%d, want 50/50", cur.StartAt, len(cur.Results))
+	}
+	down.Store(false)
+	if err := c.Resume(ctx, SearchOptions{}, &cur); err != nil {
+		t.Fatalf("resume after heal: %v", err)
+	}
+	if !reflect.DeepEqual(cur.Results, full) {
+		t.Errorf("resumed mining diverged: %d issues vs %d baseline", len(cur.Results), len(full))
+	}
+}
+
+func TestClientSendsMiningHeaders(t *testing.T) {
+	var accept, ua string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		accept, ua = r.Header.Get("Accept"), r.Header.Get("User-Agent")
+		_, _ = w.Write([]byte(`{"startAt":0,"maxResults":50,"total":0,"issues":[]}`))
+	}))
+	defer srv.Close()
+	c := Client{BaseURL: srv.URL, HTTPClient: &http.Client{}}
+	if _, err := c.FetchAll(context.Background(), SearchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if accept != "application/json" || ua != DefaultUserAgent {
+		t.Errorf("headers = Accept %q, User-Agent %q", accept, ua)
+	}
+	c.UserAgent = "custom/2.0"
+	if _, err := c.FetchAll(context.Background(), SearchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if ua != "custom/2.0" {
+		t.Errorf("User-Agent override = %q", ua)
+	}
+}
+
+func TestInconsistentTotalDetected(t *testing.T) {
+	// A server that advertises 100 results but serves none: the paging
+	// guard must error out instead of spinning.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte(`{"startAt":0,"maxResults":50,"total":100,"issues":[]}`))
+	}))
+	defer srv.Close()
+	c := Client{BaseURL: srv.URL, HTTPClient: &http.Client{}}
+	_, err := c.FetchAll(context.Background(), SearchOptions{})
+	if err == nil || !strings.Contains(err.Error(), "no paging progress") {
+		t.Fatalf("err = %v, want no-progress detection", err)
+	}
+}
+
+func TestPageCapStopsRunawayPaging(t *testing.T) {
+	// A server that always claims more: the hard page cap bounds the
+	// loop. One issue per page with an ever-receding total.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = fmt.Fprintf(w, `{"startAt":0,"maxResults":1,"total":1000000,"issues":[`+
+			`{"key":"ONOS-1","fields":{"summary":"t","description":"d",`+
+			`"priority":{"name":"Critical"},"status":{"name":"Closed"},`+
+			`"project":{"name":"ONOS"},"created":"2019-01-01T00:00:00.000+0000",`+
+			`"comment":{"comments":[],"total":0}}}]}`)
+	}))
+	defer srv.Close()
+	c := Client{BaseURL: srv.URL, HTTPClient: &http.Client{}, MaxPages: 5}
+	_, err := c.FetchAll(context.Background(), SearchOptions{})
+	if err == nil || !strings.Contains(err.Error(), "exceeded 5 pages") {
+		t.Fatalf("err = %v, want page-cap error", err)
+	}
+}

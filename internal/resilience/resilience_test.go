@@ -1,0 +1,242 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestBackoffSchedule(t *testing.T) {
+	p := Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second}
+	wants := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, time.Second, time.Second,
+	}
+	for retry, want := range wants {
+		if got := p.Backoff(retry); got != want {
+			t.Errorf("Backoff(%d) = %v, want %v", retry, got, want)
+		}
+	}
+	// Deep retries must not overflow past the cap.
+	if got := p.Backoff(80); got != time.Second {
+		t.Errorf("Backoff(80) = %v, want cap %v", got, time.Second)
+	}
+}
+
+func TestDelayFullJitterBounds(t *testing.T) {
+	// With an injected uniform source the jittered delay must stay in
+	// [0, ceiling) and actually use the coefficient.
+	for _, coeff := range []float64{0, 0.25, 0.999} {
+		p := Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second,
+			Rand: func() float64 { return coeff }}
+		got := p.Delay(2, 0) // ceiling 400ms
+		want := time.Duration(coeff * float64(400*time.Millisecond))
+		if got != want {
+			t.Errorf("Delay(2) with rand=%v = %v, want %v", coeff, got, want)
+		}
+		if got < 0 || got >= 400*time.Millisecond && coeff < 1 {
+			t.Errorf("Delay(2) = %v outside [0, 400ms)", got)
+		}
+	}
+}
+
+func TestDelayHonorsRetryAfterHint(t *testing.T) {
+	p := Policy{BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond,
+		MaxRetryAfter: 3 * time.Second}
+	if got := p.Delay(0, 2*time.Second); got != 2*time.Second {
+		t.Errorf("hinted delay = %v, want 2s", got)
+	}
+	// The hint is capped so a hostile header cannot stall the miner.
+	if got := p.Delay(0, time.Hour); got != 3*time.Second {
+		t.Errorf("capped hinted delay = %v, want 3s", got)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2021, 6, 1, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"", 0, false},
+		{"0", 0, true},
+		{"7", 7 * time.Second, true},
+		{"-3", 0, false},
+		{"garbage", 0, false},
+		{now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second, true},
+		{now.Add(-time.Minute).Format(http.TimeFormat), 0, true}, // past date clamps
+	}
+	for _, c := range cases {
+		got, ok := ParseRetryAfter(c.in, now)
+		if got != c.want || ok != c.ok {
+			t.Errorf("ParseRetryAfter(%q) = %v,%v want %v,%v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+// fastPolicy keeps retry tests quick.
+func fastPolicy() Policy {
+	return Policy{MaxAttempts: 4, BaseDelay: time.Microsecond,
+		MaxDelay: 10 * time.Microsecond}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	calls := 0
+	got, err := Do(context.Background(), fastPolicy(), func(context.Context) (string, error) {
+		calls++
+		if calls < 3 {
+			return "", errors.New("transient")
+		}
+		return "ok", nil
+	})
+	if err != nil || got != "ok" {
+		t.Fatalf("Do = %q, %v", got, err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	calls := 0
+	base := errors.New("still down")
+	_, err := Do(context.Background(), fastPolicy(), func(context.Context) (int, error) {
+		calls++
+		return 0, base
+	})
+	if !errors.Is(err, ErrExhausted) || !errors.Is(err, base) {
+		t.Fatalf("err = %v, want ErrExhausted wrapping the cause", err)
+	}
+	if calls != 4 {
+		t.Errorf("calls = %d, want MaxAttempts=4", calls)
+	}
+}
+
+func TestDoPermanentStopsImmediately(t *testing.T) {
+	calls := 0
+	_, err := Do(context.Background(), fastPolicy(), func(context.Context) (int, error) {
+		calls++
+		return 0, Permanent(errors.New("bad request"))
+	})
+	if err == nil || calls != 1 {
+		t.Fatalf("calls = %d, err = %v; want 1 call and an error", calls, err)
+	}
+}
+
+func TestDoRespectsContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	_, err := Do(ctx, fastPolicy(), func(context.Context) (int, error) {
+		calls++
+		cancel()
+		return 0, errors.New("transient")
+	})
+	if err == nil || calls != 1 {
+		t.Fatalf("calls = %d, err = %v; cancellation must stop the loop", calls, err)
+	}
+}
+
+func TestDoPerAttemptTimeout(t *testing.T) {
+	p := fastPolicy()
+	p.MaxAttempts = 2
+	p.PerAttemptTimeout = 5 * time.Millisecond
+	calls := 0
+	_, err := Do(context.Background(), p, func(ctx context.Context) (int, error) {
+		calls++
+		<-ctx.Done() // each attempt is individually bounded
+		return 0, ctx.Err()
+	})
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted (timeouts are retryable)", err)
+	}
+	if calls != 2 {
+		t.Errorf("calls = %d, want 2", calls)
+	}
+}
+
+func TestDoBudgetExhaustion(t *testing.T) {
+	b := NewBudget(1, 0) // one retry total, no per-request earnings
+	p := fastPolicy()
+	p.Budget = b
+	calls := 0
+	_, err := Do(context.Background(), p, func(context.Context) (int, error) {
+		calls++
+		return 0, errors.New("transient")
+	})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if calls != 2 { // initial + the single budgeted retry
+		t.Errorf("calls = %d, want 2", calls)
+	}
+	requests, retries, denied := b.Stats()
+	if requests != 1 || retries != 1 || denied != 1 {
+		t.Errorf("budget stats = %d/%d/%d, want 1/1/1", requests, retries, denied)
+	}
+}
+
+func TestBudgetEarnsWithTraffic(t *testing.T) {
+	b := NewBudget(0, 0.5)
+	for i := 0; i < 4; i++ {
+		b.Deposit()
+	}
+	granted := 0
+	for b.Withdraw() {
+		granted++
+	}
+	if granted != 2 { // 0.5 × 4 requests
+		t.Errorf("granted = %d, want 2", granted)
+	}
+}
+
+func TestDoOnRetryObservesSchedule(t *testing.T) {
+	var delays []time.Duration
+	p := fastPolicy()
+	p.OnRetry = func(attempt int, delay time.Duration, err error) {
+		delays = append(delays, delay)
+	}
+	_, _ = Do(context.Background(), p, func(context.Context) (int, error) {
+		return 0, errors.New("transient")
+	})
+	if len(delays) != 3 {
+		t.Fatalf("observed %d retries, want 3", len(delays))
+	}
+	for i, d := range delays {
+		if ceiling := p.Backoff(i); d < 0 || d > ceiling {
+			t.Errorf("retry %d delay %v outside [0, %v]", i, d, ceiling)
+		}
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{errors.New("conn reset"), true},
+		{context.Canceled, false},
+		{Permanent(errors.New("bad")), false},
+		{&StatusError{Code: 429}, true},
+		{&StatusError{Code: 503}, true},
+		{&StatusError{Code: 501}, false},
+		{&StatusError{Code: 404}, false},
+	}
+	for _, c := range cases {
+		if got := retryable(c.err); got != c.want {
+			t.Errorf("retryable(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestHintFromErrorChain(t *testing.T) {
+	err := error(&StatusError{Code: 429, RetryAfter: 9 * time.Second})
+	if got := hintFrom(err); got != 9*time.Second {
+		t.Errorf("hintFrom = %v, want 9s", got)
+	}
+	if got := hintFrom(errors.New("plain")); got != 0 {
+		t.Errorf("hintFrom(plain) = %v, want 0", got)
+	}
+}

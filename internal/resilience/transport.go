@@ -1,0 +1,253 @@
+package resilience
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultMaxBodyBytes caps buffered response bodies (the SNIPPETS
+// unbounded-ReadAll lesson): a misbehaving tracker cannot balloon the
+// miner's memory.
+const DefaultMaxBodyBytes = 10 << 20
+
+// ErrBodyTooLarge reports a response body over the transport's cap.
+var ErrBodyTooLarge = errors.New("resilience: response body exceeds limit")
+
+// Transport is an http.RoundTripper middleware that retries transient
+// failures under a Policy, routes every attempt through an optional
+// circuit Breaker, and fully buffers successful response bodies (up
+// to MaxBodyBytes) so that mid-body failures — truncations, dropped
+// connections — are retried here instead of surfacing as decode
+// errors in every caller.
+//
+// Retries are attempted only for requests that can be safely
+// re-issued: body-less requests or those with GetBody set. On a
+// retryable status (429, most 5xx) the transport honors Retry-After;
+// once attempts are exhausted the last response is returned as-is so
+// callers see the status they would have seen without the middleware.
+type Transport struct {
+	// Base is the underlying RoundTripper (default
+	// http.DefaultTransport).
+	Base http.RoundTripper
+	// Policy is the retry policy (zero value = package defaults).
+	Policy Policy
+	// Breaker, when set, gates every attempt.
+	Breaker *Breaker
+	// MaxBodyBytes caps buffered bodies (default DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+
+	requests        atomic.Uint64
+	attempts        atomic.Uint64
+	retries         atomic.Uint64
+	retryAfterSeen  atomic.Uint64
+	bodyRetries     atomic.Uint64
+	breakerRejected atomic.Uint64
+}
+
+var _ http.RoundTripper = (*Transport)(nil)
+
+// NewTransport builds a Transport over base (nil = default transport)
+// with the given policy and optional breaker.
+func NewTransport(base http.RoundTripper, p Policy, b *Breaker) *Transport {
+	return &Transport{Base: base, Policy: p, Breaker: b}
+}
+
+// TransportMetrics is a snapshot of a Transport's counters.
+type TransportMetrics struct {
+	// Requests counts RoundTrip calls; Attempts counts wire attempts
+	// (Attempts - Requests = retries + breaker fast-fails).
+	Requests, Attempts uint64
+	// Retries counts re-issued attempts after a transient failure.
+	Retries uint64
+	// RetryAfterSeen counts responses carrying a parseable
+	// Retry-After header.
+	RetryAfterSeen uint64
+	// BodyRetries counts retries caused by mid-body read failures
+	// (truncations, dropped connections after the header).
+	BodyRetries uint64
+	// BreakerRejected counts attempts the circuit breaker refused.
+	BreakerRejected uint64
+}
+
+// Metrics snapshots the transport's counters.
+func (t *Transport) Metrics() TransportMetrics {
+	return TransportMetrics{
+		Requests:        t.requests.Load(),
+		Attempts:        t.attempts.Load(),
+		Retries:         t.retries.Load(),
+		RetryAfterSeen:  t.retryAfterSeen.Load(),
+		BodyRetries:     t.bodyRetries.Load(),
+		BreakerRejected: t.breakerRejected.Load(),
+	}
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+func (t *Transport) maxBody() int64 {
+	if t.MaxBodyBytes > 0 {
+		return t.MaxBodyBytes
+	}
+	return DefaultMaxBodyBytes
+}
+
+// record feeds the breaker, if any.
+func (t *Transport) record(success bool) {
+	if t.Breaker != nil {
+		t.Breaker.Record(success)
+	}
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.requests.Add(1)
+	p := t.Policy.withDefaults()
+	if p.Budget != nil {
+		p.Budget.Deposit()
+	}
+	ctx := req.Context()
+	rewindable := req.Body == nil || req.GetBody != nil
+
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if p.Budget != nil && !p.Budget.Withdraw() {
+				return nil, fmt.Errorf("%w after %d attempts: %w", ErrBudget, attempt, lastErr)
+			}
+			delay := p.Delay(attempt-1, hintFrom(lastErr))
+			if p.OnRetry != nil {
+				p.OnRetry(attempt, delay, lastErr)
+			}
+			if err := Sleep(ctx, delay); err != nil {
+				return nil, err
+			}
+			t.retries.Add(1)
+		}
+		t.attempts.Add(1)
+		last := attempt+1 >= p.MaxAttempts
+
+		if t.Breaker != nil {
+			if err := t.Breaker.Allow(); err != nil {
+				t.breakerRejected.Add(1)
+				lastErr = err
+				if last {
+					return nil, fmt.Errorf("%w (%d attempts): %w", ErrExhausted, p.MaxAttempts, err)
+				}
+				continue
+			}
+		}
+
+		attemptCtx, cancel := ctx, func() {}
+		if p.PerAttemptTimeout > 0 {
+			var c context.CancelFunc
+			attemptCtx, c = context.WithTimeout(ctx, p.PerAttemptTimeout)
+			cancel = func() { c() }
+		}
+		attemptReq := req.Clone(attemptCtx)
+		if attempt > 0 && req.GetBody != nil {
+			body, err := req.GetBody()
+			if err != nil {
+				cancel()
+				return nil, fmt.Errorf("resilience: rewind request body: %w", err)
+			}
+			attemptReq.Body = body
+		}
+
+		resp, err := t.base().RoundTrip(attemptReq)
+		if err != nil {
+			cancel()
+			t.record(false)
+			lastErr = err
+			if ctx.Err() != nil || !rewindable || last {
+				return nil, err
+			}
+			continue
+		}
+
+		if RetryableStatus(resp.StatusCode) {
+			hint, seen := ParseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
+			if seen {
+				t.retryAfterSeen.Add(1)
+			}
+			t.record(false)
+			if !rewindable || last {
+				// Hand the final response back untouched so callers
+				// observe the status themselves.
+				resp.Body = &cancelBody{rc: resp.Body, cancel: cancel}
+				return resp, nil
+			}
+			drain(resp.Body)
+			_ = resp.Body.Close()
+			cancel()
+			lastErr = &StatusError{
+				Code: resp.StatusCode, Status: resp.Status,
+				URL: req.URL.String(), RetryAfter: hint,
+			}
+			continue
+		}
+
+		// Success status: buffer the body so truncation is retryable.
+		body, err := readCapped(resp.Body, t.maxBody())
+		_ = resp.Body.Close()
+		cancel()
+		if err != nil {
+			t.record(false)
+			if errors.Is(err, ErrBodyTooLarge) {
+				return nil, fmt.Errorf("resilience: %s: %w", req.URL, err)
+			}
+			t.bodyRetries.Add(1)
+			lastErr = fmt.Errorf("resilience: read %s body: %w", req.URL, err)
+			if ctx.Err() != nil || !rewindable || last {
+				return nil, lastErr
+			}
+			continue
+		}
+		t.record(true)
+		resp.Body = io.NopCloser(bytes.NewReader(body))
+		resp.ContentLength = int64(len(body))
+		return resp, nil
+	}
+}
+
+// readCapped reads r fully, failing with ErrBodyTooLarge past limit.
+func readCapped(r io.Reader, limit int64) ([]byte, error) {
+	data, err := io.ReadAll(io.LimitReader(r, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) > limit {
+		return nil, ErrBodyTooLarge
+	}
+	return data, nil
+}
+
+// drain consumes a bounded prefix of a body being discarded so the
+// keep-alive connection can be reused.
+func drain(r io.Reader) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(r, 4096))
+}
+
+// cancelBody ties a per-attempt context to the lifetime of a response
+// body that is handed back to the caller.
+type cancelBody struct {
+	rc     io.ReadCloser
+	cancel func()
+}
+
+func (b *cancelBody) Read(p []byte) (int, error) { return b.rc.Read(p) }
+
+func (b *cancelBody) Close() error {
+	err := b.rc.Close()
+	b.cancel()
+	return err
+}

@@ -1,0 +1,239 @@
+package resilience
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastTransport returns a Transport with microsecond backoff so tests
+// stay quick.
+func fastTransport(b *Breaker) *Transport {
+	return NewTransport(nil, Policy{
+		MaxAttempts: 5, BaseDelay: time.Microsecond, MaxDelay: 20 * time.Microsecond,
+	}, b)
+}
+
+func get(t *testing.T, rt http.RoundTripper, url string) (*http.Response, error) {
+	t.Helper()
+	client := &http.Client{Transport: rt}
+	return client.Get(url)
+}
+
+func TestTransportRetriesTransientStatus(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) < 3 {
+			http.Error(w, "busy", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, "payload")
+	}))
+	defer srv.Close()
+
+	rt := fastTransport(nil)
+	resp, err := get(t, rt, srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "payload" {
+		t.Errorf("body = %q", body)
+	}
+	m := rt.Metrics()
+	if m.Requests != 1 || m.Attempts != 3 || m.Retries != 2 {
+		t.Errorf("metrics = %+v, want 1 request, 3 attempts, 2 retries", m)
+	}
+}
+
+func TestTransportHonorsRetryAfter(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "rate limited", http.StatusTooManyRequests)
+			return
+		}
+		fmt.Fprint(w, "ok")
+	}))
+	defer srv.Close()
+
+	rt := fastTransport(nil)
+	resp, err := get(t, rt, srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if m := rt.Metrics(); m.RetryAfterSeen != 1 {
+		t.Errorf("RetryAfterSeen = %d, want 1", m.RetryAfterSeen)
+	}
+}
+
+func TestTransportReturnsLastResponseOnExhaustion(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "permanently busy", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	rt := fastTransport(nil)
+	resp, err := get(t, rt, srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want the final 503 passed through", resp.StatusCode)
+	}
+	if m := rt.Metrics(); m.Attempts != 5 {
+		t.Errorf("attempts = %d, want MaxAttempts=5", m.Attempts)
+	}
+}
+
+func TestTransportRetriesTruncatedBody(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			// Promise more bytes than we send, flush the header, then
+			// abort: the client sees an unexpected EOF mid-body.
+			w.Header().Set("Content-Length", "1000")
+			_, _ = io.WriteString(w, "partial")
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+			panic(http.ErrAbortHandler)
+		}
+		fmt.Fprint(w, "complete")
+	}))
+	defer srv.Close()
+
+	rt := fastTransport(nil)
+	resp, err := get(t, rt, srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil || string(body) != "complete" {
+		t.Fatalf("body = %q, %v", body, err)
+	}
+	if m := rt.Metrics(); m.BodyRetries == 0 {
+		t.Errorf("metrics = %+v, want a body retry", m)
+	}
+}
+
+func TestTransportDoesNotRetryNonIdempotentBody(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "busy", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	rt := fastTransport(nil)
+	// A streamed body with no GetBody cannot be rewound; the transport
+	// must pass the 503 straight through after one attempt.
+	req, err := http.NewRequest(http.MethodPost, srv.URL, struct{ io.Reader }{strings.NewReader("data")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := (&http.Client{Transport: rt}).Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", resp.StatusCode)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Errorf("server hits = %d, want 1 (no blind POST retries)", got)
+	}
+}
+
+func TestTransportCapsBodySize(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write(make([]byte, 4096))
+	}))
+	defer srv.Close()
+
+	rt := fastTransport(nil)
+	rt.MaxBodyBytes = 1024
+	_, err := get(t, rt, srv.URL)
+	if err == nil || !strings.Contains(err.Error(), ErrBodyTooLarge.Error()) {
+		t.Fatalf("err = %v, want ErrBodyTooLarge", err)
+	}
+}
+
+func TestTransportBreakerOpensAndRecovers(t *testing.T) {
+	var healthy atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !healthy.Load() {
+			http.Error(w, "down", http.StatusBadGateway)
+			return
+		}
+		fmt.Fprint(w, "ok")
+	}))
+	defer srv.Close()
+
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	br := NewBreaker(BreakerConfig{
+		FailureThreshold: 3, SuccessThreshold: 1,
+		OpenTimeout: time.Minute, HalfOpenProbes: 1, Now: clk.now,
+	})
+	// MaxRetryAfter also caps the wait hint a breaker rejection carries
+	// (the remaining open period), keeping this test fast.
+	rt := NewTransport(nil, Policy{
+		MaxAttempts: 2, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond,
+		MaxRetryAfter: time.Millisecond,
+	}, br)
+
+	// Two failing requests (2 attempts each) trip the breaker.
+	for i := 0; i < 2; i++ {
+		resp, err := get(t, rt, srv.URL)
+		if err == nil {
+			_ = resp.Body.Close()
+		}
+	}
+	if br.State() != StateOpen {
+		t.Fatalf("breaker state = %v, want open", br.State())
+	}
+	// While open, attempts are rejected without touching the server.
+	if _, err := get(t, rt, srv.URL); err == nil || !strings.Contains(err.Error(), ErrOpen.Error()) {
+		t.Fatalf("err = %v, want circuit-open rejection", err)
+	}
+	if m := rt.Metrics(); m.BreakerRejected == 0 {
+		t.Error("breaker rejections not counted")
+	}
+	// After the open period the probe goes through and closes it.
+	healthy.Store(true)
+	clk.advance(time.Minute)
+	resp, err := get(t, rt, srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if br.State() != StateClosed {
+		t.Errorf("breaker state = %v after recovery, want closed", br.State())
+	}
+}
+
+func TestTransportConnectionErrorRetries(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler) // drop every connection
+	}))
+	defer srv.Close()
+
+	rt := fastTransport(nil)
+	_, err := get(t, rt, srv.URL)
+	if err == nil {
+		t.Fatal("want error from a server that drops every connection")
+	}
+	if m := rt.Metrics(); m.Attempts < 2 {
+		t.Errorf("attempts = %d, want retries on dropped connections", m.Attempts)
+	}
+}

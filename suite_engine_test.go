@@ -12,12 +12,12 @@ import (
 
 func TestRegistryContents(t *testing.T) {
 	reg := sharedSuite.Registry()
-	if reg.Len() != 27 {
-		t.Fatalf("registry holds %d experiments, want 27 (E01–E20 + A01–A07)", reg.Len())
+	if reg.Len() != 28 {
+		t.Fatalf("registry holds %d experiments, want 28 (E01–E21 + A01–A07)", reg.Len())
 	}
 	exps := reg.OfKind(engine.KindExperiment)
-	if len(exps) != 20 {
-		t.Fatalf("experiments = %d, want 20", len(exps))
+	if len(exps) != 21 {
+		t.Fatalf("experiments = %d, want 21", len(exps))
 	}
 	for i, e := range exps {
 		if want := fmt.Sprintf("E%02d", i+1); e.ID != want {
@@ -43,7 +43,10 @@ func TestRegistryContents(t *testing.T) {
 }
 
 // fastIDs are the experiments that run without NLP fitting — cheap
-// enough to execute twice in one test.
+// enough to execute twice in one test. E21 is deliberately excluded:
+// which HTTP layer absorbs a dropped connection (the resilience
+// transport vs net/http's transparent idempotent retry) is not
+// run-to-run stable, so its retry counters are not byte-comparable.
 var fastIDs = []string{"E01", "E02", "E03", "E04", "E05", "E06", "E07", "E08",
 	"E10", "E13", "E14", "E15", "E16", "E17", "E18", "E20"}
 

@@ -60,6 +60,7 @@ func TestFastExperimentsHold(t *testing.T) {
 		sharedSuite.E17VulnerabilityScan,
 		sharedSuite.E18ControllerSelection,
 		sharedSuite.E20CrossDomainComparison,
+		sharedSuite.E21ResilientMining,
 	}
 	for _, run := range runs {
 		res, err := run()
