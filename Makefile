@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench verify
+.PHONY: build vet test race bench fuzz verify
 
 build:
 	$(GO) build ./...
@@ -22,5 +22,10 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x .
+
+# Fuzz the OpenFlow codec briefly: malformed frames must produce typed
+# errors, never panics or over-allocation.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeMessage -fuzztime=10s ./internal/openflow/
 
 verify: build vet test race

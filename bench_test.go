@@ -1,5 +1,5 @@
 // The benchmark harness: one benchmark per table and figure of the
-// paper (E01–E21, see DESIGN.md's per-experiment index) plus ablation
+// paper (E01–E22, see DESIGN.md's per-experiment index) plus ablation
 // benches for the design choices DESIGN.md calls out. Each benchmark
 // regenerates its artifact from scratch and reports the headline
 // measured values via b.ReportMetric, failing if any paper-vs-measured
@@ -17,7 +17,7 @@ import (
 // benchSuite is shared so corpora and NLP fits amortize across benches.
 var benchSuite = NewSuite(1)
 
-// benchSuiteRun executes the whole E01–E21 slate through the engine
+// benchSuiteRun executes the whole E01–E22 slate through the engine
 // at a given parallelism, so BenchmarkSuite_Sequential vs
 // BenchmarkSuite_Parallel measures (rather than asserts) the worker
 // pool's speedup. The reported "speedup" metric is serial-time over
@@ -42,7 +42,7 @@ func benchSuiteRun(b *testing.B, parallelism int) {
 	}
 }
 
-// BenchmarkSuite_Sequential runs all twenty-one experiments on one worker.
+// BenchmarkSuite_Sequential runs all twenty-two experiments on one worker.
 func BenchmarkSuite_Sequential(b *testing.B) { benchSuiteRun(b, 1) }
 
 // BenchmarkSuite_Parallel runs the same slate on a GOMAXPROCS pool;
@@ -215,6 +215,12 @@ func BenchmarkE21_ResilientMining(b *testing.B) {
 	// Wall time here is dominated by the retry schedule under a 50%
 	// injected-fault rate — the price of mining through chaos.
 	runExperiment(b, benchSuite.E21ResilientMining, nil)
+}
+
+func BenchmarkE22_SelfHealingCampaign(b *testing.B) {
+	// Four full campaigns per run (checkpointed twice for the
+	// determinism check, cold, and the unsupervised baseline).
+	runExperiment(b, benchSuite.E22SelfHealingCampaign, nil)
 }
 
 func BenchmarkAblation_Features(b *testing.B) {

@@ -3,6 +3,15 @@
 // measures which recovery-framework models fix which classes.
 //
 //	faultlab -seed 1 -trials 6 [-extended]
+//
+// With -campaign it instead runs the sustained fault-injection
+// campaign (the E22 workload): the full fault suite armed at once over
+// a seed-deterministic schedule of management events, traffic, poison
+// inputs, and wire-level faults, comparing the self-healing supervisor
+// (checkpointed and cold-replay) against a fail-fast watchdog
+// baseline.
+//
+//	faultlab -campaign -seed 1 [-events 1500] [-checkpoint-every 64]
 package main
 
 import (
@@ -10,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"sdnbugs/internal/faultlab"
 	"sdnbugs/internal/recovery"
 	"sdnbugs/internal/report"
 	"sdnbugs/internal/sdn"
@@ -27,7 +37,14 @@ func run() error {
 	seed := flag.Int64("seed", 1, "campaign seed")
 	trials := flag.Int("trials", 6, "trials per fault × strategy")
 	extended := flag.Bool("extended", false, "include the extended-scope event transform")
+	campaign := flag.Bool("campaign", false, "run the sustained fault-injection campaign instead")
+	events := flag.Int("events", 1500, "campaign schedule length (with -campaign)")
+	ckptEvery := flag.Int("checkpoint-every", 64, "supervised checkpoint cadence (with -campaign)")
 	flag.Parse()
+
+	if *campaign {
+		return runCampaign(*seed, *events, *ckptEvery)
+	}
 
 	strategies := recovery.StandardStrategies()
 	if *extended {
@@ -92,4 +109,65 @@ func run() error {
 		}
 	}
 	return trig.Render(os.Stdout)
+}
+
+// runCampaign runs the sustained campaign three ways and renders the
+// comparison the E22 experiment asserts on.
+func runCampaign(seed int64, events, ckptEvery int) error {
+	modes := []faultlab.CampaignConfig{
+		{Seed: seed, Events: events, Supervised: true, CheckpointEvery: ckptEvery},
+		{Seed: seed, Events: events, Supervised: true},
+		{Seed: seed, Events: events},
+	}
+	var results []faultlab.CampaignResult
+	for _, cfg := range modes {
+		res, err := faultlab.RunCampaign(cfg)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+	}
+
+	tbl := &report.Table{Title: fmt.Sprintf("Sustained fault-injection campaign (seed %d, %d slots)", seed, events),
+		Headers: []string{"metric", results[0].Mode, results[1].Mode, results[2].Mode}}
+	row := func(name string, f func(faultlab.CampaignResult) string) error {
+		return tbl.AddRow(name, f(results[0]), f(results[1]), f(results[2]))
+	}
+	rows := []struct {
+		name string
+		f    func(faultlab.CampaignResult) string
+	}{
+		{"events offered", func(r faultlab.CampaignResult) string { return fmt.Sprintf("%d", r.Offered) }},
+		{"events processed", func(r faultlab.CampaignResult) string { return fmt.Sprintf("%d", r.Processed) }},
+		{"events healed", func(r faultlab.CampaignResult) string { return fmt.Sprintf("%d", r.Healed) }},
+		{"events shed", func(r faultlab.CampaignResult) string { return fmt.Sprintf("%d", r.Shed) }},
+		{"events lost", func(r faultlab.CampaignResult) string { return fmt.Sprintf("%d", r.Lost) }},
+		{"event availability", func(r faultlab.CampaignResult) string { return fmt.Sprintf("%.4f", r.EventAvailability()) }},
+		{"time availability", func(r faultlab.CampaignResult) string { return fmt.Sprintf("%.4f", r.TimeAvailability()) }},
+		{"MTTR (ticks)", func(r faultlab.CampaignResult) string { return fmt.Sprintf("%.1f", r.MTTR()) }},
+		{"incidents", func(r faultlab.CampaignResult) string { return fmt.Sprintf("%d", r.Incidents) }},
+		{"restarts", func(r faultlab.CampaignResult) string { return fmt.Sprintf("%d", r.Restarts) }},
+		{"degradations", func(r faultlab.CampaignResult) string { return fmt.Sprintf("%d", r.Degradations) }},
+		{"checkpoints", func(r faultlab.CampaignResult) string { return fmt.Sprintf("%d", r.Checkpoints) }},
+		{"ckpt restores (mean ticks)", func(r faultlab.CampaignResult) string {
+			return fmt.Sprintf("%d (%.1f)", r.CheckpointRestores, r.MeanCheckpointRestoreTicks())
+		}},
+		{"cold restores (mean ticks)", func(r faultlab.CampaignResult) string {
+			return fmt.Sprintf("%d (%.1f)", r.ColdRestores, r.MeanColdRestoreTicks())
+		}},
+		{"wire faults / kills", func(r faultlab.CampaignResult) string {
+			return fmt.Sprintf("%d / %d", r.WireFaults, r.WireKills)
+		}},
+		{"broadcast failures", func(r faultlab.CampaignResult) string {
+			return fmt.Sprintf("%d / %d", r.BroadcastFailures, r.BroadcastProbes)
+		}},
+		{"classes shed", func(r faultlab.CampaignResult) string { return fmt.Sprintf("%v", r.ShedClasses) }},
+		{"final state", func(r faultlab.CampaignResult) string { return r.FinalState }},
+	}
+	for _, rw := range rows {
+		if err := row(rw.name, rw.f); err != nil {
+			return err
+		}
+	}
+	return tbl.Render(os.Stdout)
 }

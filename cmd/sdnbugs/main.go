@@ -13,9 +13,10 @@
 // report prints the regenerated tables, checks prints the
 // paper-vs-measured summary, and experiments emits the EXPERIMENTS.md
 // body. All three select experiments (and ablations) by ID through
-// the engine registry — E01–E20 reproduce the paper's artifacts and
+// the engine registry — E01–E20 reproduce the paper's artifacts,
 // E21 re-mines the corpus through fault-injected simulators behind
-// the resilience transport — run them on a -parallel worker pool
+// the resilience transport, and E22 runs the self-healing supervisor
+// through a sustained fault-injection campaign — run them on a -parallel worker pool
 // (0 means GOMAXPROCS) with identical output to a sequential run,
 // keep going past individual experiment failures (including panics,
 // which surface as errored outcomes), and report where the time went

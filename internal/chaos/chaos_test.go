@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -160,5 +161,31 @@ func TestZeroConfigDefaults(t *testing.T) {
 	}
 	if cfg.RetryAfter != time.Second {
 		t.Errorf("RetryAfter default = %v, want 1s", cfg.RetryAfter)
+	}
+}
+
+// TestLatencySpikeAbortsOnContextCancel pins the fix for the latency
+// injector ignoring request cancellation: a spike must return as soon
+// as the request's context is done, not sleep out the full delay.
+func TestLatencySpikeAbortsOnContextCancel(t *testing.T) {
+	h := Wrap(okHandler(), Config{Seed: 1, Rate: 1, Latency: 30 * time.Second})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: any spike must abort immediately
+	start := time.Now()
+	deadline := start.Add(5 * time.Second)
+	for h.Stats().Latencies == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no latency spike drawn within the deadline")
+		}
+		func() {
+			// Drop injections sever the connection via panic; swallow
+			// them, the spike is what this test is after.
+			defer func() { _ = recover() }()
+			req := httptest.NewRequest(http.MethodGet, "/", nil).WithContext(ctx)
+			h.ServeHTTP(httptest.NewRecorder(), req)
+		}()
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled latency spike blocked for %v", elapsed)
 	}
 }

@@ -1,0 +1,479 @@
+package faultlab
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"sdnbugs/internal/resilience"
+	"sdnbugs/internal/sdn"
+	"sdnbugs/internal/supervise"
+	"sdnbugs/internal/taxonomy"
+)
+
+// CampaignSuite returns the standard fault matrix re-tuned for a
+// sustained run: the memory/load budgets scale up from "crash within
+// one short workload" so leaks and load collapses recur throughout an
+// N-thousand-event campaign instead of dominating its first moments.
+func CampaignSuite(seed int64) []*Fault {
+	faults := StandardSuite(seed)
+	for _, f := range faults {
+		switch f.Spec.Cause {
+		case taxonomy.CauseMemory:
+			f.Spec.MemoryBudget = 150
+		case taxonomy.CauseLoad:
+			f.Spec.MemoryBudget = 400
+		}
+	}
+	return faults
+}
+
+// ClassifyEvent buckets events into degradation classes using the
+// taxonomy's poison signatures, so a supervisor sheds surgically: the
+// poisoned sub-class goes while its healthy siblings keep flowing.
+func ClassifyEvent(ev sdn.Event) string {
+	switch ev.Kind {
+	case sdn.EventNetwork:
+		if PoisonSignature(taxonomy.TriggerNetworkEvent)(ev) {
+			return "network-event/mirror-vlan"
+		}
+		return "network-event"
+	case sdn.EventConfig:
+		if PoisonSignature(taxonomy.TriggerConfiguration)(ev) {
+			return "configuration/multicast"
+		}
+		return "configuration"
+	case sdn.EventExternalCall:
+		return "external-call/" + ev.Service
+	case sdn.EventHardwareReboot:
+		return "hardware-reboot"
+	}
+	return ev.Kind.String()
+}
+
+// DeterministicPoisonClasses are the classes a supervisor may
+// legitimately shed under the campaign suite: each corresponds to a
+// deterministic fault's poison signature. Shedding anything else
+// (e.g. plain "network-event", whose faults are non-deterministic or
+// recoverable) would throw away healthy traffic.
+func DeterministicPoisonClasses() []string {
+	return []string{
+		"configuration/multicast",
+		"external-call/atomix",
+		"external-call/influxdb",
+		"hardware-reboot",
+		"network-event/mirror-vlan",
+	}
+}
+
+// itemKind is one campaign schedule slot type.
+type itemKind int
+
+const (
+	itemConfig itemKind = iota
+	itemPoisonConfig
+	itemExternal
+	itemReboot
+	itemUnicast
+	itemBroadcast
+	itemMirrorBroadcast
+	itemWireFault
+)
+
+// scheduleItem is one slot of the deterministic campaign schedule.
+type scheduleItem struct {
+	kind itemKind
+	ev   sdn.Event
+	src  uint64
+	dst  uint64
+	wire WireFaultKind
+}
+
+// buildSchedule derives the interleaved fault/workload schedule from
+// the seed alone — independent of run dynamics, so supervised and
+// unsupervised runs face the identical input sequence.
+func buildSchedule(seed int64, n int, hosts, dpids []uint64) []scheduleItem {
+	rng := rand.New(rand.NewSource(seed*7919 + 17))
+	items := make([]scheduleItem, 0, n)
+	for i := 0; i < n; i++ {
+		r := rng.Float64()
+		var it scheduleItem
+		switch {
+		case r < 0.16:
+			it = scheduleItem{kind: itemConfig, ev: sdn.Event{Kind: sdn.EventConfig,
+				Key:   fmt.Sprintf("vlan.zone%d", rng.Intn(40)),
+				Value: fmt.Sprintf("%d", 100+rng.Intn(3000))}}
+		case r < 0.19:
+			it = scheduleItem{kind: itemPoisonConfig, ev: sdn.Event{Kind: sdn.EventConfig,
+				Key: fmt.Sprintf("multicast.group%d", rng.Intn(8)), Value: "225"}}
+		case r < 0.30:
+			it = scheduleItem{kind: itemExternal, ev: sdn.Event{Kind: sdn.EventExternalCall,
+				Service: services[rng.Intn(len(services))]}}
+		case r < 0.34:
+			it = scheduleItem{kind: itemReboot, ev: sdn.Event{Kind: sdn.EventHardwareReboot,
+				DPID: dpids[rng.Intn(len(dpids))]}}
+		case r < 0.70:
+			src := hosts[rng.Intn(len(hosts))]
+			dst := hosts[rng.Intn(len(hosts))]
+			for dst == src {
+				dst = hosts[rng.Intn(len(hosts))]
+			}
+			it = scheduleItem{kind: itemUnicast, src: src, dst: dst}
+		case r < 0.84:
+			it = scheduleItem{kind: itemBroadcast, src: hosts[rng.Intn(len(hosts))]}
+		case r < 0.92:
+			it = scheduleItem{kind: itemMirrorBroadcast, src: hosts[rng.Intn(len(hosts))]}
+		default:
+			it = scheduleItem{kind: itemWireFault, wire: WireFaultKind(rng.Intn(int(numWireFaultKinds)))}
+		}
+		items = append(items, it)
+	}
+	return items
+}
+
+// CampaignConfig parameterizes one sustained fault-injection run.
+type CampaignConfig struct {
+	Seed int64
+	// Events is the schedule length (default 1500 slots; traffic slots
+	// fan out into multiple controller events).
+	Events int
+	// Supervised selects the self-healing runtime; false runs the
+	// crash-restart watchdog baseline.
+	Supervised bool
+	// CheckpointEvery (supervised) is the checkpoint cadence in
+	// processed events; 0 makes every restart a cold full-log replay.
+	CheckpointEvery int
+	// DegradeAfter (supervised) is the failed-recovery streak before a
+	// class is shed (default 3).
+	DegradeAfter int
+	// WatchdogEvery (unsupervised) is the liveness-check period in
+	// schedule items (default 8) — the detection lag during which a
+	// crashed controller silently loses events.
+	WatchdogEvery int
+}
+
+func (c CampaignConfig) withDefaults() CampaignConfig {
+	if c.Events <= 0 {
+		c.Events = 1500
+	}
+	if c.WatchdogEvery <= 0 {
+		c.WatchdogEvery = 8
+	}
+	return c
+}
+
+// CampaignResult aggregates one campaign run. Every field is logical
+// (counts and ticks) and every slice is sorted, so results are
+// byte-identical across runs at the same seed.
+type CampaignResult struct {
+	Mode   string
+	Events int
+
+	Offered   int
+	Processed int
+	Healed    int
+	Shed      int
+	Lost      int
+
+	Incidents       int
+	FailStops       int
+	Stalls          int
+	PerfRegressions int
+	Divergences     int
+
+	Restarts      int
+	Degradations  int
+	BudgetDenials int
+
+	Checkpoints            int
+	CheckpointRestores     int
+	ColdRestores           int
+	CheckpointRestoreTicks int
+	ColdRestoreTicks       int
+
+	UptimeTicks   int
+	DowntimeTicks int
+
+	WireFaults int
+	WireErrors int
+	WireKills  int
+
+	BroadcastProbes   int
+	BroadcastFailures int
+
+	ShedClasses []string
+	FinalState  string
+}
+
+// EventAvailability is the fraction of offered events processed.
+func (r CampaignResult) EventAvailability() float64 {
+	if r.Offered == 0 {
+		return 1
+	}
+	return float64(r.Processed) / float64(r.Offered)
+}
+
+// TimeAvailability is uptime over total logical time.
+func (r CampaignResult) TimeAvailability() float64 {
+	total := r.UptimeTicks + r.DowntimeTicks
+	if total == 0 {
+		return 1
+	}
+	return float64(r.UptimeTicks) / float64(total)
+}
+
+// MTTR is mean downtime ticks per detected incident.
+func (r CampaignResult) MTTR() float64 {
+	if r.Incidents == 0 {
+		return 0
+	}
+	return float64(r.DowntimeTicks) / float64(r.Incidents)
+}
+
+// MeanCheckpointRestoreTicks is the mean recovery cost of a
+// checkpoint-based restart (0 when none happened).
+func (r CampaignResult) MeanCheckpointRestoreTicks() float64 {
+	if r.CheckpointRestores == 0 {
+		return 0
+	}
+	return float64(r.CheckpointRestoreTicks) / float64(r.CheckpointRestores)
+}
+
+// MeanColdRestoreTicks is the mean recovery cost of a cold full-log
+// replay restart (0 when none happened).
+func (r CampaignResult) MeanColdRestoreTicks() float64 {
+	if r.ColdRestores == 0 {
+		return 0
+	}
+	return float64(r.ColdRestoreTicks) / float64(r.ColdRestores)
+}
+
+// Fingerprint is a canonical serialization for byte-identity checks
+// across runs at the same seed.
+func (r CampaignResult) Fingerprint() string {
+	return fmt.Sprintf("%+v", r)
+}
+
+// RunCampaign executes one sustained fault-injection campaign: the
+// full CampaignSuite armed at once over a seed-deterministic schedule
+// of interleaved management events, traffic, poison inputs, and
+// wire-level faults.
+func RunCampaign(cfg CampaignConfig) (CampaignResult, error) {
+	cfg = cfg.withDefaults()
+	lab, err := NewMultiLab(CampaignSuite(cfg.Seed))
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	hosts := lab.C.Net.Hosts()
+	dpids := lab.C.Net.Switches()
+	schedule := buildSchedule(cfg.Seed, cfg.Events, hosts, dpids)
+	wireRng := rand.New(rand.NewSource(cfg.Seed*104729 + 5))
+	if cfg.Supervised {
+		return runSupervised(cfg, lab, schedule, hosts, wireRng)
+	}
+	return runUnsupervised(cfg, lab, schedule, hosts, wireRng)
+}
+
+// pump injects one packet and routes the resulting punts through
+// submit, returning how many distinct hosts the packet reached.
+func pump(net *sdn.Network, src uint64, p sdn.Packet, submit func(sdn.Event)) int {
+	net.DrainDeliveries()
+	if _, err := net.InjectFromHost(src, p); err != nil {
+		return 0
+	}
+	for round := 0; round < 32; round++ {
+		pis := net.DrainPacketIns()
+		if len(pis) == 0 {
+			break
+		}
+		for i := range pis {
+			pi := pis[i]
+			submit(sdn.Event{Kind: sdn.EventNetwork, Msg: &pi})
+		}
+	}
+	seen := make(map[uint64]bool)
+	for _, d := range net.DrainDeliveries() {
+		seen[d.MAC] = true
+	}
+	return len(seen)
+}
+
+// runSupervised executes the schedule under the self-healing runtime.
+func runSupervised(cfg CampaignConfig, lab *Lab, schedule []scheduleItem, hosts []uint64, wireRng *rand.Rand) (CampaignResult, error) {
+	mode := "supervised-cold"
+	if cfg.CheckpointEvery > 0 {
+		mode = "supervised-checkpoint"
+	}
+	res := CampaignResult{Mode: mode, Events: len(schedule)}
+	sup := supervise.New(lab.C, supervise.Config{
+		BaselineMeanCost: lab.baselineMeanCost,
+		Backoff:          resilience.Policy{BaseDelay: 2 * time.Millisecond, MaxDelay: 64 * time.Millisecond},
+		Budget:           resilience.NewBudget(64, 0.25),
+		CheckpointEvery:  cfg.CheckpointEvery,
+		DegradeAfter:     cfg.DegradeAfter,
+		Classify:         ClassifyEvent,
+		OnRestart:        lab.NewIncarnations,
+	})
+	// The graceful-degradation hook: shed classes die at the lab
+	// filter, before they reach the controller.
+	lab.Filter = sup.Filter
+	offer := func(ev sdn.Event) {
+		if rewritten, keep := lab.Filter(ev); keep {
+			sup.Submit(rewritten)
+		}
+	}
+	full := len(hosts) - 1
+	for _, it := range schedule {
+		switch it.kind {
+		case itemConfig, itemPoisonConfig, itemExternal, itemReboot:
+			offer(it.ev)
+		case itemUnicast:
+			pump(lab.C.Net, it.src, sdn.Packet{EthDst: it.dst, EthType: 0x0800}, offer)
+		case itemBroadcast:
+			res.BroadcastProbes++
+			got := pump(lab.C.Net, it.src, sdn.Packet{EthDst: sdn.BroadcastMAC, EthType: 0x0806}, offer)
+			if got < full && !sup.ClassShed("network-event") {
+				// Byzantine divergence the probes can't see: feed the
+				// spot-check into the supervisor.
+				res.BroadcastFailures++
+				sup.ReportDivergence("network-event", func() bool {
+					return pump(lab.C.Net, it.src, sdn.Packet{EthDst: sdn.BroadcastMAC, EthType: 0x0806}, offer) >= full
+				})
+			}
+		case itemMirrorBroadcast:
+			res.BroadcastProbes++
+			shedAlready := sup.ClassShed("network-event/mirror-vlan")
+			got := pump(lab.C.Net, it.src, sdn.Packet{EthDst: sdn.BroadcastMAC, EthType: 0x0806, VlanID: PoisonVLAN}, offer)
+			if got < full && !shedAlready {
+				res.BroadcastFailures++
+				sup.ReportDivergence("network-event/mirror-vlan", func() bool {
+					return pump(lab.C.Net, it.src, sdn.Packet{EthDst: sdn.BroadcastMAC, EthType: 0x0806, VlanID: PoisonVLAN}, offer) >= full
+				})
+			}
+		case itemWireFault:
+			res.WireFaults++
+			ferr, err := WireEpisode(it.wire, wireRng)
+			if err != nil {
+				return res, err
+			}
+			if ferr != nil {
+				sup.WireError(ferr)
+			}
+		}
+	}
+	m := sup.Metrics
+	res.Offered = m.EventsOffered
+	res.Processed = m.EventsProcessed
+	res.Healed = m.EventsHealed
+	res.Shed = m.EventsShed
+	res.Lost = m.EventsLost
+	res.Incidents = m.Incidents
+	res.FailStops = m.FailStops
+	res.Stalls = m.Stalls
+	res.PerfRegressions = m.PerfRegressions
+	res.Divergences = m.Divergences
+	res.Restarts = m.Restarts
+	res.Degradations = m.Degradations
+	res.BudgetDenials = m.BudgetDenials
+	res.Checkpoints = m.Checkpoints
+	res.CheckpointRestores = m.CheckpointRestores
+	res.ColdRestores = m.ColdRestores
+	res.CheckpointRestoreTicks = m.CheckpointRestoreTicks
+	res.ColdRestoreTicks = m.ColdRestoreTicks
+	res.UptimeTicks = m.UptimeTicks
+	res.DowntimeTicks = m.RecoveryTicks
+	res.WireErrors = m.WireErrors
+	res.ShedClasses = sup.ShedClasses()
+	res.FinalState = lab.C.State.String()
+	return res, nil
+}
+
+// runUnsupervised executes the schedule under the fail-fast baseline:
+// a watchdog that only notices crashes (with detection lag), cold
+// crash-restarts that drop all state, no stall or divergence
+// handling, and wire faults that kill the process outright.
+func runUnsupervised(cfg CampaignConfig, lab *Lab, schedule []scheduleItem, hosts []uint64, wireRng *rand.Rand) (CampaignResult, error) {
+	res := CampaignResult{Mode: "unsupervised", Events: len(schedule)}
+	c := lab.C
+	sinceCheck := 0
+	submit := func(ev sdn.Event) {
+		res.Offered++
+		if c.State == sdn.StateCrashed {
+			// Down and nobody noticed yet: the event is gone.
+			res.Lost++
+			res.DowntimeTicks++
+			return
+		}
+		before := c.Stats.TotalCost
+		err := c.Submit(ev)
+		cost := c.Stats.TotalCost - before
+		if err != nil {
+			// The event died with the controller.
+			res.Lost++
+			res.Incidents++
+			res.FailStops++
+			res.DowntimeTicks += cost
+			return
+		}
+		if c.State == sdn.StateStalled {
+			// Frozen while "processing": the time was lost even though
+			// the watchdog never notices a stall.
+			res.Stalls++
+			res.DowntimeTicks += cost
+		} else {
+			res.UptimeTicks += cost
+		}
+		res.Processed++
+	}
+	watchdog := func() {
+		sinceCheck++
+		if sinceCheck < cfg.WatchdogEvery {
+			return
+		}
+		sinceCheck = 0
+		if c.State == sdn.StateCrashed {
+			lab.NewIncarnations()
+			c.Restart(false)
+			res.Restarts++
+			res.ColdRestores++
+			res.ColdRestoreTicks += supervise.RestartCost
+			res.DowntimeTicks += supervise.RestartCost
+		}
+	}
+	full := len(hosts) - 1
+	for _, it := range schedule {
+		switch it.kind {
+		case itemConfig, itemPoisonConfig, itemExternal, itemReboot:
+			submit(it.ev)
+		case itemUnicast:
+			pump(c.Net, it.src, sdn.Packet{EthDst: it.dst, EthType: 0x0800}, submit)
+		case itemBroadcast:
+			res.BroadcastProbes++
+			if pump(c.Net, it.src, sdn.Packet{EthDst: sdn.BroadcastMAC, EthType: 0x0806}, submit) < full {
+				res.BroadcastFailures++
+			}
+		case itemMirrorBroadcast:
+			res.BroadcastProbes++
+			if pump(c.Net, it.src, sdn.Packet{EthDst: sdn.BroadcastMAC, EthType: 0x0806, VlanID: PoisonVLAN}, submit) < full {
+				res.BroadcastFailures++
+			}
+		case itemWireFault:
+			res.WireFaults++
+			ferr, err := WireEpisode(it.wire, wireRng)
+			if err != nil {
+				return res, err
+			}
+			if ferr != nil {
+				// Fail-fast: the unhandled wire error propagates up and
+				// kills the controller process.
+				res.WireErrors++
+				res.WireKills++
+				res.Incidents++
+				c.State = sdn.StateCrashed
+			}
+		}
+		watchdog()
+	}
+	res.FinalState = c.State.String()
+	return res, nil
+}

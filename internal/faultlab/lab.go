@@ -17,6 +17,11 @@ type Lab struct {
 	C     *sdn.Controller
 	D     *sdn.Driver
 
+	// Faults lists every armed fault when the lab runs a multi-fault
+	// campaign (see NewMultiLab); single-fault labs leave it nil and
+	// use Fault alone.
+	Faults []*Fault
+
 	// baselineMeanCost is the healthy mean event cost, measured with
 	// the fault disabled, for the performance detector.
 	baselineMeanCost float64
@@ -65,6 +70,59 @@ func NewLab(f *Fault) (*Lab, error) {
 	return lab, nil
 }
 
+// NewMultiLab builds a lab with every fault of the slice armed at
+// once — the sustained-campaign substrate, where the taxonomy's fault
+// classes interleave instead of being studied one at a time.
+func NewMultiLab(faults []*Fault) (*Lab, error) {
+	if len(faults) == 0 {
+		return nil, errors.New("faultlab: multi lab needs at least one fault")
+	}
+	lab := &Lab{Fault: faults[0], Faults: faults}
+	for _, f := range faults {
+		f.Disabled = true
+	}
+	if err := lab.build(); err != nil {
+		return nil, err
+	}
+	obs, err := lab.RunWorkload()
+	if err != nil {
+		return nil, fmt.Errorf("faultlab: baseline run: %w", err)
+	}
+	if obs.Symptom != taxonomy.SymptomUnknown {
+		return nil, fmt.Errorf("faultlab: baseline not healthy: observed %v", obs.Symptom)
+	}
+	lab.baselineMeanCost = lab.C.Stats.MeanEventCost()
+	for _, f := range faults {
+		f.Disabled = false
+		f.resetState()
+	}
+	if err := lab.build(); err != nil {
+		return nil, err
+	}
+	return lab, nil
+}
+
+// BaselineMeanCost is the healthy mean event cost measured during lab
+// construction (with every fault disabled).
+func (l *Lab) BaselineMeanCost() float64 { return l.baselineMeanCost }
+
+// armed returns the lab's fault set (the single Fault when Faults is
+// unset).
+func (l *Lab) armed() []*Fault {
+	if len(l.Faults) > 0 {
+		return l.Faults
+	}
+	return []*Fault{l.Fault}
+}
+
+// NewIncarnations informs every armed fault that the controller
+// restarted.
+func (l *Lab) NewIncarnations() {
+	for _, f := range l.armed() {
+		f.NewIncarnation()
+	}
+}
+
 // build (re)creates network, environment and controller with the fault
 // installed. The fault object itself survives — it is the bug in the
 // code.
@@ -78,9 +136,14 @@ func (l *Lab) build() error {
 	for _, s := range services {
 		expected[s] = env.Versions[s]
 	}
-	l.Fault.ArmEnvironment(env)
+	faults := l.armed()
+	mws := make([]sdn.Middleware, len(faults))
+	for i, f := range faults {
+		f.ArmEnvironment(env)
+		mws[i] = f.Middleware()
+	}
 	app := sdn.NewL2Switch(expected)
-	l.C = sdn.NewController(net, env, app, l.Fault.Middleware())
+	l.C = sdn.NewController(net, env, app, mws...)
 	l.D = &sdn.Driver{C: l.C}
 	return nil
 }
@@ -90,7 +153,7 @@ func (l *Lab) build() error {
 // returned for replay-based strategies.
 func (l *Lab) Rebuild() ([]sdn.Event, error) {
 	log := l.C.Log
-	l.Fault.NewIncarnation()
+	l.NewIncarnations()
 	if err := l.build(); err != nil {
 		return nil, err
 	}
@@ -143,7 +206,7 @@ func (l *Lab) submit(ev sdn.Event) error {
 	}
 	if err == nil && l.Guard != nil && l.C.State != sdn.StateCrashed && l.Guard(l.C) {
 		// Proactive rejuvenation: restart before the predicted failure.
-		l.Fault.NewIncarnation()
+		l.NewIncarnations()
 		l.C.Restart(false)
 	}
 	return err

@@ -40,8 +40,11 @@ func New(rw io.ReadWriter) *Conn {
 	return &Conn{rw: rw, nextXid: 1}
 }
 
-// Close marks the session closed; subsequent sends fail with ErrClosed.
+// Close marks the session closed; subsequent sends and receives fail
+// with ErrClosed.
 func (c *Conn) Close() {
+	c.readMu.Lock()
+	defer c.readMu.Unlock()
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
 	c.closed = true
@@ -77,6 +80,9 @@ func (c *Conn) SendWithXid(msg openflow.Message, xid uint32) error {
 func (c *Conn) Recv() (openflow.Message, uint32, error) {
 	c.readMu.Lock()
 	defer c.readMu.Unlock()
+	if c.closed {
+		return nil, 0, ErrClosed
+	}
 	return openflow.ReadMessage(c.rw)
 }
 

@@ -70,10 +70,16 @@ var (
 	ErrBadVersion = errors.New("openflow: unsupported version")
 	ErrTruncated  = errors.New("openflow: truncated message")
 	ErrBadType    = errors.New("openflow: unknown message type")
+	ErrOversized  = errors.New("openflow: message too large")
 )
 
 // headerLen is the fixed OpenFlow header size.
 const headerLen = 8
+
+// MaxFrameLen caps a frame's total length: the 16-bit header length
+// field's range, which also bounds how much ReadMessage will ever
+// allocate or read for one frame.
+const MaxFrameLen = 0xffff
 
 // Message is any wire message.
 type Message interface {
@@ -305,6 +311,11 @@ func (p *PacketOut) decodeBody(b []byte) error {
 	p.InPort = binary.BigEndian.Uint32(b[8:12])
 	n := int(binary.BigEndian.Uint16(b[12:14]))
 	rest := b[14:]
+	// Reject a hostile action count up front instead of iterating into
+	// the shortage: the declared actions must fit the remaining body.
+	if n*actionLen > len(rest) {
+		return ErrTruncated
+	}
 	p.Actions = nil
 	for i := 0; i < n; i++ {
 		var a Action
@@ -375,6 +386,10 @@ func (f *FlowMod) decodeBody(b []byte) error {
 	}
 	n := int(binary.BigEndian.Uint16(rest[:2]))
 	rest = rest[2:]
+	// Same hostile-count guard as PacketOut: never trust the header.
+	if n*actionLen > len(rest) {
+		return ErrTruncated
+	}
 	f.Actions = nil
 	for i := 0; i < n; i++ {
 		var a Action
@@ -494,8 +509,8 @@ func Encode(msg Message, xid uint32) ([]byte, error) {
 	var body bytes.Buffer
 	msg.encodeBody(&body)
 	total := headerLen + body.Len()
-	if total > 0xffff {
-		return nil, fmt.Errorf("openflow: message too large: %d bytes", total)
+	if total > MaxFrameLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrOversized, total)
 	}
 	out := make([]byte, headerLen, total)
 	out[0] = Version

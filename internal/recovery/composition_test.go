@@ -1,0 +1,142 @@
+package recovery
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"sdnbugs/internal/faultlab"
+	"sdnbugs/internal/openflow"
+	"sdnbugs/internal/sdn"
+)
+
+// mirrorPacketIn builds the mirror-VLAN broadcast packet-in whose
+// class the Bouncer-style filter drops.
+func mirrorPacketIn(src uint64) sdn.Event {
+	return sdn.Event{Kind: sdn.EventNetwork, Msg: &openflow.PacketIn{
+		DatapathID: 1, InPort: 1,
+		Data: sdn.EncodePacket(sdn.Packet{
+			EthSrc: src, EthDst: sdn.BroadcastMAC, EthType: 0x0806, VlanID: 13,
+		}),
+	}}
+}
+
+func dropMirror(ev sdn.Event) bool {
+	if ev.Kind != sdn.EventNetwork {
+		return false
+	}
+	pi, ok := ev.Msg.(*openflow.PacketIn)
+	if !ok {
+		return false
+	}
+	pkt, err := sdn.DecodePacket(pi.Data)
+	return err == nil && pkt.IsBroadcast() && pkt.VlanID == 13
+}
+
+// TestMiddlewareOrderDecidesWhatTheMonitorSees pins §VII-C's layering
+// caveat at the unit level: with the input filter OUTSIDE the monitor
+// (Bouncer before SPHINX) the monitor is starved of the dropped class;
+// swapping the order lets the monitor model the input even though the
+// controller never handles it.
+func TestMiddlewareOrderDecidesWhatTheMonitorSees(t *testing.T) {
+	build := func(mws ...sdn.Middleware) (*sdn.Controller, *sdn.L2Switch) {
+		net, err := sdn.LinearTopology(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		app := sdn.NewL2Switch(nil)
+		return sdn.NewController(net, sdn.NewEnvironment(), app, mws...), app
+	}
+
+	// Filter outside, monitor inside: the monitor sees nothing.
+	starved := NewFlowGraphMonitor()
+	c1, app1 := build(InputFilter(dropMirror), starved.Middleware())
+	if err := c1.Submit(mirrorPacketIn(0xaa)); err != nil {
+		t.Fatal(err)
+	}
+	if starved.Observed != 0 {
+		t.Fatalf("filter-outside: monitor observed %d events, want 0", starved.Observed)
+	}
+	if app1.KnownMACs(1) != 0 {
+		t.Fatalf("filter-outside: controller learned %d MACs through the filter", app1.KnownMACs(1))
+	}
+
+	// Monitor outside, filter inside: the model stays complete while
+	// the controller is still protected.
+	fed := NewFlowGraphMonitor()
+	c2, app2 := build(fed.Middleware(), InputFilter(dropMirror))
+	if err := c2.Submit(mirrorPacketIn(0xaa)); err != nil {
+		t.Fatal(err)
+	}
+	if fed.Observed != 1 || !fed.Knows(1, 0xaa, 1) {
+		t.Fatalf("monitor-outside: monitor starved (observed=%d)", fed.Observed)
+	}
+	if app2.KnownMACs(1) != 0 {
+		t.Fatalf("monitor-outside: filter leaked the event to the controller")
+	}
+
+	// Non-dropped traffic flows through both stacks identically.
+	clean := sdn.Event{Kind: sdn.EventNetwork, Msg: &openflow.PacketIn{
+		DatapathID: 1, InPort: 1,
+		Data: sdn.EncodePacket(sdn.Packet{EthSrc: 0xbb, EthDst: 0xcc, EthType: 0x0800}),
+	}}
+	if err := c1.Submit(clean); err != nil {
+		t.Fatal(err)
+	}
+	if starved.Observed != 1 || app1.KnownMACs(1) != 1 {
+		t.Fatalf("filter-outside dropped clean traffic: observed=%d known=%d",
+			starved.Observed, app1.KnownMACs(1))
+	}
+}
+
+// failingStrategy's Recover always errors — a broken recovery harness,
+// not a fault that resists recovery.
+type failingStrategy struct{}
+
+func (failingStrategy) Name() string { return "broken-harness" }
+func (failingStrategy) Recover(l *faultlab.Lab) error {
+	return errors.New("recovery machinery exploded")
+}
+
+// TestEvaluateSurfacesRecoverErrors pins the harness/fault distinction:
+// a Recover error must abort Evaluate with context, never be scored as
+// "fault not recovered".
+func TestEvaluateSurfacesRecoverErrors(t *testing.T) {
+	m, err := Evaluate([]Strategy{failingStrategy{}}, EvalConfig{Trials: 1, Seed: 1})
+	if err == nil {
+		t.Fatal("Evaluate swallowed a Recover error")
+	}
+	if m != nil {
+		t.Fatal("Evaluate returned a partial matrix alongside its error")
+	}
+	if !strings.Contains(err.Error(), "broken-harness") {
+		t.Fatalf("error lacks strategy context: %v", err)
+	}
+}
+
+// TestEvaluateStrategiesIsolated pins trial isolation: every trial
+// builds a fresh lab and fresh fault incarnations, so a strategy's
+// cells are identical whether it is evaluated alone or followed by
+// other strategies — no state leaks across the campaign.
+func TestEvaluateStrategiesIsolated(t *testing.T) {
+	cfg := EvalConfig{Trials: 2, Seed: 5}
+	alone, err := Evaluate([]Strategy{CrashRestart{}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined, err := Evaluate([]Strategy{CrashRestart{}, RecordReplay{}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range alone.Cells {
+		got, ok := combined.Cell(cell.Fault.Name, cell.Strategy)
+		if !ok {
+			t.Fatalf("cell (%s, %s) missing in combined run", cell.Fault.Name, cell.Strategy)
+		}
+		if got.Trials != cell.Trials || got.Recoveries != cell.Recoveries {
+			t.Errorf("cell (%s, %s) changed when another strategy joined: %d/%d vs %d/%d",
+				cell.Fault.Name, cell.Strategy,
+				cell.Recoveries, cell.Trials, got.Recoveries, got.Trials)
+		}
+	}
+}

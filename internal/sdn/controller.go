@@ -184,7 +184,8 @@ func NewController(net *Network, env *Environment, app App, mw ...Middleware) *C
 // is considered stalled (temporarily frozen, §IV).
 const stallCostThreshold = 1000
 
-// Submit processes one event through the app (and any middleware).
+// Submit processes one event through the app (and any middleware),
+// recording it in the event log first.
 func (c *Controller) Submit(ev Event) error {
 	if c.State == StateCrashed {
 		c.Stats.EventsDropped++
@@ -192,6 +193,22 @@ func (c *Controller) Submit(ev Event) error {
 	}
 	ev.Seq = len(c.Log)
 	c.Log = append(c.Log, ev)
+	return c.process(ev)
+}
+
+// Reprocess handles an already-logged event again without re-recording
+// it — the primitive replay- and checkpoint-based recovery builds on.
+func (c *Controller) Reprocess(ev Event) error {
+	if c.State == StateCrashed {
+		c.Stats.EventsDropped++
+		return ErrNotRunning
+	}
+	return c.process(ev)
+}
+
+// process runs one event through the handler chain and updates the
+// health counters and liveness state.
+func (c *Controller) process(ev Event) error {
 	cost, err := c.handler(c, ev)
 	if cost < 1 {
 		cost = 1

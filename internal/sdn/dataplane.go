@@ -98,6 +98,21 @@ func (t *FlowTable) Delete(m openflow.Match) int {
 // Clear removes every entry.
 func (t *FlowTable) Clear() { t.entries = nil }
 
+// Entries returns a deep copy of the table in priority order, for
+// checkpoint-based recovery: mutating the copy (or its actions) never
+// aliases live dataplane state.
+func (t *FlowTable) Entries() []FlowEntry {
+	if len(t.entries) == 0 {
+		return nil
+	}
+	out := make([]FlowEntry, len(t.entries))
+	for i, e := range t.entries {
+		e.Actions = append([]openflow.Action(nil), e.Actions...)
+		out[i] = e
+	}
+	return out
+}
+
 // Len returns the number of entries.
 func (t *FlowTable) Len() int { return len(t.entries) }
 

@@ -43,6 +43,33 @@ func (a *L2Switch) Reset() {
 // KnownMACs returns how many MACs are learned at the switch.
 func (a *L2Switch) KnownMACs(dpid uint64) int { return len(a.macTable[dpid]) }
 
+// Snapshot returns a deep copy of the learned MAC tables, for
+// checkpoint-based recovery (see internal/supervise).
+func (a *L2Switch) Snapshot() any {
+	return copyMACTable(a.macTable)
+}
+
+// RestoreSnapshot replaces the learned state with a value previously
+// returned by Snapshot. Unknown snapshot types are ignored, leaving the
+// app in its post-Reset state.
+func (a *L2Switch) RestoreSnapshot(s any) {
+	if m, ok := s.(map[uint64]map[uint64]uint32); ok {
+		a.macTable = copyMACTable(m)
+	}
+}
+
+func copyMACTable(m map[uint64]map[uint64]uint32) map[uint64]map[uint64]uint32 {
+	out := make(map[uint64]map[uint64]uint32, len(m))
+	for dpid, macs := range m {
+		cp := make(map[uint64]uint32, len(macs))
+		for mac, port := range macs {
+			cp[mac] = port
+		}
+		out[dpid] = cp
+	}
+	return out
+}
+
 // HandleEvent implements App.
 func (a *L2Switch) HandleEvent(c *Controller, ev Event) (int, error) {
 	switch ev.Kind {

@@ -1,0 +1,486 @@
+// Package supervise wraps the simulated SDN controller in a
+// self-healing runtime: the supervisor pattern the paper's findings
+// argue for. The taxonomy shows most controller failures are
+// fail-stop crashes or stalls triggered by a specific input class
+// (§IV, Table VII), so a supervisor that (a) probes liveness and
+// readiness with the taxonomy's symptom detectors, (b) restarts with
+// exponential backoff under a restart budget, (c) resumes from
+// periodic checkpoints instead of replaying the whole event log, and
+// (d) degrades gracefully by shedding the offending event class when
+// restarts keep failing, converts those failures into bounded
+// recovery time instead of outage.
+//
+// Everything is measured in the controller's logical ticks and every
+// decision is deterministic, so supervised runs are byte-identical at
+// a fixed seed — the property the sustained fault-injection campaign
+// (internal/faultlab, experiment E22) asserts.
+package supervise
+
+import (
+	"time"
+
+	"sdnbugs/internal/resilience"
+	"sdnbugs/internal/sdn"
+	"sdnbugs/internal/taxonomy"
+)
+
+// Logical-tick costs of supervisor actions. One millisecond of
+// resilience.Policy backoff maps to one tick, keeping the two layers'
+// units aligned without wall-clock sleeps.
+const (
+	// RestartCost is the fixed tick cost of one controller restart
+	// (process re-exec, reconnects, feature re-sync).
+	RestartCost = 25
+	// CheckpointCost is the tick overhead of capturing one checkpoint.
+	CheckpointCost = 2
+	// WireReconnectCost is the tick cost of tearing down and
+	// re-establishing one switch connection after a wire-level fault.
+	WireReconnectCost = 5
+)
+
+// Config tunes a Supervisor. The zero value is usable: sensible
+// degradation and probe defaults, no checkpointing, no budget.
+type Config struct {
+	// BaselineMeanCost is the healthy mean event cost the performance
+	// probe compares against; 0 disables the perf probe.
+	BaselineMeanCost float64
+	// PerfFactor flags a performance regression when the windowed mean
+	// cost exceeds PerfFactor × BaselineMeanCost (default 4, matching
+	// the fault lab's detector).
+	PerfFactor float64
+	// PerfWindow is how many recent event costs the perf probe averages
+	// over (default 16).
+	PerfWindow int
+	// Backoff shapes restart delays. Only the deterministic Backoff
+	// ceiling is used — never the jittered Delay — so supervised runs
+	// replay exactly.
+	Backoff resilience.Policy
+	// Budget, when set, bounds total restarts: every processed event
+	// deposits, every restart withdraws. A dry budget stops restarts
+	// and sheds the offending class instead.
+	Budget *resilience.Budget
+	// CheckpointEvery captures a checkpoint every N processed events;
+	// 0 disables checkpointing, making every restart a cold replay.
+	CheckpointEvery int
+	// DegradeAfter is how many consecutive failed recovery attempts a
+	// single event class gets before the supervisor sheds it
+	// (default 3).
+	DegradeAfter int
+	// Classify buckets events into the classes degradation sheds;
+	// defaults to EventKind.String(). Finer classifiers (e.g. the fault
+	// lab's poison signatures) shed more surgically.
+	Classify func(sdn.Event) string
+	// OnRestart runs immediately before every supervised restart; the
+	// fault lab advances fault incarnations here.
+	OnRestart func()
+}
+
+func (c Config) withDefaults() Config {
+	if c.PerfFactor <= 0 {
+		c.PerfFactor = 4
+	}
+	if c.PerfWindow <= 0 {
+		c.PerfWindow = 16
+	}
+	if c.DegradeAfter <= 0 {
+		c.DegradeAfter = 3
+	}
+	if c.Classify == nil {
+		c.Classify = func(ev sdn.Event) string { return ev.Kind.String() }
+	}
+	return c
+}
+
+// Outcome is the supervised fate of one submitted event.
+type Outcome int
+
+// Outcome values.
+const (
+	// OutcomeProcessed: handled cleanly.
+	OutcomeProcessed Outcome = iota
+	// OutcomeHealed: a failure was detected and recovered; the event
+	// counts as processed.
+	OutcomeHealed
+	// OutcomeShed: dropped because its class is degraded.
+	OutcomeShed
+	// OutcomeDegraded: this event triggered repeated failures and its
+	// class was shed; the event itself was dropped.
+	OutcomeDegraded
+	// OutcomeLost: dropped without a shedding decision (never produced
+	// by a supervised submit; campaigns use it for unsupervised runs).
+	OutcomeLost
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeProcessed:
+		return "processed"
+	case OutcomeHealed:
+		return "healed"
+	case OutcomeShed:
+		return "shed"
+	case OutcomeDegraded:
+		return "degraded"
+	case OutcomeLost:
+		return "lost"
+	default:
+		return "unknown"
+	}
+}
+
+// Metrics aggregates a supervised run. All counters are logical (event
+// counts and ticks), so two runs at the same seed produce identical
+// metrics.
+type Metrics struct {
+	EventsOffered   int
+	EventsProcessed int // includes healed
+	EventsHealed    int
+	EventsShed      int
+	EventsLost      int
+
+	Incidents       int // detected failures (probe or divergence report)
+	FailStops       int
+	Stalls          int
+	PerfRegressions int
+	Divergences     int
+
+	Restarts      int
+	Degradations  int // classes shed
+	BudgetDenials int
+
+	Checkpoints            int
+	CheckpointRestores     int
+	ColdRestores           int
+	CheckpointRestoreTicks int
+	ColdRestoreTicks       int
+
+	UptimeTicks   int
+	RecoveryTicks int
+
+	WireErrors int
+}
+
+// EventAvailability is the fraction of offered events that were
+// processed (healed included; shed and lost are unavailability).
+func (m Metrics) EventAvailability() float64 {
+	if m.EventsOffered == 0 {
+		return 1
+	}
+	return float64(m.EventsProcessed) / float64(m.EventsOffered)
+}
+
+// TimeAvailability is uptime over total logical time.
+func (m Metrics) TimeAvailability() float64 {
+	total := m.UptimeTicks + m.RecoveryTicks
+	if total == 0 {
+		return 1
+	}
+	return float64(m.UptimeTicks) / float64(total)
+}
+
+// MTTR is the mean recovery ticks per detected incident.
+func (m Metrics) MTTR() float64 {
+	if m.Incidents == 0 {
+		return 0
+	}
+	return float64(m.RecoveryTicks) / float64(m.Incidents)
+}
+
+// Supervisor is the self-healing runtime around one controller. It is
+// not safe for concurrent use: the controller model itself is
+// single-threaded logical time.
+type Supervisor struct {
+	C       *sdn.Controller
+	Metrics Metrics
+
+	cfg Config
+	// shed marks degraded event classes.
+	shed map[string]bool
+	// consec counts consecutive failed recovery attempts per class;
+	// reset by a clean success of that class.
+	consec map[string]int
+	// window holds the last PerfWindow event costs for the perf probe.
+	window []int
+	// cp is the latest checkpoint (nil until the first capture).
+	cp *Checkpoint
+	// sinceCheckpoint counts processed events since the last capture.
+	sinceCheckpoint int
+}
+
+// New wraps a controller. The controller must be running.
+func New(c *sdn.Controller, cfg Config) *Supervisor {
+	return &Supervisor{
+		C:      c,
+		cfg:    cfg.withDefaults(),
+		shed:   make(map[string]bool),
+		consec: make(map[string]int),
+	}
+}
+
+// Alive reports process liveness (the controller is not crashed).
+func (s *Supervisor) Alive() bool { return s.C.State != sdn.StateCrashed }
+
+// ClassShed reports whether an event class has been degraded away.
+func (s *Supervisor) ClassShed(class string) bool { return s.shed[class] }
+
+// ShedClasses returns the degraded classes in sorted order.
+func (s *Supervisor) ShedClasses() []string {
+	out := make([]string, 0, len(s.shed))
+	for c := range s.shed {
+		out = append(out, c)
+	}
+	sortStrings(out)
+	return out
+}
+
+// Filter is the degradation hook, shaped for faultlab.Lab.Filter:
+// events of shed classes are dropped (and accounted) before they reach
+// the controller.
+func (s *Supervisor) Filter(ev sdn.Event) (sdn.Event, bool) {
+	if s.shed[s.cfg.Classify(ev)] {
+		s.Metrics.EventsOffered++
+		s.Metrics.EventsShed++
+		return ev, false
+	}
+	return ev, true
+}
+
+// Submit runs one event under supervision: process, probe, and — on a
+// detected failure — heal by restarting (with backoff and budget) and
+// retrying, falling back to shedding the event's class.
+func (s *Supervisor) Submit(ev sdn.Event) Outcome {
+	s.Metrics.EventsOffered++
+	class := s.cfg.Classify(ev)
+	if s.shed[class] {
+		s.Metrics.EventsShed++
+		return OutcomeShed
+	}
+	cost := s.runEvent(ev, false)
+	s.pushCost(cost)
+	h := s.Probe()
+	if h.Ready {
+		s.Metrics.UptimeTicks += cost
+		s.noteSuccess(class)
+		s.Metrics.EventsProcessed++
+		return OutcomeProcessed
+	}
+	s.Metrics.RecoveryTicks += cost
+	s.noteSymptom(h.Symptom)
+	// Fail-stop means the event's effect was lost: retry it after the
+	// restart. Stalls and perf regressions processed the event (slowly);
+	// only the condition needs clearing.
+	var retry *sdn.Event
+	if h.Symptom == taxonomy.SymptomFailStop {
+		retry = &ev
+	}
+	if s.heal(class, retry, nil) {
+		s.Metrics.EventsHealed++
+		s.Metrics.EventsProcessed++
+		return OutcomeHealed
+	}
+	s.Metrics.EventsShed++
+	return OutcomeDegraded
+}
+
+// ReportDivergence feeds the supervisor a byzantine divergence its
+// probes cannot see (e.g. a silently swallowed broadcast found by a
+// spot check). verify, when set, re-runs the check after each restart;
+// a deterministic divergence therefore fails verification until the
+// class is shed. Reports against an already-shed class are ignored.
+// It returns true when a restart cleared the divergence.
+func (s *Supervisor) ReportDivergence(class string, verify func() bool) bool {
+	if s.shed[class] {
+		return false
+	}
+	s.Metrics.Divergences++
+	return s.heal(class, nil, verify)
+}
+
+// WireError records a connection-layer fault the session layer
+// surfaced (garbage frame, truncated read, handshake stall, dropped
+// connection). The supervisor's answer is a bounded reconnect — never
+// death.
+func (s *Supervisor) WireError(err error) {
+	_ = err
+	s.Metrics.WireErrors++
+	s.Metrics.RecoveryTicks += WireReconnectCost
+}
+
+// heal is the recovery loop for one incident: restart (budgeted, with
+// backoff growing in the class's consecutive-failure count), then
+// either retry the failed event, re-run the caller's verification, or
+// trust the probe. A class that keeps failing past DegradeAfter
+// attempts is shed.
+func (s *Supervisor) heal(class string, retry *sdn.Event, verify func() bool) bool {
+	s.Metrics.Incidents++
+	for {
+		s.consec[class]++
+		if s.consec[class] > s.cfg.DegradeAfter {
+			s.degrade(class)
+			return false
+		}
+		if s.cfg.Budget != nil && !s.cfg.Budget.Withdraw() {
+			s.Metrics.BudgetDenials++
+			s.degrade(class)
+			return false
+		}
+		s.restart(s.consec[class] - 1)
+		if retry != nil {
+			cost := s.runEvent(*retry, true)
+			s.Metrics.RecoveryTicks += cost
+			h := s.Probe()
+			if h.Ready {
+				return true
+			}
+			s.noteSymptom(h.Symptom)
+			continue
+		}
+		if verify != nil && !verify() {
+			continue
+		}
+		if s.Probe().Ready {
+			return true
+		}
+	}
+}
+
+// degrade sheds a class and restores service if the incident left the
+// controller down.
+func (s *Supervisor) degrade(class string) {
+	if !s.shed[class] {
+		s.shed[class] = true
+		s.Metrics.Degradations++
+	}
+	if s.C.State != sdn.StateRunning {
+		s.restart(0)
+	}
+}
+
+// restart bounces the controller and accounts the downtime: fixed
+// restart cost, deterministic backoff (ms→ticks), plus state recovery
+// — checkpoint restore with tail replay when a checkpoint exists, full
+// log replay otherwise.
+func (s *Supervisor) restart(attempt int) {
+	if s.cfg.OnRestart != nil {
+		s.cfg.OnRestart()
+	}
+	s.C.Restart(true)
+	s.window = s.window[:0]
+	s.Metrics.Restarts++
+	down := RestartCost
+	if s.cfg.Backoff.BaseDelay > 0 {
+		down += int(s.cfg.Backoff.Backoff(attempt) / time.Millisecond)
+	}
+	if s.cp != nil {
+		t := RestartCost + s.cp.Apply(s.C) + s.replayConfig(s.cp.HighWater)
+		s.Metrics.CheckpointRestores++
+		s.Metrics.CheckpointRestoreTicks += t
+		down += t - RestartCost
+	} else {
+		t := RestartCost + s.replayConfig(0)
+		s.Metrics.ColdRestores++
+		s.Metrics.ColdRestoreTicks += t
+		down += t - RestartCost
+	}
+	s.Metrics.RecoveryTicks += down
+}
+
+// replayConfig re-executes the logged configuration events from log
+// index `from` to rebuild controller config state. Replay runs the
+// same buggy code: an event that crashes the replay is skipped on the
+// next pass (restart cost accounted), leaving the shedding decision to
+// the heal loop.
+func (s *Supervisor) replayConfig(from int) int {
+	ticks := 0
+	if from > len(s.C.Log) {
+		from = len(s.C.Log)
+	}
+	skip := make(map[int]bool)
+	// Each pass eliminates at least one crashing event; a partial
+	// replay wiped by a crash-restart starts over without it.
+	for pass := 0; pass < 8; pass++ {
+		crashed := false
+		for i := from; i < len(s.C.Log); i++ {
+			ev := s.C.Log[i]
+			if ev.Kind != sdn.EventConfig || skip[i] || s.shed[s.cfg.Classify(ev)] {
+				continue
+			}
+			before := s.C.Stats.TotalCost
+			_ = s.C.Reprocess(ev)
+			ticks += s.C.Stats.TotalCost - before
+			if s.C.State == sdn.StateCrashed {
+				skip[i] = true
+				crashed = true
+				if s.cfg.OnRestart != nil {
+					s.cfg.OnRestart()
+				}
+				s.C.Restart(true)
+				s.Metrics.Restarts++
+				ticks += RestartCost
+				break
+			}
+		}
+		if !crashed {
+			break
+		}
+	}
+	return ticks
+}
+
+// runEvent pushes one event through the controller and returns its
+// tick cost. replays use Reprocess so the log is not re-recorded.
+func (s *Supervisor) runEvent(ev sdn.Event, replay bool) int {
+	before := s.C.Stats.TotalCost
+	if replay {
+		_ = s.C.Reprocess(ev)
+	} else {
+		_ = s.C.Submit(ev)
+	}
+	return s.C.Stats.TotalCost - before
+}
+
+// noteSuccess resets the class's failure streak, feeds the restart
+// budget, and takes a periodic checkpoint.
+func (s *Supervisor) noteSuccess(class string) {
+	s.consec[class] = 0
+	if s.cfg.Budget != nil {
+		s.cfg.Budget.Deposit()
+	}
+	if s.cfg.CheckpointEvery > 0 {
+		s.sinceCheckpoint++
+		if s.sinceCheckpoint >= s.cfg.CheckpointEvery {
+			s.sinceCheckpoint = 0
+			s.cp = Capture(s.C)
+			s.Metrics.Checkpoints++
+			s.Metrics.UptimeTicks += CheckpointCost
+		}
+	}
+}
+
+func (s *Supervisor) noteSymptom(sym taxonomy.Symptom) {
+	switch sym {
+	case taxonomy.SymptomFailStop:
+		s.Metrics.FailStops++
+	case taxonomy.SymptomByzantine:
+		s.Metrics.Stalls++
+	case taxonomy.SymptomPerformance:
+		s.Metrics.PerfRegressions++
+	}
+}
+
+func (s *Supervisor) pushCost(cost int) {
+	s.window = append(s.window, cost)
+	if len(s.window) > s.cfg.PerfWindow {
+		s.window = s.window[len(s.window)-s.cfg.PerfWindow:]
+	}
+}
+
+// sortStrings is a dependency-free insertion sort (the slices here are
+// a handful of class names).
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -16,7 +16,7 @@ import (
 // ExperimentResult is one reproduced table or figure with its
 // paper-vs-measured checks and renderable artifacts.
 type ExperimentResult struct {
-	// ID is the experiment id from DESIGN.md (E01..E21).
+	// ID is the experiment id from DESIGN.md (E01..E22).
 	ID string
 	// Title names the paper artifact.
 	Title string
@@ -141,7 +141,7 @@ func (s *Suite) Pipeline() (*study.Pipeline, error) {
 	return s.pipeline, s.pipeErr
 }
 
-// Registry returns the suite's experiment registry: E01–E21 and
+// Registry returns the suite's experiment registry: E01–E22 and
 // A01–A07 in paper order, each bound to this suite's shared
 // artifacts. The registry is built once and shared; it is safe for
 // concurrent lookups and selection.
@@ -151,6 +151,7 @@ func (s *Suite) Registry() *engine.Registry[ExperimentResult] {
 		s.registerCorpusExperiments(r)
 		s.registerSystemsExperiments(r)
 		s.registerResilienceExperiments(r)
+		s.registerSuperviseExperiments(r)
 		s.registerAblations(r)
 		s.reg = r
 	})
@@ -233,7 +234,7 @@ func (s *Suite) runKind(k engine.Kind) ([]ExperimentResult, error) {
 	return run.Results()
 }
 
-// Experiments runs every experiment (E01–E21) in order. It is a thin
+// Experiments runs every experiment (E01–E22) in order. It is a thin
 // sequential wrapper over Run; use Run directly for parallelism,
 // ID selection and per-experiment outcomes.
 func (s *Suite) Experiments() ([]ExperimentResult, error) {

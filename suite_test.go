@@ -61,6 +61,7 @@ func TestFastExperimentsHold(t *testing.T) {
 		sharedSuite.E18ControllerSelection,
 		sharedSuite.E20CrossDomainComparison,
 		sharedSuite.E21ResilientMining,
+		sharedSuite.E22SelfHealingCampaign,
 	}
 	for _, run := range runs {
 		res, err := run()
