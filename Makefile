@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench fuzz verify
+.PHONY: build vet test race bench bench-smoke fuzz verify
 
 build:
 	$(GO) build ./...
@@ -20,8 +20,17 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The full bench slate also refreshes BENCH_suite.json, the
+# machine-readable perf record (suite walls, speedup, per-experiment
+# timings) written by the suite benchmarks.
 bench:
-	$(GO) test -bench . -benchtime 1x .
+	BENCH_JSON=$(CURDIR)/BENCH_suite.json $(GO) test -bench . -benchtime 1x .
+
+# bench-smoke is the CI guard: the E09 hot path and the suite
+# sequential/parallel pair, one iteration each, so perf-critical code
+# keeps compiling and running without burning CI minutes.
+bench-smoke:
+	$(GO) test -run='^$$' -bench 'BenchmarkE09|BenchmarkSuite' -benchtime 1x .
 
 # Fuzz the OpenFlow codec briefly: malformed frames must produce typed
 # errors, never panics or over-allocation.

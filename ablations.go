@@ -27,7 +27,7 @@ func (s *Suite) registerAblations(r *engine.Registry[ExperimentResult]) {
 // only, Word2Vec only, and the paper's concatenation of both.
 func (s *Suite) AblationFeatures() (ExperimentResult, error) {
 	res := ExperimentResult{ID: "A01", Title: "Ablation: feature blocks (TF-IDF vs Word2Vec vs both)"}
-	manual, err := s.Manual()
+	val, err := s.Validator()
 	if err != nil {
 		return res, err
 	}
@@ -35,15 +35,15 @@ func (s *Suite) AblationFeatures() (ExperimentResult, error) {
 		name string
 		cfg  study.PipelineConfig
 	}{
-		{"tfidf+w2v", study.PipelineConfig{Seed: s.Seed}},
-		{"tfidf-only", study.PipelineConfig{Seed: s.Seed, DisableW2V: true}},
-		{"w2v-only", study.PipelineConfig{Seed: s.Seed, DisableTFIDF: true}},
+		{"tfidf+w2v", study.PipelineConfig{Seed: s.Seed, Workers: s.Workers}},
+		{"tfidf-only", study.PipelineConfig{Seed: s.Seed, Workers: s.Workers, DisableW2V: true}},
+		{"w2v-only", study.PipelineConfig{Seed: s.Seed, Workers: s.Workers, DisableTFIDF: true}},
 	}
 	tbl := &report.Table{Title: "SVM accuracy by feature block",
 		Headers: []string{"features", "bug-type", "symptom", "trigger"}}
 	acc := map[string]map[taxonomy.Dimension]float64{}
 	for _, v := range variants {
-		results, err := study.ValidateRepeated(manual.Bugs(), v.cfg, 2)
+		results, err := val.ValidateRepeated(v.cfg, 2)
 		if err != nil {
 			return res, fmt.Errorf("sdnbugs: ablation %s: %w", v.name, err)
 		}
@@ -82,11 +82,13 @@ func (s *Suite) AblationFeatures() (ExperimentResult, error) {
 // accuracy").
 func (s *Suite) AblationScaling() (ExperimentResult, error) {
 	res := ExperimentResult{ID: "A02", Title: "Ablation: feature normalization for the SVM"}
-	manual, err := s.Manual()
+	val, err := s.Validator()
 	if err != nil {
 		return res, err
 	}
-	results, err := study.ValidateRepeated(manual.Bugs(), study.PipelineConfig{Seed: s.Seed}, 3)
+	// This is byte-for-byte the protocol E09 runs; the shared validator
+	// answers the duplicate from cache.
+	results, err := val.ValidateRepeated(study.PipelineConfig{Seed: s.Seed, Workers: s.Workers}, 3)
 	if err != nil {
 		return res, err
 	}

@@ -10,24 +10,105 @@ package sdnbugs
 
 import (
 	"context"
+	"encoding/json"
+	"os"
+	"runtime"
 	"strconv"
+	"sync"
 	"testing"
+	"time"
+
+	"sdnbugs/internal/engine"
 )
 
-// benchSuite is shared so corpora and NLP fits amortize across benches.
+// benchSuite is shared so corpora and NLP fits amortize across the
+// per-experiment benches below. Experiments whose cost the suite's
+// validation cache would hide after the first iteration (E09, E12 and
+// the NLP ablations) use runExperimentCold instead, which rebuilds the
+// suite outside the timed region every iteration.
 var benchSuite = NewSuite(1)
 
-// benchSuiteRun executes the whole E01–E22 slate through the engine
-// at a given parallelism, so BenchmarkSuite_Sequential vs
-// BenchmarkSuite_Parallel measures (rather than asserts) the worker
-// pool's speedup. The reported "speedup" metric is serial-time over
-// wall-time for the last iteration; it approaches the core count on
-// multi-core hardware and ~1.0 when GOMAXPROCS is 1.
-func benchSuiteRun(b *testing.B, parallelism int) {
+// newWarmSuite returns a fresh suite with the corpus prebuilt: cold
+// NLP caches, but iterations measure experiment work rather than
+// corpus generation.
+func newWarmSuite(b *testing.B, workers int) *Suite {
+	b.Helper()
+	s := NewSuite(1)
+	s.Workers = workers
+	if _, err := s.Corpus(); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// benchState carries measured walls between the suite benchmarks (they
+// run in declaration order) so BenchmarkSuite_Parallel can report a
+// true speedup — parallel wall against the separately measured
+// sequential baseline, not a run's own serial-sum over its own wall,
+// which self-compares to ~1 once experiments parallelize internally —
+// and so writeBenchJSON can persist the machine-readable record.
+var benchState struct {
+	mu             sync.Mutex
+	sequentialWall time.Duration
+	parallelWall   time.Duration
+	experiments    []benchExperiment
+}
+
+type benchExperiment struct {
+	ID     string  `json:"id"`
+	WallMS float64 `json:"wall_ms"`
+}
+
+type benchRecord struct {
+	Timestamp        string            `json:"timestamp"`
+	GoMaxProcs       int               `json:"gomaxprocs"`
+	SequentialWallMS float64           `json:"sequential_wall_ms"`
+	ParallelWallMS   float64           `json:"parallel_wall_ms"`
+	Speedup          float64           `json:"speedup"`
+	Experiments      []benchExperiment `json:"experiments"`
+}
+
+// writeBenchJSON persists the suite benchmark record to the path in
+// BENCH_JSON (no-op when unset); `make bench` points it at
+// BENCH_suite.json so the perf trajectory is machine-readable.
+func writeBenchJSON(b *testing.B) {
+	path := os.Getenv("BENCH_JSON")
+	if path == "" {
+		return
+	}
+	benchState.mu.Lock()
+	defer benchState.mu.Unlock()
+	rec := benchRecord{
+		Timestamp:        time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:       runtime.GOMAXPROCS(0),
+		SequentialWallMS: float64(benchState.sequentialWall) / float64(time.Millisecond),
+		ParallelWallMS:   float64(benchState.parallelWall) / float64(time.Millisecond),
+		Experiments:      benchState.experiments,
+	}
+	if benchState.sequentialWall > 0 && benchState.parallelWall > 0 {
+		rec.Speedup = float64(benchState.sequentialWall) / float64(benchState.parallelWall)
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchSuiteRun executes the whole E01–E22 slate through the engine on
+// a fresh suite per iteration (cold validation caches; corpus prebuilt
+// outside the timer) and returns the last run.
+func benchSuiteRun(b *testing.B, parallelism, workers int) engine.Run[ExperimentResult] {
 	b.Helper()
 	ctx := context.Background()
+	var last engine.Run[ExperimentResult]
 	for i := 0; i < b.N; i++ {
-		run, err := benchSuite.Run(ctx, RunOptions{Parallelism: parallelism})
+		b.StopTimer()
+		s := newWarmSuite(b, workers)
+		b.StartTimer()
+		run, err := s.Run(ctx, RunOptions{Parallelism: parallelism})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -36,19 +117,43 @@ func benchSuiteRun(b *testing.B, parallelism int) {
 			b.Fatalf("suite run: %d ok, %d failed checks, %d errored: %v",
 				ok, failed, errored, run.Err())
 		}
-		if i == b.N-1 && run.Wall > 0 {
-			b.ReportMetric(float64(run.Serial())/float64(run.Wall), "speedup")
-		}
+		last = run
 	}
+	return last
 }
 
-// BenchmarkSuite_Sequential runs all twenty-two experiments on one worker.
-func BenchmarkSuite_Sequential(b *testing.B) { benchSuiteRun(b, 1) }
+// BenchmarkSuite_Sequential is the true-serial baseline: one engine
+// worker and Workers=1 inside every experiment.
+func BenchmarkSuite_Sequential(b *testing.B) {
+	run := benchSuiteRun(b, 1, 1)
+	benchState.mu.Lock()
+	benchState.sequentialWall = run.Wall
+	benchState.experiments = benchState.experiments[:0]
+	for _, o := range run.Outcomes {
+		benchState.experiments = append(benchState.experiments,
+			benchExperiment{ID: o.ID, WallMS: float64(o.Duration) / float64(time.Millisecond)})
+	}
+	benchState.mu.Unlock()
+	writeBenchJSON(b)
+}
 
-// BenchmarkSuite_Parallel runs the same slate on a GOMAXPROCS pool;
-// compare ns/op against BenchmarkSuite_Sequential for the wall-clock
-// win.
-func BenchmarkSuite_Parallel(b *testing.B) { benchSuiteRun(b, 0) }
+// BenchmarkSuite_Parallel runs the same slate with a GOMAXPROCS
+// engine pool and GOMAXPROCS workers inside experiments. The reported
+// "speedup" metric is the sequential baseline's wall over this run's
+// wall (only when BenchmarkSuite_Sequential ran in the same
+// invocation); it approaches the core count on multi-core hardware
+// and ~1.0 when GOMAXPROCS is 1.
+func BenchmarkSuite_Parallel(b *testing.B) {
+	run := benchSuiteRun(b, 0, 0)
+	benchState.mu.Lock()
+	benchState.parallelWall = run.Wall
+	seq := benchState.sequentialWall
+	benchState.mu.Unlock()
+	if seq > 0 && run.Wall > 0 {
+		b.ReportMetric(float64(seq)/float64(run.Wall), "speedup")
+	}
+	writeBenchJSON(b)
+}
 
 // runExperiment executes one experiment per iteration and asserts its
 // checks, then lets the bench report headline metrics.
@@ -60,16 +165,46 @@ func runExperiment(b *testing.B, run func() (ExperimentResult, error), metrics f
 		if err != nil {
 			b.Fatal(err)
 		}
-		for _, c := range res.Checks {
-			if !c.Holds {
-				b.Fatalf("%s check failed: %s — paper %q, measured %q",
-					res.ID, c.Metric, c.Paper, c.Measured)
-			}
-		}
+		assertChecks(b, res)
 		last = res
 	}
 	if metrics != nil {
 		metrics(b, last)
+	}
+}
+
+// runExperimentCold is runExperiment against a fresh suite every
+// iteration, for experiments the suite-level validation cache would
+// otherwise answer from memory after iteration one (the bench would
+// measure a map lookup). Suite construction happens outside the timed
+// region; workers bounds the in-experiment pools.
+func runExperimentCold(b *testing.B, workers int,
+	run func(*Suite) (ExperimentResult, error), metrics func(*testing.B, ExperimentResult)) {
+	b.Helper()
+	var last ExperimentResult
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := newWarmSuite(b, workers)
+		b.StartTimer()
+		res, err := run(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		assertChecks(b, res)
+		last = res
+	}
+	if metrics != nil {
+		metrics(b, last)
+	}
+}
+
+func assertChecks(b *testing.B, res ExperimentResult) {
+	b.Helper()
+	for _, c := range res.Checks {
+		if !c.Holds {
+			b.Fatalf("%s check failed: %s — paper %q, measured %q",
+				res.ID, c.Metric, c.Paper, c.Measured)
+		}
 	}
 }
 
@@ -148,11 +283,18 @@ func BenchmarkE08_ResolutionCDF(b *testing.B) {
 }
 
 func BenchmarkE09_NLPValidation(b *testing.B) {
-	runExperiment(b, benchSuite.E09NLPValidation, func(b *testing.B, res ExperimentResult) {
+	runExperimentCold(b, 0, (*Suite).E09NLPValidation, func(b *testing.B, res ExperimentResult) {
 		b.ReportMetric(pctMetric(findCheck(res, "SVM bug-type accuracy")), "svm_type_acc_%")
 		b.ReportMetric(pctMetric(findCheck(res, "SVM symptom accuracy")), "svm_symptom_acc_%")
 		b.ReportMetric(pctMetric(findCheck(res, "fix prediction is poor")), "svm_fix_acc_%")
 	})
+}
+
+// BenchmarkE09_NLPValidation_Serial pins Workers=1; the ratio against
+// BenchmarkE09_NLPValidation is the experiment's internal parallel
+// speedup on this machine.
+func BenchmarkE09_NLPValidation_Serial(b *testing.B) {
+	runExperimentCold(b, 1, (*Suite).E09NLPValidation, nil)
 }
 
 func BenchmarkE10_CorrelationCDF(b *testing.B) {
@@ -166,7 +308,7 @@ func BenchmarkE11_TopicUniqueness(b *testing.B) {
 }
 
 func BenchmarkE12_FullDatasetPrediction(b *testing.B) {
-	runExperiment(b, benchSuite.E12FullDatasetPrediction, func(b *testing.B, res ExperimentResult) {
+	runExperimentCold(b, 0, (*Suite).E12FullDatasetPrediction, func(b *testing.B, res ExperimentResult) {
 		b.ReportMetric(pctMetric(findCheck(res, "configuration is the dominant predicted trigger")), "pred_config_%")
 		b.ReportMetric(pctMetric(findCheck(res, "network events contribute a small part")), "pred_network_%")
 	})
@@ -224,11 +366,11 @@ func BenchmarkE22_SelfHealingCampaign(b *testing.B) {
 }
 
 func BenchmarkAblation_Features(b *testing.B) {
-	runExperiment(b, benchSuite.AblationFeatures, nil)
+	runExperimentCold(b, 0, (*Suite).AblationFeatures, nil)
 }
 
 func BenchmarkAblation_Scaling(b *testing.B) {
-	runExperiment(b, benchSuite.AblationScaling, nil)
+	runExperimentCold(b, 0, (*Suite).AblationScaling, nil)
 }
 
 func BenchmarkAblation_NMFRank(b *testing.B) {

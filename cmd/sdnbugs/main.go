@@ -5,9 +5,9 @@
 // Usage:
 //
 //	sdnbugs generate    [-seed N] [-out corpus.json]
-//	sdnbugs report      [-seed N] [-experiments E02,E05] [-csv] [-parallel N] [-timings]
-//	sdnbugs checks      [-seed N] [-experiments E02,E05] [-parallel N] [-timings]
-//	sdnbugs experiments [-seed N] [-out FILE] [-ablations] [-parallel N] [-timings]
+//	sdnbugs report      [-seed N] [-experiments E02,E05] [-csv] [-parallel N] [-workers N] [-timings]
+//	sdnbugs checks      [-seed N] [-experiments E02,E05] [-parallel N] [-workers N] [-timings]
+//	sdnbugs experiments [-seed N] [-out FILE] [-ablations] [-parallel N] [-workers N] [-timings]
 //	sdnbugs classify    [-seed N] -text "controller crashes after config reload"
 //
 // report prints the regenerated tables, checks prints the
@@ -20,7 +20,10 @@
 // (0 means GOMAXPROCS) with identical output to a sequential run,
 // keep going past individual experiment failures (including panics,
 // which surface as errored outcomes), and report where the time went
-// on stderr with -timings.
+// on stderr with -timings. -workers bounds the pools *inside*
+// experiments (the NLP validation grid, batch prediction) and, like
+// -parallel, never changes output. -cpuprofile and -memprofile write
+// runtime/pprof profiles of the suite run for `go tool pprof`.
 package main
 
 import (
@@ -31,6 +34,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"sdnbugs"
@@ -81,19 +86,62 @@ func usage() {
 // engineFlags holds the flags shared by every experiment-running
 // subcommand.
 type engineFlags struct {
-	seed     *int64
-	only     *string
-	parallel *int
-	timings  *bool
+	seed       *int64
+	only       *string
+	parallel   *int
+	workers    *int
+	timings    *bool
+	cpuprofile *string
+	memprofile *string
 }
 
 func addEngineFlags(fs *flag.FlagSet) engineFlags {
 	return engineFlags{
-		seed:     fs.Int64("seed", 1, "suite seed"),
-		only:     fs.String("experiments", "", "comma-separated experiment/ablation ids (default: all experiments)"),
-		parallel: fs.Int("parallel", 0, "experiment worker pool size (0 = GOMAXPROCS)"),
-		timings:  fs.Bool("timings", false, "print per-experiment timings and the run summary to stderr"),
+		seed:       fs.Int64("seed", 1, "suite seed"),
+		only:       fs.String("experiments", "", "comma-separated experiment/ablation ids (default: all experiments)"),
+		parallel:   fs.Int("parallel", 0, "experiment worker pool size (0 = GOMAXPROCS)"),
+		workers:    fs.Int("workers", 0, "worker pool size inside experiments, e.g. the NLP validation grid (0 = GOMAXPROCS)"),
+		timings:    fs.Bool("timings", false, "print per-experiment timings and the run summary to stderr"),
+		cpuprofile: fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)"),
+		memprofile: fs.String("memprofile", "", "write a heap profile taken after the run to this file"),
 	}
+}
+
+// profile starts CPU profiling if requested and returns a stop
+// function that finishes the CPU profile and writes the heap profile.
+// Profiles wrap only the suite run, not flag parsing or rendering.
+func (ef engineFlags) profile() (stop func() error, err error) {
+	var cpuFile *os.File
+	if *ef.cpuprofile != "" {
+		cpuFile, err = os.Create(*ef.cpuprofile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			_ = cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if *ef.memprofile != "" {
+			f, err := os.Create(*ef.memprofile)
+			if err != nil {
+				return err
+			}
+			defer func() { _ = f.Close() }()
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
 }
 
 // runSuite executes the selected experiments and, with -timings,
@@ -101,11 +149,19 @@ func addEngineFlags(fs *flag.FlagSet) engineFlags {
 // stays byte-identical across parallelism settings.
 func (ef engineFlags) runSuite(ctx context.Context, ablations bool) (engine.Run[sdnbugs.ExperimentResult], error) {
 	suite := sdnbugs.NewSuite(*ef.seed)
+	suite.Workers = *ef.workers
+	stopProfiles, err := ef.profile()
+	if err != nil {
+		return engine.Run[sdnbugs.ExperimentResult]{}, err
+	}
 	run, err := suite.Run(ctx, sdnbugs.RunOptions{
 		IDs:         engine.ParseIDs(*ef.only),
 		Ablations:   ablations,
 		Parallelism: *ef.parallel,
 	})
+	if perr := stopProfiles(); perr != nil && err == nil {
+		err = perr
+	}
 	if err != nil {
 		return run, err
 	}

@@ -162,3 +162,56 @@ func TestExperimentsSubcommandSelection(t *testing.T) {
 		t.Error("unselected experiment rendered")
 	}
 }
+
+// TestExperimentsWorkersDeterminism is the CLI half of the in-
+// experiment parallelism contract: -workers N must emit byte-identical
+// stdout to -workers 1 for the NLP experiments whose internals fan out
+// onto the pool.
+func TestExperimentsWorkersDeterminism(t *testing.T) {
+	if raceEnabled {
+		t.Skip("two full E09 runs are too slow under -race; suite and study tests cover the contract")
+	}
+	experimentsOut := func(workers string) string {
+		var code int
+		args := []string{"experiments", "-seed", "1", "-experiments", "E09,A02", "-workers", workers}
+		out := capture(t, &os.Stdout, func() { code = run(args) })
+		if code != 0 {
+			t.Fatalf("%v exit code = %d", args, code)
+		}
+		return out
+	}
+	serial := experimentsOut("1")
+	parallel := experimentsOut("4")
+	if serial != parallel {
+		t.Errorf("-workers 4 stdout diverged from -workers 1:\n--- workers=1 ---\n%s--- workers=4 ---\n%s",
+			serial, parallel)
+	}
+	if !strings.Contains(serial, "## E09") || !strings.Contains(serial, "## A02") {
+		t.Errorf("experiments output missing selected ids:\n%s", serial)
+	}
+}
+
+// TestProfileFlagsWriteFiles covers -cpuprofile/-memprofile: both
+// files must exist and be non-empty after a run.
+func TestProfileFlagsWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	var code int
+	_ = capture(t, &os.Stdout, func() {
+		code = run([]string{"checks", "-seed", "1", "-experiments", "E02",
+			"-cpuprofile", cpu, "-memprofile", mem})
+	})
+	if code != 0 {
+		t.Fatalf("checks with profiles exit code = %d", code)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package main
+
+// raceEnabled mirrors the root package's test gate: CLI-level
+// determinism runs full E09 workloads twice, too slow under -race.
+const raceEnabled = true

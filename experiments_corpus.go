@@ -466,11 +466,11 @@ func (s *Suite) E08ResolutionCDF() (ExperimentResult, error) {
 // E09NLPValidation reproduces §II-C's model validation.
 func (s *Suite) E09NLPValidation() (ExperimentResult, error) {
 	res := ExperimentResult{ID: "E09", Title: "§II-C NLP validation: SVM vs DT vs AdaBoost vs PCA"}
-	manual, err := s.Manual()
+	val, err := s.Validator()
 	if err != nil {
 		return res, err
 	}
-	results, err := study.ValidateRepeated(manual.Bugs(), study.PipelineConfig{Seed: s.Seed}, 3)
+	results, err := val.ValidateRepeated(study.PipelineConfig{Seed: s.Seed, Workers: s.Workers}, 3)
 	if err != nil {
 		return res, err
 	}

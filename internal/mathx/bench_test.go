@@ -1,0 +1,55 @@
+package mathx
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The vector kernels below sit on E09's critical path: power-iteration
+// PCA spends nearly all its time in Dot (via MulVec on a ~440×440
+// covariance matrix), so these benches guard both speed and the
+// zero-allocation property of the *Into variants.
+
+func benchVec(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func BenchmarkDot440(b *testing.B) {
+	x, y := benchVec(440, 1), benchVec(440, 2)
+	b.ReportAllocs()
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += Dot(x, y)
+	}
+	_ = s
+}
+
+func BenchmarkMulVecInto440(b *testing.B) {
+	m := NewMatrix(440, 440)
+	for r := 0; r < 440; r++ {
+		copy(m.Row(r), benchVec(440, int64(3+r)))
+	}
+	v := benchVec(440, 4)
+	dst := make([]float64, 440)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.MulVecInto(dst, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubInto440(b *testing.B) {
+	x, y := benchVec(440, 5), benchVec(440, 6)
+	dst := make([]float64, 440)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SubInto(dst, x, y)
+	}
+}

@@ -124,14 +124,28 @@ func Mul(a, b *Matrix) (*Matrix, error) {
 
 // MulVec returns the matrix-vector product m×v.
 func (m *Matrix) MulVec(v []float64) ([]float64, error) {
-	if m.cols != len(v) {
-		return nil, fmt.Errorf("%w: %dx%d × %d", ErrDimensionMismatch, m.rows, m.cols, len(v))
-	}
 	out := make([]float64, m.rows)
-	for i := 0; i < m.rows; i++ {
-		out[i] = Dot(m.Row(i), v)
+	if err := m.MulVecInto(out, v); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// MulVecInto computes dst = m×v without allocating; dst must have
+// length m.Rows() and must not alias v. It is the kernel behind the
+// PCA power iteration, where the same product runs thousands of
+// times per fit.
+func (m *Matrix) MulVecInto(dst, v []float64) error {
+	if m.cols != len(v) {
+		return fmt.Errorf("%w: %dx%d × %d", ErrDimensionMismatch, m.rows, m.cols, len(v))
+	}
+	if len(dst) != m.rows {
+		return fmt.Errorf("%w: dst %d for %d rows", ErrDimensionMismatch, len(dst), m.rows)
+	}
+	for i := 0; i < m.rows; i++ {
+		dst[i] = Dot(m.Row(i), v)
+	}
+	return nil
 }
 
 // Apply replaces every element with f(element), in place, and returns m.

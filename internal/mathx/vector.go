@@ -19,15 +19,30 @@ var ErrDimensionMismatch = errors.New("mathx: dimension mismatch")
 // Dot returns the inner product of a and b.
 // It panics if the lengths differ; use DotChecked when lengths are not
 // statically known to agree.
+//
+// The sum is accumulated in four fixed lanes combined in a fixed
+// order, which breaks the floating-point add latency chain that
+// otherwise bounds throughput. The lane layout is part of the
+// function's contract: every call with the same inputs returns the
+// same bits, on every platform and at every call site.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("mathx: Dot length mismatch %d vs %d", len(a), len(b)))
 	}
-	var s float64
-	for i, v := range a {
-		s += v * b[i]
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
 	}
-	return s
+	var s float64
+	for ; i < len(a); i++ {
+		s += a[i] * b[i]
+	}
+	return ((s0 + s1) + (s2 + s3)) + s
 }
 
 // DotChecked returns the inner product of a and b, or
@@ -81,6 +96,19 @@ func Add(a, b []float64) []float64 {
 		out[i] = a[i] + b[i]
 	}
 	return out
+}
+
+// SubInto computes dst = a-b in place (dst may alias a or b) and
+// returns dst. It panics on length mismatch. This is the
+// allocation-free form of Sub for hot loops.
+func SubInto(dst, a, b []float64) []float64 {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic(fmt.Sprintf("mathx: SubInto length mismatch %d/%d/%d", len(dst), len(a), len(b)))
+	}
+	for i := range a {
+		dst[i] = a[i] - b[i]
+	}
+	return dst
 }
 
 // Sub returns a new vector a-b. It panics on length mismatch.

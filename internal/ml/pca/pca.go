@@ -60,16 +60,20 @@ func (p *PCA) Fit(x *mathx.Matrix) error {
 	p.components = mathx.NewMatrix(p.Components, d)
 	p.eigenvals = make([]float64, p.Components)
 	work := cov.Clone()
+	// One scratch pair reused across all components and iterations:
+	// the power loop runs maxIter × Components times per fit, so
+	// per-iteration allocations dominate the garbage otherwise.
+	v := make([]float64, d)
+	nv := make([]float64, d)
+	diff := make([]float64, d)
 	for c := 0; c < p.Components; c++ {
-		v := make([]float64, d)
 		for i := range v {
 			v[i] = rng.Float64() - 0.5
 		}
 		mathx.Normalize(v)
 		var lambda float64
 		for it := 0; it < maxIter; it++ {
-			nv, err := work.MulVec(v)
-			if err != nil {
+			if err := work.MulVecInto(nv, v); err != nil {
 				return fmt.Errorf("pca: %w", err)
 			}
 			norm := mathx.Norm2(nv)
@@ -78,7 +82,7 @@ func (p *PCA) Fit(x *mathx.Matrix) error {
 				break
 			}
 			mathx.Scale(nv, 1/norm)
-			delta := mathx.Norm2(mathx.Sub(nv, v))
+			delta := mathx.Norm2(mathx.SubInto(diff, nv, v))
 			copy(v, nv)
 			lambda = norm
 			if delta < 1e-10 {
@@ -128,13 +132,16 @@ func (p *PCA) TransformMatrix(x *mathx.Matrix) (*mathx.Matrix, error) {
 	if p.components == nil {
 		return nil, ml.ErrNotFitted
 	}
+	if x.Cols() != len(p.mean) {
+		return nil, fmt.Errorf("pca: expected %d features, got %d", len(p.mean), x.Cols())
+	}
 	out := mathx.NewMatrix(x.Rows(), p.Components)
+	centered := make([]float64, len(p.mean))
 	for i := 0; i < x.Rows(); i++ {
-		row, err := p.Transform(x.Row(i))
-		if err != nil {
-			return nil, err
+		mathx.SubInto(centered, x.Row(i), p.mean)
+		if err := p.components.MulVecInto(out.Row(i), centered); err != nil {
+			return nil, fmt.Errorf("pca: %w", err)
 		}
-		copy(out.Row(i), row)
 	}
 	return out, nil
 }

@@ -83,7 +83,7 @@ func (s *Binary) FitBinary(x *mathx.Matrix, y []int) error {
 	var avgN int
 	t := 0
 	for e := 0; e < epochs; e++ {
-		for range make([]struct{}, n) {
+		for range n {
 			t++
 			var i int
 			if pos != nil {

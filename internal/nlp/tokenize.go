@@ -117,13 +117,3 @@ func RemoveStopwords(tokens []string) []string {
 	return out
 }
 
-// Preprocess runs the full pipeline the paper's NLP stage uses:
-// tokenize, drop stop-words, stem.
-func Preprocess(text string) []string {
-	var tk Tokenizer
-	toks := RemoveStopwords(tk.Tokenize(text))
-	for i, t := range toks {
-		toks[i] = Stem(t)
-	}
-	return toks
-}

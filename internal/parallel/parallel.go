@@ -1,0 +1,88 @@
+// Package parallel provides the small bounded-fan-out helper the
+// study's training pipeline uses to spread independent work items
+// (validation grid cells, Word2Vec sentence shards, batch
+// predictions) across a worker pool while keeping results
+// deterministic: workers write only to their own item's slot, and
+// callers reduce the slots in index order afterwards.
+//
+// The contract that keeps parallel runs byte-identical to serial ones
+// is simply that fn(i) must depend only on i and on data that no
+// other item mutates. ForEach guarantees every index in [0, n) runs
+// exactly once and that all writes made by the fns happen-before
+// ForEach returns.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a requested pool size: values <= 0 mean
+// GOMAXPROCS, everything else is returned unchanged.
+func Workers(requested int) int {
+	if requested <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers
+// goroutines (workers <= 0 means GOMAXPROCS). It returns after every
+// item has finished. With workers == 1 — or n < 2 — it degenerates to
+// a plain loop on the calling goroutine, so serial paths pay no
+// synchronization cost.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	// Atomic work-stealing counter: cheaper than a channel for the
+	// short, uniform item lists the pipeline fans out, and items are
+	// claimed in index order so early indices start first.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// MapErr runs fn for every index, collecting each item's error. It
+// returns the error of the lowest-indexed item that failed, or nil —
+// the deterministic analogue of a fail-fast serial loop (later items
+// still run; the winner does not depend on goroutine scheduling).
+func MapErr(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	ForEach(workers, n, func(i int) {
+		errs[i] = fn(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		for _, n := range []int{0, 1, 3, 100} {
+			counts := make([]atomic.Int32, n)
+			ForEach(workers, n, func(i int) { counts[i].Add(1) })
+			for i := range counts {
+				if c := counts[i].Load(); c != 1 {
+					t.Errorf("workers=%d n=%d: index %d ran %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachDeterministicReduction(t *testing.T) {
+	// The pattern every caller relies on: each item fills its slot,
+	// the reduction in index order is identical for any worker count.
+	build := func(workers int) []float64 {
+		out := make([]float64, 50)
+		ForEach(workers, len(out), func(i int) { out[i] = float64(i) * 1.25 })
+		return out
+	}
+	serial := build(1)
+	for _, workers := range []int{2, 8} {
+		par := build(workers)
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Fatalf("workers=%d slot %d = %v, want %v", workers, i, par[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestForEachSerialOnCallingGoroutine(t *testing.T) {
+	// workers == 1 must not spawn: item order is then the loop order.
+	var order []int
+	ForEach(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order = %v", order)
+		}
+	}
+}
+
+func TestMapErrReturnsLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	err := MapErr(4, 10, func(i int) error {
+		switch i {
+		case 3:
+			return errA
+		case 7:
+			return fmt.Errorf("b")
+		}
+		return nil
+	})
+	if !errors.Is(err, errA) {
+		t.Errorf("err = %v, want the index-3 error regardless of scheduling", err)
+	}
+	if err := MapErr(4, 10, func(int) error { return nil }); err != nil {
+		t.Errorf("err = %v, want nil", err)
+	}
+	if err := MapErr(4, 0, func(int) error { return errors.New("x") }); err != nil {
+		t.Errorf("n=0 err = %v, want nil", err)
+	}
+}

@@ -6,13 +6,11 @@ import (
 
 	"sdnbugs/internal/mathx"
 	"sdnbugs/internal/ml"
-	"sdnbugs/internal/ml/adaboost"
-	"sdnbugs/internal/ml/dtree"
-	"sdnbugs/internal/ml/pca"
 	"sdnbugs/internal/ml/svm"
 	"sdnbugs/internal/nlp"
 	"sdnbugs/internal/nlp/tfidf"
 	"sdnbugs/internal/nlp/word2vec"
+	"sdnbugs/internal/parallel"
 	"sdnbugs/internal/taxonomy"
 	"sdnbugs/internal/tracker"
 )
@@ -35,6 +33,14 @@ type PipelineConfig struct {
 	// DisableScaling turns off feature normalization (the paper found
 	// "SVM with normalization" best — this is the ablation knob).
 	DisableScaling bool
+	// Workers bounds the worker pool the pipeline and validation use
+	// for independent work (per-dimension classifier training, batch
+	// prediction, the repeat×dimension×model validation grid);
+	// 0 means GOMAXPROCS, 1 runs serially. Workers never changes any
+	// numeric result — parallel stages write disjoint slots and are
+	// reduced in deterministic index order — so the same seed yields
+	// byte-identical output at every setting.
+	Workers int
 }
 
 func (c PipelineConfig) withDefaults() PipelineConfig {
@@ -75,40 +81,13 @@ func NewPipeline(cfg PipelineConfig) *Pipeline {
 }
 
 // featurize builds the feature matrix for the given token lists.
+// "Normalization" in the paper's sense is unit-L2 feature vectors, the
+// standard conditioning for linear SVMs on text features.
 func (p *Pipeline) featurize(docs [][]string) (*mathx.Matrix, error) {
 	if p.vec == nil && p.w2v == nil {
 		return nil, ErrPipelineNotFitted
 	}
-	var dim int
-	if p.vec != nil {
-		dim += p.vec.VocabSize()
-	}
-	if p.w2v != nil {
-		dim += p.w2v.Dim()
-	}
-	x := mathx.NewMatrix(len(docs), dim)
-	for i, doc := range docs {
-		row := x.Row(i)
-		off := 0
-		if p.vec != nil {
-			v, err := p.vec.Transform(doc)
-			if err != nil {
-				return nil, fmt.Errorf("study: tfidf transform: %w", err)
-			}
-			copy(row[:len(v)], v)
-			off = len(v)
-		}
-		if p.w2v != nil {
-			copy(row[off:], p.w2v.DocVector(doc))
-		}
-		if !p.cfg.DisableScaling {
-			// "Normalization" in the paper's sense: unit-L2 feature
-			// vectors, the standard conditioning for linear SVMs on
-			// text features.
-			mathx.Normalize(row)
-		}
-	}
-	return x, nil
+	return buildFeatures(p.vec, p.w2v, docs, !p.cfg.DisableScaling)
 }
 
 // tokenizeAll preprocesses every bug's text.
@@ -144,7 +123,14 @@ func (p *Pipeline) Fit(bugs []LabeledBug) error {
 	if err != nil {
 		return err
 	}
-	for _, d := range taxonomy.Dimensions() {
+	// Per-dimension classifiers are independent (each seeds its own
+	// RNG from Seed+dimension), so they train on the worker pool; each
+	// writes only its own slot and the error, if any, is the one the
+	// sequential loop would have hit first.
+	dims := taxonomy.Dimensions()
+	clfs := make([]ml.Classifier, len(dims))
+	err = parallel.MapErr(p.cfg.Workers, len(dims), func(di int) error {
+		d := dims[di]
 		y := make([]int, len(bugs))
 		for i, b := range bugs {
 			idx, err := labelIndex(d, b.Label.Tag(d))
@@ -157,7 +143,14 @@ func (p *Pipeline) Fit(bugs []LabeledBug) error {
 		if err := clf.Fit(x, y); err != nil {
 			return fmt.Errorf("study: fit %v classifier: %w", d, err)
 		}
-		p.clfs[d] = clf
+		clfs[di] = clf
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for di, d := range dims {
+		p.clfs[d] = clfs[di]
 	}
 	return p.fitExternalKind(bugs, docs, x)
 }
@@ -270,161 +263,23 @@ func (p *Pipeline) Predict(issue tracker.Issue) (taxonomy.Label, error) {
 	return label, nil
 }
 
-// PredictAll classifies a batch of issues.
+// PredictAll classifies a batch of issues. Predictions are independent
+// (the fitted pipeline is read-only), so they run on the worker pool;
+// each writes its own slot, and on failure the lowest-index error —
+// the one the sequential loop would have returned — wins.
 func (p *Pipeline) PredictAll(issues []tracker.Issue) ([]taxonomy.Label, error) {
 	out := make([]taxonomy.Label, len(issues))
-	for i, iss := range issues {
-		l, err := p.Predict(iss)
+	err := parallel.MapErr(p.cfg.Workers, len(issues), func(i int) error {
+		l, err := p.Predict(issues[i])
 		if err != nil {
-			return nil, fmt.Errorf("study: predict %s: %w", iss.ID, err)
+			return fmt.Errorf("study: predict %s: %w", issues[i].ID, err)
 		}
 		out[i] = l
-	}
-	return out, nil
-}
-
-// ModelName identifies a classifier family in validation results.
-type ModelName string
-
-// Model names compared in §II-C.
-const (
-	ModelSVM       ModelName = "svm"
-	ModelSVMNoNorm ModelName = "svm-no-normalization"
-	ModelDTree     ModelName = "decision-tree"
-	ModelAdaBoost  ModelName = "adaboost"
-	ModelPCASVM    ModelName = "pca+svm"
-)
-
-// ValidationResult holds per-model test accuracies for one dimension.
-type ValidationResult struct {
-	Dimension  taxonomy.Dimension
-	Accuracies map[ModelName]float64
-	// Best is the model with the highest accuracy.
-	Best ModelName
-}
-
-// Validate reproduces the paper's §II-C protocol: split the manually
-// labeled set 2/3 train, 1/3 test; compare SVM (with and without
-// normalization), decision tree, AdaBoost, and PCA+SVM per dimension.
-// The paper's result: normalized SVM best, ≈96 % on bug type, ≈86 % on
-// symptoms, and no model predicts fixes well.
-func Validate(bugs []LabeledBug, cfg PipelineConfig) ([]ValidationResult, error) {
-	cfg = cfg.withDefaults()
-	if len(bugs) < 12 {
-		return nil, fmt.Errorf("study: need at least 12 labeled bugs, have %d", len(bugs))
-	}
-	docs := tokenizeAll(bugs)
-	rawCfg := cfg
-	rawCfg.DisableScaling = true
-	p := NewPipeline(rawCfg)
-	if err := p.fitFeatures(docs); err != nil {
-		return nil, err
-	}
-	xRaw, err := p.featurize(docs)
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	// L2-normalized copy for the "with normalization" variants.
-	xNorm := xRaw.Clone()
-	for i := 0; i < xNorm.Rows(); i++ {
-		mathx.Normalize(xNorm.Row(i))
-	}
-
-	var results []ValidationResult
-	for _, d := range taxonomy.Dimensions() {
-		y := make([]int, len(bugs))
-		for i, b := range bugs {
-			idx, err := labelIndex(d, b.Label.Tag(d))
-			if err != nil {
-				return nil, fmt.Errorf("study: bug %s: %w", b.Issue.ID, err)
-			}
-			y[i] = idx
-		}
-		dsRaw, err := ml.NewDataset(xRaw, y)
-		if err != nil {
-			return nil, err
-		}
-		dsNorm, err := ml.NewDataset(xNorm, y)
-		if err != nil {
-			return nil, err
-		}
-		// The same seed gives both variants the identical split.
-		train, test, err := ml.TrainTestSplit(dsRaw, 2.0/3.0, cfg.Seed+int64(d))
-		if err != nil {
-			return nil, err
-		}
-		trN, teN, err := ml.TrainTestSplit(dsNorm, 2.0/3.0, cfg.Seed+int64(d))
-		if err != nil {
-			return nil, err
-		}
-
-		res := ValidationResult{Dimension: d, Accuracies: map[ModelName]float64{}}
-
-		models := []struct {
-			name       ModelName
-			clf        ml.Classifier
-			normalized bool
-		}{
-			{ModelSVM, &svm.Multiclass{Epochs: 80, Lambda: 1e-4, Balanced: true, Seed: cfg.Seed}, true},
-			{ModelSVMNoNorm, &svm.Multiclass{Epochs: 80, Lambda: 1e-4, Balanced: true, Seed: cfg.Seed}, false},
-			{ModelDTree, &dtree.Tree{MaxDepth: 10}, false},
-			{ModelAdaBoost, &adaboost.Ensemble{Rounds: 40}, false},
-			{ModelPCASVM, &pca.Reduced{Components: 24, Seed: cfg.Seed, Inner: &svm.Multiclass{Epochs: 80, Lambda: 1e-4, Balanced: true, Seed: cfg.Seed}}, true},
-		}
-		for _, m := range models {
-			trainSet, testSet := train, test
-			if m.normalized {
-				trainSet, testSet = trN, teN
-			}
-			acc, err := ml.EvaluateSplit(m.clf, trainSet, testSet)
-			if err != nil {
-				return nil, fmt.Errorf("study: %v/%s: %w", d, m.name, err)
-			}
-			res.Accuracies[m.name] = acc
-			if res.Best == "" || acc > res.Accuracies[res.Best] {
-				res.Best = m.name
-			}
-		}
-		results = append(results, res)
-	}
-	return results, nil
-}
-
-// ValidateRepeated runs Validate across `repeats` different splits and
-// returns the per-dimension, per-model mean accuracies. The paper's
-// single-split numbers (96 % type, 86 % symptom) sit inside the band
-// this estimates more stably.
-func ValidateRepeated(bugs []LabeledBug, cfg PipelineConfig, repeats int) ([]ValidationResult, error) {
-	if repeats < 1 {
-		return nil, fmt.Errorf("study: repeats must be >= 1, got %d", repeats)
-	}
-	sums := map[taxonomy.Dimension]map[ModelName]float64{}
-	for r := 0; r < repeats; r++ {
-		runCfg := cfg
-		runCfg.Seed = cfg.Seed + int64(r)*101
-		results, err := Validate(bugs, runCfg)
-		if err != nil {
-			return nil, err
-		}
-		for _, res := range results {
-			if sums[res.Dimension] == nil {
-				sums[res.Dimension] = map[ModelName]float64{}
-			}
-			for m, a := range res.Accuracies {
-				sums[res.Dimension][m] += a
-			}
-		}
-	}
-	var out []ValidationResult
-	for _, d := range taxonomy.Dimensions() {
-		res := ValidationResult{Dimension: d, Accuracies: map[ModelName]float64{}}
-		for m, s := range sums[d] {
-			res.Accuracies[m] = s / float64(repeats)
-			if res.Best == "" || res.Accuracies[m] > res.Accuracies[res.Best] {
-				res.Best = m
-			}
-		}
-		out = append(out, res)
-	}
 	return out, nil
 }
+

@@ -1,0 +1,128 @@
+package study
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fastCfg keeps validation tests quick: a smaller vocabulary and fewer
+// Word2Vec epochs than the defaults, but the full five-model grid.
+func fastCfg(workers int) PipelineConfig {
+	return PipelineConfig{Seed: 1, MaxVocab: 150, W2VDim: 16, W2VEpochs: 2, Workers: workers}
+}
+
+// TestValidatorWorkersDeterministic is the tentpole's determinism
+// contract: the parallel validation grid must return bit-identical
+// results for every worker count. Separate Validators per setting so
+// the run cache cannot mask a real divergence.
+func TestValidatorWorkersDeterministic(t *testing.T) {
+	bugs := manualStudy(t).Bugs()
+	var base []ValidationResult
+	for _, workers := range []int{1, 4} {
+		v := NewValidator(bugs)
+		res, err := v.ValidateRepeated(fastCfg(workers), 2)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		if !reflect.DeepEqual(base, res) {
+			t.Fatalf("workers=%d results differ from workers=1:\n%+v\nvs\n%+v", workers, res, base)
+		}
+	}
+}
+
+// TestValidatorMatchesSingleShot pins the refactor: a cached Validator
+// must agree exactly with the package-level single-shot entry points.
+func TestValidatorMatchesSingleShot(t *testing.T) {
+	bugs := manualStudy(t).Bugs()
+	cfg := fastCfg(1)
+	want, err := Validate(bugs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewValidator(bugs)
+	// Prime the caches with a repeated run first; repeat 0 shares
+	// cfg.Seed, so the subsequent Validate must be a cache hit that
+	// still equals the fresh computation.
+	if _, err := v.ValidateRepeated(cfg, 2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.Validate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("validator result differs from single-shot:\n%+v\nvs\n%+v", got, want)
+	}
+}
+
+// TestValidatorCacheIsolation checks callers own the returned results:
+// mutating one call's maps must not corrupt later calls.
+func TestValidatorCacheIsolation(t *testing.T) {
+	bugs := manualStudy(t).Bugs()
+	v := NewValidator(bugs)
+	cfg := fastCfg(1)
+	first, err := v.Validate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cloneResults(first)
+	for i := range first {
+		first[i].Accuracies[ModelSVM] = -1
+		first[i].Best = "corrupted"
+	}
+	second, err := v.Validate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, second) {
+		t.Fatalf("mutation leaked into validator cache:\n%+v\nvs\n%+v", second, want)
+	}
+}
+
+// TestValidatorBestUsesCanonicalOrder pins the tie-break: on equal
+// accuracies the earlier model in modelOrder wins, never map order.
+func TestValidatorBestUsesCanonicalOrder(t *testing.T) {
+	order := modelOrder()
+	specs := modelSpecs(PipelineConfig{})
+	if len(order) != len(specs) {
+		t.Fatalf("modelOrder has %d entries, modelSpecs %d", len(order), len(specs))
+	}
+	for i, m := range order {
+		if specs[i].name != m {
+			t.Fatalf("spec %d is %s, want %s", i, specs[i].name, m)
+		}
+	}
+}
+
+// TestPipelineWorkersDeterministic covers the pipeline's parallel
+// stages (per-dimension training, batch prediction): the fitted
+// pipeline must predict identically for every worker count.
+func TestPipelineWorkersDeterministic(t *testing.T) {
+	bugs := manualStudy(t).Bugs()
+	var base []string
+	for _, workers := range []int{1, 4} {
+		p := NewPipeline(PipelineConfig{Seed: 1, MaxVocab: 150, W2VDim: 16, W2VEpochs: 2, Workers: workers})
+		if err := p.Fit(bugs); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var labels []string
+		for _, b := range bugs[:30] {
+			l, err := p.Predict(b.Issue)
+			if err != nil {
+				t.Fatalf("workers=%d predict %s: %v", workers, b.Issue.ID, err)
+			}
+			labels = append(labels, l.Type.String()+"/"+l.Symptom.String()+"/"+l.Trigger.String())
+		}
+		if base == nil {
+			base = labels
+			continue
+		}
+		if !reflect.DeepEqual(base, labels) {
+			t.Fatalf("workers=%d predictions differ from workers=1", workers)
+		}
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package sdnbugs
+
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package sdnbugs
+
+// raceEnabled gates the heavyweight end-to-end determinism tests: the
+// race pass covers the parallel validation grid through the cheap
+// internal/study tests instead, keeping `make race` inside the
+// per-package test timeout on slow machines.
+const raceEnabled = true

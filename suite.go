@@ -49,6 +49,14 @@ func (r ExperimentResult) Holds() bool {
 type Suite struct {
 	Seed int64
 
+	// Workers bounds the worker pools *inside* experiments (the NLP
+	// validation grid, per-dimension classifier training, batch
+	// prediction); 0 means GOMAXPROCS, 1 runs those stages serially.
+	// It is independent of RunOptions.Parallelism, which bounds how
+	// many experiments run at once, and — like Parallelism — never
+	// changes any result.
+	Workers int
+
 	corpusOnce sync.Once
 	corpusErr  error
 	corpus     *corpus.Corpus
@@ -58,6 +66,10 @@ type Suite struct {
 	pipeOnce sync.Once
 	pipeErr  error
 	pipeline *study.Pipeline
+
+	valOnce   sync.Once
+	valErr    error
+	validator *study.Validator
 
 	regOnce sync.Once
 	reg     *engine.Registry[ExperimentResult]
@@ -131,7 +143,7 @@ func (s *Suite) Pipeline() (*study.Pipeline, error) {
 			s.pipeErr = err
 			return
 		}
-		p := study.NewPipeline(study.PipelineConfig{Seed: s.Seed})
+		p := study.NewPipeline(study.PipelineConfig{Seed: s.Seed, Workers: s.Workers})
 		if err := p.Fit(manual.Bugs()); err != nil {
 			s.pipeErr = fmt.Errorf("%w: pipeline: %v", ErrSuite, err)
 			return
@@ -139,6 +151,23 @@ func (s *Suite) Pipeline() (*study.Pipeline, error) {
 		s.pipeline = p
 	})
 	return s.pipeline, s.pipeErr
+}
+
+// Validator returns the shared §II-C validator over the manual set.
+// E09 and the NLP ablations all validate through it, so split-invariant
+// work (tokenization, TF-IDF vocabularies, Word2Vec models) happens
+// once per suite and identical validation runs — the scaling ablation
+// repeats E09's protocol verbatim — are answered from cache.
+func (s *Suite) Validator() (*study.Validator, error) {
+	s.valOnce.Do(func() {
+		manual, err := s.Manual()
+		if err != nil {
+			s.valErr = err
+			return
+		}
+		s.validator = study.NewValidator(manual.Bugs())
+	})
+	return s.validator, s.valErr
 }
 
 // Registry returns the suite's experiment registry: E01–E22 and

@@ -1,0 +1,115 @@
+package sdnbugs
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"sdnbugs/internal/engine"
+)
+
+// nlpIDs are the experiments and ablations that exercise the parallel
+// NLP validation path — the PR's hot set.
+var nlpIDs = []string{"E09", "A01", "A02"}
+
+// TestSuiteWorkersDeterministic is the tentpole's end-to-end
+// determinism contract: the NLP experiments must render byte-identical
+// checks and tables whether the in-experiment worker pools run on one
+// goroutine or many. Each worker count gets its own suite so the
+// validation cache cannot mask a divergence.
+func TestSuiteWorkersDeterministic(t *testing.T) {
+	if raceEnabled {
+		t.Skip("full E09 workloads are too slow under -race; internal/study covers the parallel grid")
+	}
+	ctx := context.Background()
+	var base string
+	for _, workers := range []int{1, 8} {
+		s := NewSuite(1)
+		s.Workers = workers
+		run, err := s.Run(ctx, RunOptions{IDs: nlpIDs, Parallelism: 1})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if err := run.Err(); err != nil {
+			t.Fatalf("workers=%d run error: %v", workers, err)
+		}
+		out := renderRun(run)
+		if base == "" {
+			base = out
+			continue
+		}
+		if out != base {
+			t.Errorf("workers=%d output diverged from workers=1:\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s",
+				workers, base, workers, out)
+		}
+	}
+}
+
+// TestSuiteValidationCacheConsistent checks the suite-level validation
+// cache: A02 repeats E09's exact protocol, so within one suite run the
+// second request is answered from cache — and must carry the same
+// accuracies E09 reported. The renderRun comparison against a
+// cache-cold suite run of A02 alone pins that.
+func TestSuiteValidationCacheConsistent(t *testing.T) {
+	if raceEnabled {
+		t.Skip("full E09 workloads are too slow under -race; internal/study covers the validator cache")
+	}
+	ctx := context.Background()
+	warm := NewSuite(1)
+	// E09 first primes the validator; A02 then hits its cache.
+	warmRun, err := warm.Run(ctx, RunOptions{IDs: []string{"E09", "A02"}, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := NewSuite(1)
+	coldRun, err := cold.Run(ctx, RunOptions{IDs: []string{"A02"}, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmA02 := engine.Run[ExperimentResult]{Outcomes: warmRun.Outcomes[1:]}
+	if got, want := renderRun(warmA02), renderRun(coldRun); got != want {
+		t.Errorf("cached A02 differs from cold A02:\n--- cached ---\n%s\n--- cold ---\n%s", got, want)
+	}
+}
+
+// TestSuiteParallelFasterThanSequential asserts the headline of the
+// perf work: on a multi-core machine the parallel configuration beats
+// the true-serial one on wall-clock for the NLP-heavy set. The margin
+// is deliberately generous (0.9) — this guards against regressions
+// that serialize the pipeline, not scheduler noise.
+func TestSuiteParallelFasterThanSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf assertion skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("wall-clock assertions are meaningless under -race instrumentation")
+	}
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs >= 2 CPUs to measure parallel speedup")
+	}
+	ctx := context.Background()
+
+	serial := NewSuite(1)
+	serial.Workers = 1
+	serialRun, err := serial.Run(ctx, RunOptions{IDs: nlpIDs, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serialRun.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	par := NewSuite(1)
+	parRun, err := par.Run(ctx, RunOptions{IDs: nlpIDs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := parRun.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	if parRun.Wall >= serialRun.Wall*9/10 {
+		t.Errorf("parallel run (%v) not meaningfully faster than serial (%v) on %d CPUs",
+			parRun.Wall, serialRun.Wall, runtime.GOMAXPROCS(0))
+	}
+}
