@@ -32,9 +32,12 @@ bench:
 bench-smoke:
 	$(GO) test -run='^$$' -bench 'BenchmarkE09|BenchmarkSuite' -benchtime 1x .
 
-# Fuzz the OpenFlow codec briefly: malformed frames must produce typed
-# errors, never panics or over-allocation.
+# Fuzz the parsers that face untrusted bytes, briefly: malformed
+# OpenFlow frames must produce typed errors, never panics or
+# over-allocation, and the journal replayer must recover exactly the
+# longest valid prefix of an arbitrarily mangled write-ahead log.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeMessage -fuzztime=10s ./internal/openflow/
+	$(GO) test -run='^$$' -fuzz=FuzzJournalReplay -fuzztime=10s ./internal/durable/
 
 verify: build vet test race

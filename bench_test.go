@@ -365,6 +365,13 @@ func BenchmarkE22_SelfHealingCampaign(b *testing.B) {
 	runExperiment(b, benchSuite.E22SelfHealingCampaign, nil)
 }
 
+func BenchmarkE23_KillAndResumeMining(b *testing.B) {
+	// Two full durable mines (clean baseline + the kill-and-resume
+	// campaign across five scheduled disk crashes) plus the per-op
+	// crash matrix.
+	runExperiment(b, benchSuite.E23KillAndResumeMining, nil)
+}
+
 func BenchmarkAblation_Features(b *testing.B) {
 	runExperimentCold(b, 0, (*Suite).AblationFeatures, nil)
 }

@@ -9,38 +9,58 @@
 //	sdnbugs checks      [-seed N] [-experiments E02,E05] [-parallel N] [-workers N] [-timings]
 //	sdnbugs experiments [-seed N] [-out FILE] [-ablations] [-parallel N] [-workers N] [-timings]
 //	sdnbugs classify    [-seed N] -text "controller crashes after config reload"
+//	sdnbugs mine        -state-dir DIR [-resume] [-jira-url URL] [-gh-url URL] [-out FILE]
 //
 // report prints the regenerated tables, checks prints the
 // paper-vs-measured summary, and experiments emits the EXPERIMENTS.md
 // body. All three select experiments (and ablations) by ID through
 // the engine registry — E01–E20 reproduce the paper's artifacts,
 // E21 re-mines the corpus through fault-injected simulators behind
-// the resilience transport, and E22 runs the self-healing supervisor
-// through a sustained fault-injection campaign — run them on a -parallel worker pool
+// the resilience transport, E22 runs the self-healing supervisor
+// through a sustained fault-injection campaign, and E23 kills and
+// resumes the durable miner at scheduled disk-crash points — run them
+// on a -parallel worker pool
 // (0 means GOMAXPROCS) with identical output to a sequential run,
 // keep going past individual experiment failures (including panics,
 // which surface as errored outcomes), and report where the time went
 // on stderr with -timings. -workers bounds the pools *inside*
 // experiments (the NLP validation grid, batch prediction) and, like
-// -parallel, never changes output. -cpuprofile and -memprofile write
+// -parallel, never changes output. -exp-timeout bounds each
+// experiment's wall clock; one that overruns is reported errored with
+// a deadline error while the rest of the batch completes.
+// -cpuprofile and -memprofile write
 // runtime/pprof profiles of the suite run for `go tool pprof`.
+//
+// mine pages issues into a crash-consistent state directory (a
+// checksummed write-ahead journal plus snapshots): kill it at any
+// point and a -resume run continues from the last checkpointed page,
+// producing a corpus byte-identical to an uninterrupted run. With no
+// tracker URLs it serves the generated seed corpus from in-process
+// simulators, making the kill-and-resume loop self-contained.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net/http/httptest"
 	"os"
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"sdnbugs"
 	"sdnbugs/internal/corpus"
+	"sdnbugs/internal/durable"
 	"sdnbugs/internal/engine"
+	"sdnbugs/internal/ghsim"
+	"sdnbugs/internal/jirasim"
+	"sdnbugs/internal/mine"
 	"sdnbugs/internal/report"
 	"sdnbugs/internal/tracker"
 )
@@ -68,6 +88,8 @@ func run(args []string) int {
 		err = cmdChecks(ctx, args[1:])
 	case "experiments":
 		err = cmdExperiments(ctx, args[1:])
+	case "mine":
+		err = cmdMine(ctx, args[1:])
 	default:
 		usage()
 		return 2
@@ -80,7 +102,7 @@ func run(args []string) int {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: sdnbugs <generate|report|classify|checks|experiments> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: sdnbugs <generate|report|classify|checks|experiments|mine> [flags]`)
 }
 
 // engineFlags holds the flags shared by every experiment-running
@@ -90,6 +112,7 @@ type engineFlags struct {
 	only       *string
 	parallel   *int
 	workers    *int
+	expTimeout *time.Duration
 	timings    *bool
 	cpuprofile *string
 	memprofile *string
@@ -101,6 +124,7 @@ func addEngineFlags(fs *flag.FlagSet) engineFlags {
 		only:       fs.String("experiments", "", "comma-separated experiment/ablation ids (default: all experiments)"),
 		parallel:   fs.Int("parallel", 0, "experiment worker pool size (0 = GOMAXPROCS)"),
 		workers:    fs.Int("workers", 0, "worker pool size inside experiments, e.g. the NLP validation grid (0 = GOMAXPROCS)"),
+		expTimeout: fs.Duration("exp-timeout", 0, "per-experiment wall-clock bound; a wedged experiment is reported errored (0 = unbounded)"),
 		timings:    fs.Bool("timings", false, "print per-experiment timings and the run summary to stderr"),
 		cpuprofile: fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)"),
 		memprofile: fs.String("memprofile", "", "write a heap profile taken after the run to this file"),
@@ -155,9 +179,10 @@ func (ef engineFlags) runSuite(ctx context.Context, ablations bool) (engine.Run[
 		return engine.Run[sdnbugs.ExperimentResult]{}, err
 	}
 	run, err := suite.Run(ctx, sdnbugs.RunOptions{
-		IDs:         engine.ParseIDs(*ef.only),
-		Ablations:   ablations,
-		Parallelism: *ef.parallel,
+		IDs:               engine.ParseIDs(*ef.only),
+		Ablations:         ablations,
+		Parallelism:       *ef.parallel,
+		ExperimentTimeout: *ef.expTimeout,
 	})
 	if perr := stopProfiles(); perr != nil && err == nil {
 		err = perr
@@ -190,15 +215,6 @@ func cmdExperiments(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
-		}
-		defer func() { _ = f.Close() }()
-		w = f
-	}
 	total, failed, errored := 0, 0, 0
 	var b strings.Builder
 	for _, o := range run.Outcomes {
@@ -229,11 +245,16 @@ func cmdExperiments(ctx context.Context, args []string) error {
 		header = fmt.Sprintf("Generated by `sdnbugs experiments -seed %d`: %d checks, %d failed; %d experiments errored.\n\n",
 			*ef.seed, total, failed, errored)
 	}
-	if _, err := io.WriteString(w, header); err != nil {
-		return err
-	}
-	if _, err := io.WriteString(w, b.String()); err != nil {
-		return err
+	// Publish atomically: a run killed mid-write must never leave a
+	// truncated EXPERIMENTS.md behind.
+	if *out != "" {
+		if err := durable.WriteFileAtomic(*out, []byte(header+b.String()), 0o644); err != nil {
+			return err
+		}
+	} else {
+		if _, err := io.WriteString(os.Stdout, header+b.String()); err != nil {
+			return err
+		}
 	}
 	if errored > 0 {
 		return fmt.Errorf("%d of %d experiments errored", errored, len(run.Outcomes))
@@ -264,7 +285,118 @@ func cmdGenerate(args []string) error {
 		_, err = os.Stdout.Write(append(data, '\n'))
 		return err
 	}
-	return os.WriteFile(*out, data, 0o644)
+	return durable.WriteFileAtomic(*out, data, 0o644)
+}
+
+// cmdMine runs the resumable miner: it pages issues out of JIRA- and
+// GitHub-style trackers into a crash-consistent state directory,
+// checkpointing after every page. Kill it anywhere — even mid-fsync —
+// and a -resume run picks up from the last checkpoint; the finished
+// corpus is byte-identical to an uninterrupted run (experiment E23
+// asserts exactly this under scheduled disk crashes). With no tracker
+// URLs the generated seed corpus is served from in-process simulators.
+func cmdMine(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("mine", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "corpus seed for the in-process simulators")
+	jiraURL := fs.String("jira-url", "", "JIRA tracker base URL (default: in-process simulator)")
+	ghURL := fs.String("gh-url", "", "GitHub tracker base URL (default: in-process simulator)")
+	ghRepo := fs.String("gh-repo", "faucetsdn/faucet", "GitHub repository path (owner/name)")
+	stateDir := fs.String("state-dir", "", "crash-consistent mining state directory (required)")
+	resume := fs.Bool("resume", false, "continue an interrupted run in -state-dir (breaks its stale lock)")
+	snapEvery := fs.Int("snapshot-every", 64, "journal records between snapshots")
+	out := fs.String("out", "", "write the mined corpus as JSON (atomically) when mining completes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *stateDir == "" {
+		return fmt.Errorf("mine: -state-dir is required")
+	}
+	if !*resume {
+		if entries, err := os.ReadDir(*stateDir); err == nil && len(entries) > 0 {
+			return fmt.Errorf("mine: %s already holds mining state; pass -resume to continue it", *stateDir)
+		}
+	}
+
+	if *jiraURL == "" || *ghURL == "" {
+		corp, err := corpus.Generate(*seed)
+		if err != nil {
+			return err
+		}
+		jiraStore, ghStore := tracker.NewStore(), tracker.NewStore()
+		for _, iss := range corp.Issues {
+			st := jiraStore
+			if tracker.TrackerFor(iss.Controller) == tracker.KindGitHub {
+				st = ghStore
+			}
+			if err := st.Put(iss); err != nil {
+				return err
+			}
+		}
+		owner, name, ok := strings.Cut(*ghRepo, "/")
+		if !ok {
+			return fmt.Errorf("mine: -gh-repo must be owner/name, got %q", *ghRepo)
+		}
+		if *jiraURL == "" {
+			srv := httptest.NewServer(jirasim.NewHandler(jiraStore))
+			defer srv.Close()
+			*jiraURL = srv.URL
+		}
+		if *ghURL == "" {
+			srv := httptest.NewServer(ghsim.NewHandler(ghStore, owner, name))
+			defer srv.Close()
+			*ghURL = srv.URL
+		}
+	}
+
+	d, err := durable.Open(*stateDir, durable.Options{SnapshotEvery: *snapEvery, TakeOver: *resume})
+	if err != nil {
+		if errors.Is(err, durable.ErrLocked) {
+			return fmt.Errorf("mine: another miner holds %s (or one crashed; pass -resume to take over): %w", *stateDir, err)
+		}
+		return err
+	}
+	st, err := tracker.NewDurableStore(d)
+	if err != nil {
+		_ = d.Close()
+		return err
+	}
+	if rec := d.Recovery(); rec.SnapshotRecords+rec.ReplayedRecords > 0 || rec.TruncatedBytes > 0 {
+		fmt.Fprintf(os.Stderr, "sdnbugs: recovered %d snapshot + %d journal records (%d torn bytes truncated)\n",
+			rec.SnapshotRecords, rec.ReplayedRecords, rec.TruncatedBytes)
+	}
+	res, err := mine.Run(ctx, mine.Config{
+		JIRA:   &jirasim.Client{BaseURL: *jiraURL},
+		GitHub: &ghsim.Client{BaseURL: *ghURL, Repo: *ghRepo},
+		Store:  st,
+	})
+	if err != nil {
+		_ = st.Close()
+		return err
+	}
+	fmt.Printf("mined %d issues (%d jira + %d github fetched, %d restored)\n",
+		res.Total, res.JIRAFetched, res.GitHubFetched, res.Restored)
+	if *out != "" {
+		issues := st.IssuesInOrder()
+		encoded := make([]json.RawMessage, len(issues))
+		for i, iss := range issues {
+			if encoded[i], err = tracker.EncodeIssue(iss); err != nil {
+				_ = st.Close()
+				return err
+			}
+		}
+		data, err := json.MarshalIndent(struct {
+			Issues []json.RawMessage `json:"issues"`
+		}{encoded}, "", "  ")
+		if err != nil {
+			_ = st.Close()
+			return err
+		}
+		if err := durable.WriteFileAtomic(*out, data, 0o644); err != nil {
+			_ = st.Close()
+			return err
+		}
+	}
+	return st.Close()
 }
 
 func cmdReport(ctx context.Context, args []string) error {

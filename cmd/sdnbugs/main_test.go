@@ -191,6 +191,71 @@ func TestExperimentsWorkersDeterminism(t *testing.T) {
 	}
 }
 
+// TestMineRoundTrip drives the resumable miner end to end against the
+// in-process simulators: a first run mines the full seed corpus into
+// the state directory, a second run without -resume is refused, and a
+// -resume run restores everything from disk without refetching.
+func TestMineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	state := filepath.Join(dir, "state")
+	out := filepath.Join(dir, "corpus.json")
+
+	var code int
+	stdout := capture(t, &os.Stdout, func() {
+		code = run([]string{"mine", "-seed", "1", "-state-dir", state, "-out", out})
+	})
+	if code != 0 {
+		t.Fatalf("mine exit code = %d", code)
+	}
+	if !strings.Contains(stdout, "mined 795 issues (544 jira + 251 github fetched, 0 restored)") {
+		t.Errorf("mine stdout = %q", stdout)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire struct {
+		Issues []json.RawMessage `json:"issues"`
+	}
+	if err := json.Unmarshal(data, &wire); err != nil {
+		t.Fatal(err)
+	}
+	if len(wire.Issues) != 795 {
+		t.Errorf("exported issues = %d, want 795", len(wire.Issues))
+	}
+
+	// The state dir is owned by the finished run: without -resume the
+	// miner must refuse to touch it rather than silently restart.
+	stderr := capture(t, &os.Stderr, func() {
+		code = run([]string{"mine", "-seed", "1", "-state-dir", state})
+	})
+	if code != 1 || !strings.Contains(stderr, "-resume") {
+		t.Errorf("re-mine without -resume: code = %d, stderr = %q", code, stderr)
+	}
+
+	// -resume restores the corpus from disk; the trackers have nothing
+	// new, so the run is a pure restore.
+	stdout = capture(t, &os.Stdout, func() {
+		code = run([]string{"mine", "-seed", "1", "-state-dir", state, "-resume"})
+	})
+	if code != 0 {
+		t.Fatalf("resume exit code = %d", code)
+	}
+	if !strings.Contains(stdout, "mined 795 issues (0 jira + 0 github fetched, 795 restored)") {
+		t.Errorf("resume stdout = %q", stdout)
+	}
+}
+
+func TestMineRequiresStateDir(t *testing.T) {
+	var code int
+	stderr := capture(t, &os.Stderr, func() {
+		code = run([]string{"mine"})
+	})
+	if code != 1 || !strings.Contains(stderr, "-state-dir") {
+		t.Errorf("mine without -state-dir: code = %d, stderr = %q", code, stderr)
+	}
+}
+
 // TestProfileFlagsWriteFiles covers -cpuprofile/-memprofile: both
 // files must exist and be non-empty after a run.
 func TestProfileFlagsWriteFiles(t *testing.T) {

@@ -25,9 +25,16 @@
 //   - internal/depscan         — the dependency-vulnerability scan
 //   - internal/engine          — the registry-driven concurrent
 //     experiment engine (worker pool, per-run timing, partial-failure
-//     outcomes)
+//     outcomes, per-experiment timeouts)
+//   - internal/durable         — the crash-consistent corpus store
+//     (checksummed WAL + snapshots, torn-tail recovery, atomic file
+//     publication)
+//   - internal/diskfault       — the fault-injecting filesystem
+//     (short/torn writes, failed syncs, scheduled crash points)
+//   - internal/mine            — the resumable miner checkpointing
+//     both trackers' cursors into a durable store
 //
-// The Suite type in this package registers every experiment (E01–E20,
+// The Suite type in this package registers every experiment (E01–E23,
 // one per table/figure — see DESIGN.md) and ablation (A01–A07) with
 // the engine and reports paper-vs-measured checks. Suite.Run selects
 // experiments by ID and executes them on a configurable worker pool —

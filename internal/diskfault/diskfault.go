@@ -1,0 +1,97 @@
+// Package diskfault abstracts the handful of filesystem operations the
+// durable store performs (internal/durable) behind an interface, so
+// tests and experiments can interpose a seed-deterministic fault
+// injector between the store and its "disk". The injector models the
+// storage failures the paper's taxonomy files under reboot/fail-stop
+// bugs: short writes, torn writes at byte granularity, failed syncs,
+// failed renames, and scheduled crash points after which every
+// operation fails as if the process had died mid-write.
+//
+// Three implementations ship with the package:
+//
+//   - OS() — the real filesystem, used by `sdnbugs mine -state-dir`.
+//   - MemFS — an in-memory filesystem with open-handle accounting,
+//     the substrate for crash-point matrices (state survives a
+//     simulated process death because the MemFS outlives the injector).
+//   - FaultFS — the injector itself, wrapping any FS.
+package diskfault
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is the subset of *os.File the durable store uses.
+type File interface {
+	io.Reader
+	io.Writer
+	// Seek repositions the read/write offset like os.File.Seek.
+	Seek(offset int64, whence int) (int64, error)
+	// Truncate changes the file's size without moving the offset.
+	Truncate(size int64) error
+	// Sync flushes the file to stable storage.
+	Sync() error
+	// Close releases the handle. Close is idempotent on MemFS files.
+	Close() error
+}
+
+// FS is the subset of the os package the durable store uses.
+type FS interface {
+	// OpenFile opens name honoring the os.O_* flags the store uses
+	// (O_RDONLY, O_RDWR, O_WRONLY, O_CREATE, O_EXCL, O_TRUNC).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// MkdirAll creates a directory and its parents.
+	MkdirAll(path string, perm os.FileMode) error
+	// ReadDir lists the entry names (not full paths) of dir, sorted.
+	ReadDir(dir string) ([]string, error)
+}
+
+// OS returns the real filesystem.
+func OS() FS { return osFS{} }
+
+// osFS delegates to the os package.
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// pathError builds an fs-flavoured error so callers can use errors.Is
+// with fs.ErrNotExist / fs.ErrExist across implementations.
+func pathError(op, path string, sentinel error) error {
+	return &fs.PathError{Op: op, Path: filepath.ToSlash(path), Err: sentinel}
+}
+
+// errf is fmt.Errorf with the package prefix.
+func errf(format string, args ...any) error {
+	return fmt.Errorf("diskfault: "+format, args...)
+}

@@ -1,0 +1,220 @@
+package diskfault
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// implementations runs a subtest against both MemFS and the real
+// filesystem, so the in-memory substrate cannot drift from os semantics.
+func implementations(t *testing.T) map[string]func(t *testing.T) (FS, string) {
+	return map[string]func(t *testing.T) (FS, string){
+		"mem": func(t *testing.T) (FS, string) { return NewMemFS(), "state" },
+		"os":  func(t *testing.T) (FS, string) { return OS(), t.TempDir() },
+	}
+}
+
+func TestFSRoundTrip(t *testing.T) {
+	for name, mk := range implementations(t) {
+		t.Run(name, func(t *testing.T) {
+			fsys, dir := mk(t)
+			if err := fsys.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(dir, "a.log")
+			f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write([]byte("hello world")); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Truncate(5); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Seek(0, io.SeekStart); err != nil {
+				t.Fatal(err)
+			}
+			data, err := io.ReadAll(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(data) != "hello" {
+				t.Errorf("after truncate read %q, want %q", data, "hello")
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// O_EXCL on an existing file must fail with fs.ErrExist.
+			if _, err := fsys.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644); !errors.Is(err, fs.ErrExist) {
+				t.Errorf("O_EXCL on existing file: err = %v, want fs.ErrExist", err)
+			}
+			// Opening a missing file without O_CREATE fails with ErrNotExist.
+			if _, err := fsys.OpenFile(filepath.Join(dir, "missing"), os.O_RDONLY, 0); !errors.Is(err, fs.ErrNotExist) {
+				t.Errorf("open missing: err = %v, want fs.ErrNotExist", err)
+			}
+
+			// Rename replaces the destination atomically.
+			other := filepath.Join(dir, "b.log")
+			g, err := fsys.OpenFile(other, os.O_CREATE|os.O_WRONLY, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := g.Write([]byte("other")); err != nil {
+				t.Fatal(err)
+			}
+			if err := g.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := fsys.Rename(path, other); err != nil {
+				t.Fatal(err)
+			}
+			names, err := fsys.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(names) != 1 || names[0] != "b.log" {
+				t.Errorf("ReadDir after rename = %v, want [b.log]", names)
+			}
+			if err := fsys.Remove(other); err != nil {
+				t.Fatal(err)
+			}
+			if err := fsys.Remove(other); !errors.Is(err, fs.ErrNotExist) {
+				t.Errorf("double remove: err = %v, want fs.ErrNotExist", err)
+			}
+		})
+	}
+}
+
+func TestMemFSHandleAccounting(t *testing.T) {
+	m := NewMemFS()
+	f, err := m.OpenFile("x", os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := m.OpenFile("y", os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := m.OpenHandles(); n != 2 {
+		t.Fatalf("open handles = %d, want 2", n)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close is idempotent and must not double-decrement.
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.OpenHandles(); n != 0 {
+		t.Fatalf("open handles after close = %d, want 0", n)
+	}
+	if _, err := f.Write([]byte("z")); !errors.Is(err, fs.ErrClosed) {
+		t.Errorf("write after close: err = %v, want fs.ErrClosed", err)
+	}
+}
+
+func TestFaultFSCrashTearsInFlightWrite(t *testing.T) {
+	mem := NewMemFS()
+	ffs := New(mem, Config{Seed: 1, CrashAfterOps: 2})
+	f, err := ffs.OpenFile("wal", os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("first-record")); err != nil { // op 1: applies
+		t.Fatal(err)
+	}
+	_, err = f.Write([]byte("second-record")) // op 2: crash, torn
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write at crash point: err = %v, want ErrCrashed", err)
+	}
+	if err := f.Close(); err != nil { // close still releases the handle
+		t.Fatal(err)
+	}
+	if n := mem.OpenHandles(); n != 0 {
+		t.Fatalf("handles after crashed close = %d, want 0", n)
+	}
+	// Everything after the crash fails, reads included.
+	if _, err := ffs.OpenFile("wal", os.O_RDONLY, 0); !errors.Is(err, ErrCrashed) {
+		t.Errorf("open after crash: err = %v, want ErrCrashed", err)
+	}
+	st := ffs.Stats()
+	if !st.Crashed || st.Ops != 2 {
+		t.Errorf("stats = %+v, want crashed at op 2", st)
+	}
+	data := mem.Snapshot()["wal"]
+	if len(data) < len("first-record") || string(data[:12]) != "first-record" {
+		t.Fatalf("pre-crash write lost: disk = %q", data)
+	}
+	torn := len(data) - len("first-record")
+	if torn <= 0 || torn >= len("second-record") {
+		t.Errorf("torn prefix = %d bytes of %d, want strictly partial", torn, len("second-record"))
+	}
+	if st.TornBytes != torn {
+		t.Errorf("TornBytes = %d, disk shows %d", st.TornBytes, torn)
+	}
+}
+
+func TestFaultFSDeterministicSchedule(t *testing.T) {
+	run := func() (Stats, []byte) {
+		mem := NewMemFS()
+		ffs := New(mem, Config{Seed: 7, ShortWriteRate: 0.3, SyncFailRate: 0.2})
+		f, err := ffs.OpenFile("wal", os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			_, _ = f.Write([]byte("payload-payload"))
+			_ = f.Sync()
+		}
+		_ = f.Close()
+		return ffs.Stats(), mem.Snapshot()["wal"]
+	}
+	s1, d1 := run()
+	s2, d2 := run()
+	if s1 != s2 {
+		t.Errorf("stats diverged across identical runs: %+v vs %+v", s1, s2)
+	}
+	if string(d1) != string(d2) {
+		t.Error("disk contents diverged across identical runs")
+	}
+	if s1.ShortWrites == 0 || s1.SyncFails == 0 {
+		t.Errorf("expected transient injections at these rates, got %+v", s1)
+	}
+}
+
+func TestFaultFSTransientFaultsDoNotCrash(t *testing.T) {
+	mem := NewMemFS()
+	ffs := New(mem, Config{Seed: 3, RenameFailRate: 1})
+	f, err := ffs.OpenFile("a", os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("xx")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ffs.Rename("a", "b"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename: err = %v, want ErrInjected", err)
+	}
+	// The rename did not happen, and the filesystem still works.
+	if _, ok := mem.Snapshot()["a"]; !ok {
+		t.Error("failed rename must leave the source in place")
+	}
+	if _, err := ffs.OpenFile("a", os.O_RDONLY, 0); err != nil {
+		t.Errorf("filesystem dead after transient fault: %v", err)
+	}
+}

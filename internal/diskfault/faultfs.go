@@ -1,0 +1,263 @@
+package diskfault
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"sync"
+)
+
+// ErrCrashed is the error every operation returns once a FaultFS hit
+// its scheduled crash point: from the store's point of view the process
+// died. The bytes already applied to the inner FS — including the torn
+// prefix of the in-flight write — are what recovery gets to see.
+var ErrCrashed = errors.New("diskfault: crashed at scheduled crash point")
+
+// ErrInjected tags transient injected failures (short writes, failed
+// syncs, failed renames). Unlike ErrCrashed the filesystem keeps
+// working afterwards; the operation simply failed once.
+var ErrInjected = errors.New("diskfault: injected fault")
+
+// Config tunes a FaultFS. The zero value injects nothing.
+type Config struct {
+	// Seed drives every injection decision; equal seeds and operation
+	// sequences produce identical fault schedules.
+	Seed int64
+	// CrashAfterOps crashes the filesystem on the Nth write-class
+	// operation (1-based; Write, Truncate, Sync, Rename, Remove).
+	// A crash landing on a Write applies a torn prefix of the payload —
+	// cut at a seed-chosen byte — before failing; every later operation
+	// returns ErrCrashed. 0 never crashes.
+	CrashAfterOps int
+	// ShortWriteRate is the probability a Write applies only a
+	// seed-chosen prefix and returns ErrInjected.
+	ShortWriteRate float64
+	// SyncFailRate is the probability a Sync returns ErrInjected.
+	SyncFailRate float64
+	// RenameFailRate is the probability a Rename returns ErrInjected
+	// without renaming.
+	RenameFailRate float64
+}
+
+// Stats counts what a FaultFS saw and injected.
+type Stats struct {
+	// Ops counts write-class operations (the crash clock).
+	Ops int
+	// ShortWrites, SyncFails and RenameFails count transient injections.
+	ShortWrites, SyncFails, RenameFails int
+	// Crashed reports whether the crash point fired; TornBytes is how
+	// many bytes of the in-flight write still reached the inner FS.
+	Crashed   bool
+	TornBytes int
+}
+
+// opFate classifies one write-class operation.
+type opFate int
+
+const (
+	opOK opFate = iota
+	opCrash
+	opInject
+)
+
+// FaultFS injects faults between a caller and an inner FS. It is safe
+// for concurrent use; decisions are serialized so a fixed operation
+// order yields a fixed fault schedule.
+type FaultFS struct {
+	inner FS
+	cfg   Config
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	crashed bool
+	stats   Stats
+}
+
+var _ FS = (*FaultFS)(nil)
+
+// New wraps inner with fault injection.
+func New(inner FS, cfg Config) *FaultFS {
+	return &FaultFS{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Stats snapshots the injection counters.
+func (f *FaultFS) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// Crashed reports whether the scheduled crash point has fired.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// checkRead gates read-class operations: they only fail once the
+// filesystem has crashed (a dead process cannot read either).
+func (f *FaultFS) checkRead() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// writeOp advances the crash clock for one write-class operation and
+// decides its fate: opCrash at the scheduled point, opInject drawn at
+// rate, opOK to proceed. The rng is consulted only for configured
+// (non-zero) rates, so runs that differ in unused knobs keep identical
+// schedules. When the fate is opCrash or opInject on a write of n
+// bytes, cut is the torn prefix to still apply — strictly inside the
+// payload when it has at least two bytes, so a torn record is really
+// torn, never empty-or-complete by accident.
+func (f *FaultFS) writeOp(rate float64, n int) (fate opFate, cut int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return opCrash, 0
+	}
+	f.stats.Ops++
+	if f.cfg.CrashAfterOps > 0 && f.stats.Ops >= f.cfg.CrashAfterOps {
+		f.crashed = true
+		f.stats.Crashed = true
+		return opCrash, f.tornCutLocked(n)
+	}
+	if rate > 0 && f.rng.Float64() < rate {
+		return opInject, f.tornCutLocked(n)
+	}
+	return opOK, 0
+}
+
+func (f *FaultFS) tornCutLocked(n int) int {
+	if n < 2 {
+		return 0
+	}
+	return 1 + f.rng.Intn(n-1)
+}
+
+// OpenFile implements FS.
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err := f.checkRead(); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+// Rename implements FS.
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	switch fate, _ := f.writeOp(f.cfg.RenameFailRate, 0); fate {
+	case opCrash:
+		return ErrCrashed
+	case opInject:
+		f.mu.Lock()
+		f.stats.RenameFails++
+		f.mu.Unlock()
+		return errf("rename %s: %w", newpath, ErrInjected)
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (f *FaultFS) Remove(name string) error {
+	if fate, _ := f.writeOp(0, 0); fate == opCrash {
+		return ErrCrashed
+	}
+	return f.inner.Remove(name)
+}
+
+// MkdirAll implements FS.
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	if err := f.checkRead(); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+// ReadDir implements FS.
+func (f *FaultFS) ReadDir(dir string) ([]string, error) {
+	if err := f.checkRead(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(dir)
+}
+
+// faultFile wraps an inner File with the injector's write-path faults.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+var _ File = (*faultFile)(nil)
+
+func (h *faultFile) Read(p []byte) (int, error) {
+	if err := h.fs.checkRead(); err != nil {
+		return 0, err
+	}
+	return h.inner.Read(p)
+}
+
+func (h *faultFile) Seek(offset int64, whence int) (int64, error) {
+	if err := h.fs.checkRead(); err != nil {
+		return 0, err
+	}
+	return h.inner.Seek(offset, whence)
+}
+
+func (h *faultFile) Write(p []byte) (int, error) {
+	switch fate, cut := h.fs.writeOp(h.fs.cfg.ShortWriteRate, len(p)); fate {
+	case opCrash:
+		// A crash mid-write applies a torn prefix, byte-granular, before
+		// the "machine" dies — the case journal recovery must survive.
+		if cut > 0 {
+			n, _ := h.inner.Write(p[:cut])
+			h.fs.mu.Lock()
+			h.fs.stats.TornBytes += n
+			h.fs.mu.Unlock()
+		}
+		return 0, ErrCrashed
+	case opInject:
+		if cut > 0 {
+			_, _ = h.inner.Write(p[:cut])
+		}
+		h.fs.mu.Lock()
+		h.fs.stats.ShortWrites++
+		h.fs.mu.Unlock()
+		return cut, errf("short write (%d of %d bytes): %w", cut, len(p), ErrInjected)
+	}
+	return h.inner.Write(p)
+}
+
+func (h *faultFile) Truncate(size int64) error {
+	if fate, _ := h.fs.writeOp(0, 0); fate == opCrash {
+		return ErrCrashed
+	}
+	return h.inner.Truncate(size)
+}
+
+func (h *faultFile) Sync() error {
+	switch fate, _ := h.fs.writeOp(h.fs.cfg.SyncFailRate, 0); fate {
+	case opCrash:
+		return ErrCrashed
+	case opInject:
+		h.fs.mu.Lock()
+		h.fs.stats.SyncFails++
+		h.fs.mu.Unlock()
+		return errf("sync failed: %w", ErrInjected)
+	}
+	return h.inner.Sync()
+}
+
+// Close always releases the inner handle, crashed or not — closing
+// descriptors is the kernel's job even when the process is gone, and
+// leaking them would fail the handle-hygiene tests for the wrong
+// reason.
+func (h *faultFile) Close() error {
+	return h.inner.Close()
+}

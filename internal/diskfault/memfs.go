@@ -1,0 +1,245 @@
+package diskfault
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MemFS is an in-memory filesystem. It is the "disk" of the crash-point
+// experiments: a FaultFS wrapped around a MemFS can crash and be thrown
+// away while the MemFS keeps the bytes that reached it, exactly like a
+// machine whose process died but whose disk survived. Open handles are
+// counted so tests can assert a store's Close released everything.
+//
+// MemFS is safe for concurrent use.
+type MemFS struct {
+	mu      sync.Mutex
+	files   map[string]*memNode
+	dirs    map[string]bool
+	handles int
+}
+
+var _ FS = (*MemFS)(nil)
+
+// memNode is one file's contents. Handles reference the node, so a
+// rename (which re-keys the node) or remove leaves existing handles
+// working on the same bytes, like a POSIX fd.
+type memNode struct {
+	data []byte
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string]*memNode), dirs: map[string]bool{".": true, "/": true}}
+}
+
+// OpenHandles returns the number of files currently open — zero once
+// every handle has been closed.
+func (m *MemFS) OpenHandles() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.handles
+}
+
+// Snapshot returns a deep copy of the current file contents, keyed by
+// cleaned path — a debugging aid for crash tests.
+func (m *MemFS) Snapshot() map[string][]byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string][]byte, len(m.files))
+	for p, n := range m.files {
+		out[p] = append([]byte(nil), n.data...)
+	}
+	return out
+}
+
+func clean(p string) string { return filepath.ToSlash(filepath.Clean(p)) }
+
+// OpenFile implements FS.
+func (m *MemFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	path := clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	node, exists := m.files[path]
+	switch {
+	case exists && flag&os.O_EXCL != 0 && flag&os.O_CREATE != 0:
+		return nil, pathError("open", path, fs.ErrExist)
+	case !exists && flag&os.O_CREATE == 0:
+		return nil, pathError("open", path, fs.ErrNotExist)
+	case !exists:
+		node = &memNode{}
+		m.files[path] = node
+	case flag&os.O_TRUNC != 0:
+		node.data = nil
+	}
+	m.handles++
+	return &memHandle{fs: m, node: node, writable: flag&(os.O_WRONLY|os.O_RDWR) != 0,
+		appendMode: flag&os.O_APPEND != 0}, nil
+}
+
+// Rename implements FS.
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	op, np := clean(oldpath), clean(newpath)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	node, ok := m.files[op]
+	if !ok {
+		return pathError("rename", op, fs.ErrNotExist)
+	}
+	m.files[np] = node
+	delete(m.files, op)
+	return nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(name string) error {
+	path := clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[path]; !ok {
+		return pathError("remove", path, fs.ErrNotExist)
+	}
+	delete(m.files, path)
+	return nil
+}
+
+// MkdirAll implements FS.
+func (m *MemFS) MkdirAll(path string, perm os.FileMode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dirs[clean(path)] = true
+	return nil
+}
+
+// ReadDir implements FS.
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	prefix := clean(dir) + "/"
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var names []string
+	for p := range m.files {
+		if rest, ok := strings.CutPrefix(p, prefix); ok && !strings.Contains(rest, "/") {
+			names = append(names, rest)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// memHandle is an open MemFS file.
+type memHandle struct {
+	fs         *MemFS
+	node       *memNode
+	offset     int64
+	writable   bool
+	appendMode bool
+	closed     bool
+}
+
+var _ File = (*memHandle)(nil)
+
+func (h *memHandle) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	if h.offset >= int64(len(h.node.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.node.data[h.offset:])
+	h.offset += int64(n)
+	return n, nil
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	if !h.writable {
+		return 0, errf("write on read-only handle")
+	}
+	if h.appendMode {
+		h.offset = int64(len(h.node.data))
+	}
+	end := h.offset + int64(len(p))
+	if end > int64(len(h.node.data)) {
+		grown := make([]byte, end)
+		copy(grown, h.node.data)
+		h.node.data = grown
+	}
+	copy(h.node.data[h.offset:end], p)
+	h.offset = end
+	return len(p), nil
+}
+
+func (h *memHandle) Seek(offset int64, whence int) (int64, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	switch whence {
+	case io.SeekStart:
+		h.offset = offset
+	case io.SeekCurrent:
+		h.offset += offset
+	case io.SeekEnd:
+		h.offset = int64(len(h.node.data)) + offset
+	default:
+		return 0, errf("bad seek whence %d", whence)
+	}
+	if h.offset < 0 {
+		return 0, errf("negative seek offset")
+	}
+	return h.offset, nil
+}
+
+func (h *memHandle) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return fs.ErrClosed
+	}
+	if !h.writable {
+		return errf("truncate on read-only handle")
+	}
+	switch {
+	case size < 0:
+		return errf("negative truncate size")
+	case size <= int64(len(h.node.data)):
+		h.node.data = h.node.data[:size]
+	default:
+		grown := make([]byte, size)
+		copy(grown, h.node.data)
+		h.node.data = grown
+	}
+	return nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return fs.ErrClosed
+	}
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return nil
+	}
+	h.closed = true
+	h.fs.handles--
+	return nil
+}

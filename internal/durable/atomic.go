@@ -1,0 +1,55 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to path so that a crash at any point
+// leaves either the old file or the new one, never a torn mix: the
+// data goes to a temp file in the same directory (same filesystem, so
+// the rename is atomic), is fsynced, and only then renamed over path.
+// The directory entry is fsynced best-effort afterwards.
+//
+// This is the drop-in replacement for the bare os.WriteFile/os.Create
+// output paths in cmd/sdnbugs: an interrupted `report`, `generate` or
+// `experiments` run must never leave a truncated artifact behind.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+tmpExt+"-*")
+	if err != nil {
+		return fmt.Errorf("durable: create temp for %s: %w", path, err)
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return cleanup(fmt.Errorf("durable: write %s: %w", path, err))
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(fmt.Errorf("durable: sync %s: %w", path, err))
+	}
+	if err := f.Chmod(perm); err != nil {
+		return cleanup(fmt.Errorf("durable: chmod %s: %w", path, err))
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("durable: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("durable: publish %s: %w", path, err)
+	}
+	// Make the rename itself durable. Failure here is not reported:
+	// the data is intact either way, only its directory entry may
+	// replay the rename after a power loss.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}

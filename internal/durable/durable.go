@@ -1,0 +1,530 @@
+// Package durable is a crash-consistent key/value store: every Put is
+// appended to a length-prefixed, CRC-32C-checksummed write-ahead
+// journal and fsynced before it is acknowledged, periodic snapshots
+// are published by atomic temp-file-plus-rename (after which the old
+// journal is retired), and Open recovers by replaying the journal over
+// the newest valid snapshot, truncating a torn tail record instead of
+// failing — and failing loudly (ErrCorrupt) on anything a torn write
+// cannot explain.
+//
+// The paper's taxonomy singles out reboot-triggered and fail-stop bugs
+// as the class existing SDN tooling recovers worst from (Table VII);
+// this package is the storage half of that lesson applied to the
+// repo's own mining pipeline: a miner killed at any point resumes from
+// its state directory with every acknowledged record intact. All
+// filesystem access goes through diskfault.FS, so the recovery path is
+// tested against every fault the format claims to survive — torn
+// writes, short writes, failed syncs, failed renames, and scheduled
+// crash points (see the crash-point matrix tests and experiment E23).
+//
+// A state directory contains:
+//
+//	LOCK                  single-opener guard (O_EXCL; ErrLocked)
+//	snap-<gen>.snap       newest published snapshot
+//	wal-<gen>.log         journal of puts since that snapshot
+//	*.tmp                 unpublished snapshot debris, swept at Open
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"sync"
+
+	"sdnbugs/internal/diskfault"
+)
+
+// Store errors.
+var (
+	// ErrLocked means another process holds the state directory: its
+	// LOCK file exists. Openers must fail fast rather than interleave
+	// journals; a crashed owner's lock is broken with Options.TakeOver.
+	ErrLocked = errors.New("durable: state directory locked by another store")
+	// ErrClosed is returned by operations on a closed store.
+	ErrClosed = errors.New("durable: store closed")
+)
+
+const (
+	lockName = "LOCK"
+	tmpExt   = ".tmp"
+)
+
+func snapName(gen uint64) string { return fmt.Sprintf("snap-%016x.snap", gen) }
+func walName(gen uint64) string  { return fmt.Sprintf("wal-%016x.log", gen) }
+
+// parseGen extracts the generation from a snap-/wal- file name.
+func parseGen(name, prefix, ext string) (uint64, bool) {
+	if len(name) != len(prefix)+16+len(ext) || name[:len(prefix)] != prefix || name[len(name)-len(ext):] != ext {
+		return 0, false
+	}
+	gen, err := strconv.ParseUint(name[len(prefix):len(prefix)+16], 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return gen, true
+}
+
+// Options configure Open.
+type Options struct {
+	// FS is the filesystem to use; nil means the real one.
+	FS diskfault.FS
+	// SnapshotEvery publishes a snapshot (and retires the journal)
+	// after that many Puts; 0 snapshots only on explicit Snapshot calls.
+	SnapshotEvery int
+	// TakeOver breaks an existing LOCK before acquiring it — for
+	// resuming after a crash that never released the lock. It must only
+	// be set when the previous owner is known to be dead.
+	TakeOver bool
+}
+
+// RecoveryStats describes what Open had to do.
+type RecoveryStats struct {
+	// SnapshotGen is the generation recovered from (0 = no snapshot).
+	SnapshotGen uint64
+	// SnapshotRecords and ReplayedRecords count what the snapshot and
+	// the journal each contributed.
+	SnapshotRecords, ReplayedRecords int
+	// TruncatedBytes is the torn journal tail recovery cut off.
+	TruncatedBytes int
+}
+
+// Store is a crash-consistent key/value store. It is safe for
+// concurrent use; all operations serialize on one mutex (the journal
+// is a single append stream regardless).
+type Store struct {
+	dir  string
+	fsys diskfault.FS
+	opts Options
+
+	mu            sync.Mutex
+	vals          map[string][]byte
+	order         []string // first-Put order; re-Puts keep their slot
+	gen           uint64
+	journal       diskfault.File
+	journalSize   int64
+	putsSinceSnap int
+	closed        bool
+	broken        error // set when the journal can no longer be trusted
+	recovery      RecoveryStats
+}
+
+// Open opens (creating if needed) the store in dir, recovering state
+// from the newest valid snapshot plus the journal. A torn journal tail
+// is truncated and recorded in RecoveryStats; positively corrupt state
+// returns ErrCorrupt; a held lock returns ErrLocked.
+func Open(dir string, opts Options) (*Store, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = diskfault.OS()
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: create state dir: %w", err)
+	}
+	if err := acquireLock(fsys, dir, opts.TakeOver); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, fsys: fsys, opts: opts, vals: make(map[string][]byte)}
+	if err := s.recover(); err != nil {
+		releaseLock(fsys, dir)
+		return nil, err
+	}
+	return s, nil
+}
+
+func acquireLock(fsys diskfault.FS, dir string, takeOver bool) error {
+	lock := path.Join(dir, lockName)
+	if takeOver {
+		if err := fsys.Remove(lock); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("durable: break stale lock: %w", err)
+		}
+	}
+	f, err := fsys.OpenFile(lock, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if errors.Is(err, fs.ErrExist) {
+		return fmt.Errorf("%w (%s)", ErrLocked, lock)
+	}
+	if err != nil {
+		return fmt.Errorf("durable: acquire lock: %w", err)
+	}
+	_, werr := f.Write([]byte("sdnbugs durable store lock\n"))
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		releaseLock(fsys, dir)
+		return fmt.Errorf("durable: write lock: %w", werr)
+	}
+	return nil
+}
+
+func releaseLock(fsys diskfault.FS, dir string) {
+	_ = fsys.Remove(path.Join(dir, lockName))
+}
+
+// readFile slurps a file through the FS, reporting absence separately.
+func readFile(fsys diskfault.FS, name string) (data []byte, exists bool, err error) {
+	f, err := fsys.OpenFile(name, os.O_RDONLY, 0)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	defer func() { _ = f.Close() }()
+	data, err = io.ReadAll(f)
+	return data, true, err
+}
+
+// recover loads the newest valid snapshot, replays its journal
+// (truncating a torn tail), sweeps debris, and leaves the journal open
+// for appends.
+func (s *Store) recover() error {
+	names, err := s.fsys.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("durable: scan state dir: %w", err)
+	}
+	var snapGens []uint64
+	for _, name := range names {
+		if gen, ok := parseGen(name, "snap-", ".snap"); ok {
+			snapGens = append(snapGens, gen)
+		}
+	}
+	sort.Slice(snapGens, func(a, b int) bool { return snapGens[a] > snapGens[b] })
+
+	if len(snapGens) > 0 {
+		s.gen = snapGens[0]
+		data, exists, err := readFile(s.fsys, path.Join(s.dir, snapName(s.gen)))
+		if err != nil || !exists {
+			return fmt.Errorf("durable: read snapshot gen %d: %w", s.gen, err)
+		}
+		gen, recs, err := decodeSnapshot(data)
+		if err != nil {
+			return fmt.Errorf("%w: snapshot gen %d fails verification", ErrCorrupt, s.gen)
+		}
+		if gen != s.gen {
+			return fmt.Errorf("%w: snapshot gen %d claims gen %d", ErrCorrupt, s.gen, gen)
+		}
+		for _, r := range recs {
+			s.applyLocked(r)
+		}
+		s.recovery.SnapshotGen = s.gen
+		s.recovery.SnapshotRecords = len(recs)
+	}
+
+	if err := s.openJournal(); err != nil {
+		return err
+	}
+
+	// Sweep: unpublished snapshot temp files, superseded snapshots, and
+	// journals of other generations (all safe to lose — the loaded
+	// snapshot+journal pair is the state). Best-effort by design.
+	for _, name := range names {
+		stale := false
+		if path.Ext(name) == tmpExt {
+			stale = true
+		} else if gen, ok := parseGen(name, "snap-", ".snap"); ok && gen != s.gen {
+			stale = gen < s.gen
+		} else if gen, ok := parseGen(name, "wal-", ".log"); ok && gen != s.gen {
+			stale = true
+		}
+		if stale {
+			_ = s.fsys.Remove(path.Join(s.dir, name))
+		}
+	}
+	return nil
+}
+
+// openJournal opens wal-<gen>.log, replays it over the snapshot state,
+// truncates a torn tail, and positions the handle for appends.
+func (s *Store) openJournal() error {
+	name := path.Join(s.dir, walName(s.gen))
+	f, err := s.fsys.OpenFile(name, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: open journal: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		_ = f.Close()
+		return fmt.Errorf("durable: read journal: %w", err)
+	}
+	if len(data) == 0 {
+		if err := initJournal(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		s.journal, s.journalSize = f, magicLen
+		return nil
+	}
+	recs, valid, err := ReplayJournal(data)
+	if err != nil {
+		_ = f.Close()
+		return fmt.Errorf("%w: journal gen %d has a foreign header", ErrCorrupt, s.gen)
+	}
+	for _, r := range recs {
+		s.applyLocked(r)
+	}
+	s.recovery.ReplayedRecords = len(recs)
+	if valid < len(data) {
+		// Torn tail: cut it off and continue — the crash interrupted an
+		// unacknowledged append, which by contract never existed.
+		s.recovery.TruncatedBytes = len(data) - valid
+		if err := f.Truncate(int64(valid)); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("durable: truncate torn journal tail: %w", err)
+		}
+	}
+	if valid == 0 {
+		// The whole file was a torn header; rebuild it.
+		if err := initJournal(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		valid = magicLen
+	} else if _, err := f.Seek(int64(valid), io.SeekStart); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("durable: seek journal end: %w", err)
+	}
+	s.journal, s.journalSize = f, int64(valid)
+	return nil
+}
+
+// initJournal writes and syncs a fresh journal header on an empty file.
+func initJournal(f diskfault.File) error {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("durable: init journal: %w", err)
+	}
+	if _, err := f.Write(journalMagic); err != nil {
+		return fmt.Errorf("durable: init journal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("durable: sync journal header: %w", err)
+	}
+	return nil
+}
+
+// applyLocked installs a record in memory, preserving first-Put order.
+func (s *Store) applyLocked(r Record) {
+	if _, ok := s.vals[r.Key]; !ok {
+		s.order = append(s.order, r.Key)
+	}
+	s.vals[r.Key] = r.Value
+}
+
+// Recovery returns what Open had to do to bring the store up.
+func (s *Store) Recovery() RecoveryStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovery
+}
+
+// Gen returns the current snapshot generation.
+func (s *Store) Gen() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
+}
+
+func (s *Store) usableLocked() error {
+	if s.closed {
+		return ErrClosed
+	}
+	if s.broken != nil {
+		return fmt.Errorf("durable: store needs reopen after unrepaired fault: %w", s.broken)
+	}
+	return nil
+}
+
+// Put journals key=value and applies it in memory. The record is
+// acknowledged only after the journal append has been fsynced; on a
+// failed or short append the journal is rolled back to its previous
+// length, so a transient disk fault costs one retryable error, never a
+// corrupt tail. If even the rollback fails the store declares itself
+// broken and refuses further writes until reopened (recovery will then
+// truncate the bad tail).
+func (s *Store) Put(key string, value []byte) error {
+	if key == "" {
+		return errors.New("durable: empty key")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.usableLocked(); err != nil {
+		return err
+	}
+	rec := Record{Key: key, Value: append([]byte(nil), value...)}
+	buf := appendRecord(nil, rec)
+	if _, err := s.journal.Write(buf); err != nil {
+		return s.rollbackLocked(fmt.Errorf("durable: journal append: %w", err))
+	}
+	if err := s.journal.Sync(); err != nil {
+		// The bytes may or may not be durable; roll back so the
+		// acknowledged state never runs ahead of what fsync confirmed.
+		return s.rollbackLocked(fmt.Errorf("durable: journal sync: %w", err))
+	}
+	s.journalSize += int64(len(buf))
+	s.applyLocked(rec)
+	s.putsSinceSnap++
+	if s.opts.SnapshotEvery > 0 && s.putsSinceSnap >= s.opts.SnapshotEvery {
+		// The put itself is committed; a snapshot failure surfaces to the
+		// caller but leaves the store consistent (journal intact), and the
+		// next Put retries the snapshot.
+		if err := s.snapshotLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rollbackLocked restores the journal to its pre-append length after a
+// failed write, marking the store broken if the repair itself fails.
+func (s *Store) rollbackLocked(cause error) error {
+	if err := s.journal.Truncate(s.journalSize); err != nil {
+		s.broken = cause
+		return fmt.Errorf("durable: journal rollback failed (%v) after: %w", err, cause)
+	}
+	if _, err := s.journal.Seek(s.journalSize, io.SeekStart); err != nil {
+		s.broken = cause
+		return fmt.Errorf("durable: journal rollback seek failed (%v) after: %w", err, cause)
+	}
+	return cause
+}
+
+// Get returns a copy of the value stored under key.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.vals[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.vals)
+}
+
+// Range calls fn for every key in first-Put order until fn returns
+// false. Entries are copied out under the lock first, so fn sees a
+// consistent iteration and may call back into the store.
+func (s *Store) Range(fn func(key string, value []byte) bool) {
+	s.mu.Lock()
+	type kv struct {
+		k string
+		v []byte
+	}
+	all := make([]kv, len(s.order))
+	for i, k := range s.order {
+		all[i] = kv{k, append([]byte(nil), s.vals[k]...)}
+	}
+	s.mu.Unlock()
+	for _, e := range all {
+		if !fn(e.k, e.v) {
+			return
+		}
+	}
+}
+
+// Snapshot publishes the current state as generation gen+1 and retires
+// the journal. The sequence is crash-ordered: the snapshot is written
+// to a temp file, fsynced, atomically renamed, and only then is the
+// old journal removed and a fresh one started — a crash at any point
+// leaves either the old pair or the new pair recoverable.
+func (s *Store) Snapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.usableLocked(); err != nil {
+		return err
+	}
+	return s.snapshotLocked()
+}
+
+func (s *Store) snapshotLocked() error {
+	newGen := s.gen + 1
+	recs := make([]Record, len(s.order))
+	for i, k := range s.order {
+		recs[i] = Record{Key: k, Value: s.vals[k]}
+	}
+	data := encodeSnapshot(newGen, recs)
+
+	tmp := path.Join(s.dir, snapName(newGen)+tmpExt)
+	f, err := s.fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: create snapshot temp: %w", err)
+	}
+	_, werr := f.Write(data)
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		_ = s.fsys.Remove(tmp)
+		return fmt.Errorf("durable: write snapshot gen %d: %w", newGen, werr)
+	}
+	if err := s.fsys.Rename(tmp, path.Join(s.dir, snapName(newGen))); err != nil {
+		_ = s.fsys.Remove(tmp)
+		return fmt.Errorf("durable: publish snapshot gen %d: %w", newGen, err)
+	}
+
+	// The snapshot is the durable truth now; the old journal and
+	// snapshot are redundant. Their removal is best-effort — leftovers
+	// of other generations are swept at the next Open.
+	oldJournal, oldGen := s.journal, s.gen
+	_ = oldJournal.Close()
+	_ = s.fsys.Remove(path.Join(s.dir, walName(oldGen)))
+	if oldGen > 0 {
+		_ = s.fsys.Remove(path.Join(s.dir, snapName(oldGen)))
+	}
+	s.gen = newGen
+	s.putsSinceSnap = 0
+
+	nf, err := s.fsys.OpenFile(path.Join(s.dir, walName(newGen)), os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err == nil {
+		err = initJournal(nf)
+	}
+	if err != nil {
+		// No journal to append to: writes must stop until reopen, where
+		// recovery restarts from the just-published snapshot.
+		s.broken = err
+		s.journal, s.journalSize = nil, 0
+		return fmt.Errorf("durable: start journal gen %d: %w", newGen, err)
+	}
+	s.journal, s.journalSize = nf, magicLen
+	return nil
+}
+
+// Close syncs and releases the journal and the lock. It is safe to
+// call after a disk crash — every release is attempted regardless of
+// earlier failures — and idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	if s.journal != nil {
+		if s.broken == nil {
+			if err := s.journal.Sync(); err != nil && first == nil {
+				first = err
+			}
+		}
+		if err := s.journal.Close(); err != nil && first == nil {
+			first = err
+		}
+		s.journal = nil
+	}
+	if err := s.fsys.Remove(path.Join(s.dir, lockName)); err != nil && first == nil {
+		first = err
+	}
+	return first
+}

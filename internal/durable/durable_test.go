@@ -1,0 +1,411 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sdnbugs/internal/diskfault"
+)
+
+func TestJournalRecordRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Key: "a", Value: []byte("hello")},
+		{Key: "issue/ONOS-1", Value: []byte(`{"id":"ONOS-1"}`)},
+		{Key: "empty", Value: nil},
+		{Key: "binary", Value: []byte{0, 1, 2, 0xff}},
+	}
+	data := append([]byte(nil), journalMagic...)
+	for _, r := range recs {
+		data = appendRecord(data, r)
+	}
+	got, valid, err := ReplayJournal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valid != len(data) {
+		t.Fatalf("valid = %d, want %d", valid, len(data))
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	for i, r := range got {
+		if r.Key != recs[i].Key || !bytes.Equal(r.Value, recs[i].Value) {
+			t.Errorf("record %d = %+v, want %+v", i, r, recs[i])
+		}
+	}
+}
+
+func TestJournalTornTailTruncated(t *testing.T) {
+	data := append([]byte(nil), journalMagic...)
+	data = appendRecord(data, Record{Key: "k1", Value: []byte("v1")})
+	whole := len(data)
+	data = appendRecord(data, Record{Key: "k2", Value: []byte("v2-longer-value")})
+
+	// Every possible tear of the final record must yield exactly the
+	// first record back, with the tear reported for truncation.
+	for cut := whole; cut < len(data); cut++ {
+		recs, valid, err := ReplayJournal(data[:cut])
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if valid != whole {
+			t.Fatalf("cut %d: valid = %d, want %d", cut, valid, whole)
+		}
+		if len(recs) != 1 || recs[0].Key != "k1" {
+			t.Fatalf("cut %d: records = %+v, want just k1", cut, recs)
+		}
+	}
+}
+
+func TestJournalBitFlipRejected(t *testing.T) {
+	data := append([]byte(nil), journalMagic...)
+	data = appendRecord(data, Record{Key: "k1", Value: []byte("value-one")})
+	one := len(data)
+	data = appendRecord(data, Record{Key: "k2", Value: []byte("value-two")})
+
+	// Flip one bit inside the second record's payload: replay must stop
+	// at the first record, never serving the damaged one.
+	corrupt := append([]byte(nil), data...)
+	corrupt[one+recHeaderLen+3] ^= 0x10
+	recs, valid, err := ReplayJournal(corrupt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valid != one || len(recs) != 1 {
+		t.Fatalf("valid=%d records=%d, want stop at first record (%d)", valid, len(recs), one)
+	}
+}
+
+func TestJournalForeignHeaderCorrupt(t *testing.T) {
+	if _, _, err := ReplayJournal([]byte("NOTAWAL!plus-some-data")); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("foreign header: err = %v, want ErrCorrupt", err)
+	}
+	// A prefix of the real magic is a torn header, not corruption.
+	if _, valid, err := ReplayJournal(journalMagic[:5]); err != nil || valid != 0 {
+		t.Errorf("torn header: valid=%d err=%v, want 0,nil", valid, err)
+	}
+}
+
+func TestSnapshotRoundTripAndCorruption(t *testing.T) {
+	recs := []Record{{Key: "a", Value: []byte("1")}, {Key: "b", Value: []byte("2")}}
+	data := encodeSnapshot(7, recs)
+	gen, got, err := decodeSnapshot(data)
+	if err != nil || gen != 7 || len(got) != 2 {
+		t.Fatalf("decode = gen %d, %d records, %v", gen, len(got), err)
+	}
+	for i := range data {
+		corrupt := append([]byte(nil), data...)
+		corrupt[i] ^= 0x01
+		if _, _, err := decodeSnapshot(corrupt); err == nil {
+			t.Fatalf("bit flip at %d accepted", i)
+		}
+	}
+	if _, _, err := decodeSnapshot(data[:len(data)-3]); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncated snapshot: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// storeFixtures runs a subtest against MemFS and the real filesystem.
+func storeFixtures(t *testing.T) map[string]func(t *testing.T) (diskfault.FS, string) {
+	return map[string]func(t *testing.T) (diskfault.FS, string){
+		"mem": func(t *testing.T) (diskfault.FS, string) { return diskfault.NewMemFS(), "state" },
+		"os":  func(t *testing.T) (diskfault.FS, string) { return diskfault.OS(), filepath.Join(t.TempDir(), "state") },
+	}
+}
+
+func TestStorePersistsAcrossReopen(t *testing.T) {
+	for name, mk := range storeFixtures(t) {
+		t.Run(name, func(t *testing.T) {
+			fsys, dir := mk(t)
+			st, err := Open(dir, Options{FS: fsys, SnapshotEvery: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 10; i++ {
+				if err := st.Put(fmt.Sprintf("k%02d", i), []byte(fmt.Sprintf("v%02d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Overwrite keeps the original slot and the new value.
+			if err := st.Put("k03", []byte("updated")); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			st2, err := Open(dir, Options{FS: fsys})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() { _ = st2.Close() }()
+			if st2.Len() != 10 {
+				t.Fatalf("recovered %d keys, want 10", st2.Len())
+			}
+			var order []string
+			st2.Range(func(k string, v []byte) bool {
+				order = append(order, k)
+				return true
+			})
+			for i, k := range order {
+				if want := fmt.Sprintf("k%02d", i); k != want {
+					t.Errorf("order[%d] = %s, want %s", i, k, want)
+				}
+			}
+			if v, ok := st2.Get("k03"); !ok || string(v) != "updated" {
+				t.Errorf("k03 = %q, %v; want updated", v, ok)
+			}
+			rec := st2.Recovery()
+			if rec.SnapshotGen == 0 {
+				t.Errorf("recovery used no snapshot: %+v (SnapshotEvery was 4)", rec)
+			}
+		})
+	}
+}
+
+func TestStoreLockFailsFast(t *testing.T) {
+	for name, mk := range storeFixtures(t) {
+		t.Run(name, func(t *testing.T) {
+			fsys, dir := mk(t)
+			st, err := Open(dir, Options{FS: fsys})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// A second opener must detect the lock and fail with the
+			// sentinel, touching nothing.
+			if _, err := Open(dir, Options{FS: fsys}); !errors.Is(err, ErrLocked) {
+				t.Fatalf("second open: err = %v, want ErrLocked", err)
+			}
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+			// Close released the lock: reopening works.
+			st2, err := Open(dir, Options{FS: fsys})
+			if err != nil {
+				t.Fatalf("open after close: %v", err)
+			}
+			_ = st2.Close()
+		})
+	}
+}
+
+func TestStoreTakeOverBreaksStaleLock(t *testing.T) {
+	mem := diskfault.NewMemFS()
+	st, err := Open("state", Options{FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash: the store never closes, the lock stays behind.
+	_, err = Open("state", Options{FS: mem})
+	if !errors.Is(err, ErrLocked) {
+		t.Fatalf("err = %v, want ErrLocked", err)
+	}
+	st2, err := Open("state", Options{FS: mem, TakeOver: true})
+	if err != nil {
+		t.Fatalf("take-over open: %v", err)
+	}
+	defer func() { _ = st2.Close() }()
+	if v, ok := st2.Get("k"); !ok || string(v) != "v" {
+		t.Errorf("state lost across take-over: %q, %v", v, ok)
+	}
+}
+
+func TestStoreCloseReleasesAllHandles(t *testing.T) {
+	mem := diskfault.NewMemFS()
+	st, err := Open("state", Options{FS: mem, SnapshotEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ { // crosses several snapshot boundaries
+		if err := st.Put(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := mem.OpenHandles(); n != 0 {
+		t.Fatalf("open handles after Close = %d, want 0", n)
+	}
+	// Operations after Close fail with the sentinel.
+	if err := st.Put("x", nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("put after close: err = %v, want ErrClosed", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Errorf("second close: %v, want idempotent nil", err)
+	}
+}
+
+func TestStoreTornJournalTailRecovered(t *testing.T) {
+	mem := diskfault.NewMemFS()
+	st, err := Open("state", Options{FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := st.Put(fmt.Sprintf("k%d", i), []byte("value")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the journal tail by hand: chop the last 3 bytes.
+	wal := "state/" + walName(0)
+	data := mem.Snapshot()[walName(0)]
+	if data == nil {
+		// MemFS.Snapshot keys are full cleaned paths.
+		data = mem.Snapshot()[wal]
+	}
+	if data == nil {
+		t.Fatalf("journal %s not found on disk: %v", wal, mem.Snapshot())
+	}
+	f, err := mem.OpenFile(wal, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(int64(len(data) - 3)); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+
+	st2, err := Open("state", Options{FS: mem})
+	if err != nil {
+		t.Fatalf("recovery over torn tail: %v", err)
+	}
+	defer func() { _ = st2.Close() }()
+	if st2.Len() != 4 {
+		t.Errorf("recovered %d records, want 4 (last one torn)", st2.Len())
+	}
+	if tb := st2.Recovery().TruncatedBytes; tb == 0 {
+		t.Error("recovery did not report the truncated tail")
+	}
+	// The store keeps working after the repair.
+	if err := st2.Put("k4", []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreCorruptSnapshotIsFatal(t *testing.T) {
+	mem := diskfault.NewMemFS()
+	st, err := Open("state", Options{FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap := "state/" + snapName(1)
+	f, err := mem.OpenFile(snap, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad}); err != nil { // stomp the magic
+		t.Fatal(err)
+	}
+	_ = f.Close()
+	if _, err := Open("state", Options{FS: mem}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open over corrupt snapshot: err = %v, want ErrCorrupt (never silent)", err)
+	}
+}
+
+func TestStoreTransientWriteFaultIsRetryable(t *testing.T) {
+	mem := diskfault.NewMemFS()
+	ffs := diskfault.New(mem, diskfault.Config{Seed: 5, ShortWriteRate: 0.35})
+	var st *Store
+	var err error
+	for i := 0; ; i++ { // Open itself writes (lock, header) and may draw a fault
+		st, err = Open("state", Options{FS: ffs, TakeOver: true})
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, diskfault.ErrInjected) {
+			t.Fatal(err)
+		}
+		if i > 20 {
+			t.Fatal("open never succeeded under transient faults")
+		}
+	}
+	wrote, injected := 0, 0
+	for i := 0; wrote < 30; i++ {
+		key := fmt.Sprintf("k%03d", wrote)
+		err := st.Put(key, []byte("steady-value-payload"))
+		switch {
+		case err == nil:
+			wrote++
+		case errors.Is(err, diskfault.ErrInjected):
+			injected++ // transient: same Put retries
+		default:
+			t.Fatalf("put %s: %v", key, err)
+		}
+		if i > 500 {
+			t.Fatal("no progress under transient faults")
+		}
+	}
+	if injected == 0 {
+		t.Fatal("fault injector never fired; rate too low for the test to mean anything")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Despite every injected short write, recovery sees exactly the 30
+	// acknowledged records — the rollback kept the journal clean.
+	st2, err := Open("state", Options{FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = st2.Close() }()
+	if st2.Len() != 30 {
+		t.Errorf("recovered %d records, want 30 (injected=%d)", st2.Len(), injected)
+	}
+	if tb := st2.Recovery().TruncatedBytes; tb != 0 {
+		t.Errorf("clean-close journal had %d torn bytes; rollback failed to repair", tb)
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFileAtomic(path, []byte("first"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("second"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "second" {
+		t.Errorf("content = %q, want second", data)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm := info.Mode().Perm(); perm != 0o600 {
+		t.Errorf("perm = %o, want 600", perm)
+	}
+	// No temp debris left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory holds %d entries, want just the target: %v", len(entries), entries)
+	}
+}

@@ -87,6 +87,14 @@ type Runner[T any] struct {
 	// serialized by the runner, so the hook needs no locking of its
 	// own.
 	OnEvent func(Event)
+	// ExperimentTimeout bounds each experiment's wall-clock time when
+	// positive: the experiment runs under a context.WithTimeout child
+	// of the run context, and if it has not returned by the deadline
+	// its outcome errors with context.DeadlineExceeded while the rest
+	// of the batch keeps running. A wedged experiment that ignores its
+	// context leaks one goroutine until it finishes on its own — the
+	// price of not letting it wedge the whole batch. 0 means no bound.
+	ExperimentTimeout time.Duration
 
 	mu sync.Mutex
 }
@@ -141,7 +149,7 @@ func (r *Runner[T]) runOne(ctx context.Context, e Experiment[T], i, total int) O
 	begin := time.Now()
 	if err := ctx.Err(); err != nil {
 		out.Err = fmt.Errorf("engine: %s not started: %w", e.ID, err)
-	} else if res, err := runProtected(ctx, e); err != nil {
+	} else if res, err := r.runBounded(ctx, e); err != nil {
 		out.Err = err
 	} else {
 		out.Result = res
@@ -153,6 +161,34 @@ func (r *Runner[T]) runOne(ctx context.Context, e Experiment[T], i, total int) O
 	r.emit(Event{Type: EventFinish, ID: e.ID, Title: e.Title, Index: i, Total: total,
 		Duration: out.Duration, Err: out.Err})
 	return out
+}
+
+// runBounded applies the runner's per-experiment timeout. Without one
+// the experiment runs inline on the worker; with one it runs on its own
+// goroutine so the worker can abandon it at the deadline (see the
+// ExperimentTimeout doc for the leak trade-off).
+func (r *Runner[T]) runBounded(ctx context.Context, e Experiment[T]) (T, error) {
+	if r.ExperimentTimeout <= 0 {
+		return runProtected(ctx, e)
+	}
+	tctx, cancel := context.WithTimeout(ctx, r.ExperimentTimeout)
+	defer cancel()
+	type result struct {
+		res T
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		res, err := runProtected(tctx, e)
+		done <- result{res, err}
+	}()
+	select {
+	case out := <-done:
+		return out.res, out.err
+	case <-tctx.Done():
+		var zero T
+		return zero, fmt.Errorf("engine: %s abandoned after %v: %w", e.ID, r.ExperimentTimeout, tctx.Err())
+	}
 }
 
 // runProtected invokes the experiment with panic recovery: a panic

@@ -199,6 +199,60 @@ func TestRunnerRecoversPanickingExperiment(t *testing.T) {
 	}
 }
 
+func TestRunnerExperimentTimeout(t *testing.T) {
+	// B wedges well past the deadline; A and C are quick. Only B's
+	// outcome may error, and it must carry context.DeadlineExceeded.
+	exps := []Experiment[int]{
+		{ID: "A", Run: func(context.Context) (int, error) { return 1, nil }},
+		{ID: "B", Run: func(ctx context.Context) (int, error) {
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(10 * time.Second):
+				return 2, nil
+			}
+		}},
+		{ID: "C", Run: func(context.Context) (int, error) { return 3, nil }},
+	}
+	r := &Runner[int]{Parallelism: 1, ExperimentTimeout: 20 * time.Millisecond}
+	run, err := r.Run(context.Background(), exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(run.Outcomes[1].Err, context.DeadlineExceeded) {
+		t.Fatalf("B err = %v, want context.DeadlineExceeded", run.Outcomes[1].Err)
+	}
+	if s := run.Outcomes[1].Err.Error(); !strings.Contains(s, "B") || !strings.Contains(s, "abandoned") {
+		t.Errorf("B err = %q, want the ID and the abandonment", s)
+	}
+	if run.Outcomes[0].Result != 1 || run.Outcomes[0].Err != nil ||
+		run.Outcomes[2].Result != 3 || run.Outcomes[2].Err != nil {
+		t.Errorf("neighbors disturbed: %+v", run.Outcomes)
+	}
+	ok, failed, errored := run.Counts()
+	if ok != 2 || failed != 0 || errored != 1 {
+		t.Errorf("Counts = %d/%d/%d, want 2/0/1", ok, failed, errored)
+	}
+}
+
+func TestRunnerTimeoutLeavesFastExperimentsAlone(t *testing.T) {
+	// A generous deadline must not disturb experiments that finish in
+	// time, and the zero value must keep running inline (unbounded).
+	exps := []Experiment[int]{
+		{ID: "A", Run: func(context.Context) (int, error) { return 7, nil }},
+	}
+	for _, timeout := range []time.Duration{0, time.Minute} {
+		r := &Runner[int]{Parallelism: 1, ExperimentTimeout: timeout}
+		run, err := r.Run(context.Background(), exps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o := run.Outcomes[0]; o.Err != nil || o.Result != 7 {
+			t.Errorf("timeout=%v: outcome = %+v, want clean 7", timeout, o)
+		}
+	}
+}
+
 func TestRunnerZeroValueAndEmpty(t *testing.T) {
 	var r Runner[int]
 	run, err := r.Run(context.Background(), nil)

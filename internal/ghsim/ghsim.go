@@ -221,6 +221,12 @@ type Client struct {
 	// MaxPages caps a single FetchAll/Resume paging loop
 	// (default DefaultMaxPages).
 	MaxPages int
+	// OnPage, when set, is called after every completed page with the
+	// advanced cursor, before the loop decides whether to continue — so
+	// a checkpointing caller (the durable miner) sees the final page
+	// too. Returning an error aborts the run; the cursor keeps every
+	// page fetched so far.
+	OnPage func(*Cursor) error
 }
 
 func (c *Client) http() *http.Client {
@@ -291,6 +297,11 @@ func (c *Client) Resume(ctx context.Context, state string, cur *Cursor) error {
 		}
 		cur.Issues = append(cur.Issues, batch...)
 		cur.Page++
+		if c.OnPage != nil {
+			if err := c.OnPage(cur); err != nil {
+				return fmt.Errorf("ghsim: page checkpoint: %w", err)
+			}
+		}
 		if len(batch) < perPage {
 			return nil
 		}

@@ -52,6 +52,12 @@ type Client struct {
 	// MaxPages caps a single FetchAll/Resume paging loop
 	// (default DefaultMaxPages).
 	MaxPages int
+	// OnPage, when set, is called after every completed page with the
+	// advanced cursor, before the loop decides whether to continue — so
+	// a checkpointing caller (the durable miner) sees the final page
+	// too. Returning an error aborts the run; the cursor keeps every
+	// page fetched so far.
+	OnPage func(*Cursor) error
 }
 
 func (c *Client) http() *http.Client {
@@ -146,6 +152,11 @@ func (c *Client) Resume(ctx context.Context, opts SearchOptions, cur *Cursor) er
 		}
 		cur.Results = append(cur.Results, page...)
 		cur.StartAt += len(page)
+		if c.OnPage != nil {
+			if err := c.OnPage(cur); err != nil {
+				return fmt.Errorf("jirasim: page checkpoint: %w", err)
+			}
+		}
 		if cur.StartAt >= total {
 			return nil
 		}

@@ -1,0 +1,221 @@
+package tracker
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"sdnbugs/internal/durable"
+)
+
+// Key prefixes in a durable corpus store. Issues and mining cursors
+// share one journal so a crash can never separate "what was mined"
+// from "where mining stood".
+const (
+	issueKeyPrefix  = "issue/"
+	cursorKeyPrefix = "cursor/"
+)
+
+// ParseStatus parses the string form produced by Status.String.
+func ParseStatus(str string) (Status, error) {
+	for _, s := range []Status{StatusOpen, StatusInProgress, StatusResolved, StatusClosed} {
+		if s.String() == str {
+			return s, nil
+		}
+	}
+	return StatusUnknown, fmt.Errorf("tracker: unknown status %q", str)
+}
+
+// persistedIssue is the canonical on-disk issue encoding: every field
+// explicit (severity and status as strings, unlike the wire model which
+// drops them), fixed field order, so equal issues always encode to
+// equal bytes — the property the kill-and-resume experiment's
+// byte-identity check rests on.
+type persistedIssue struct {
+	ID          string    `json:"id"`
+	Controller  string    `json:"controller"`
+	Title       string    `json:"title"`
+	Description string    `json:"description,omitempty"`
+	Comments    []Comment `json:"comments,omitempty"`
+	Severity    string    `json:"severity"`
+	Status      string    `json:"status"`
+	Created     time.Time `json:"created"`
+	Resolved    time.Time `json:"resolved,omitzero"`
+	Labels      []string  `json:"labels,omitempty"`
+	FixRef      string    `json:"fix_ref,omitempty"`
+}
+
+// EncodeIssue renders an issue in the canonical persistence encoding.
+func EncodeIssue(iss Issue) ([]byte, error) {
+	data, err := json.Marshal(persistedIssue{
+		ID:          iss.ID,
+		Controller:  iss.Controller.String(),
+		Title:       iss.Title,
+		Description: iss.Description,
+		Comments:    iss.Comments,
+		Severity:    iss.Severity.String(),
+		Status:      iss.Status.String(),
+		Created:     iss.Created,
+		Resolved:    iss.Resolved,
+		Labels:      iss.Labels,
+		FixRef:      iss.FixRef,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tracker: encode issue %s: %w", iss.ID, err)
+	}
+	return data, nil
+}
+
+// DecodeIssue parses the canonical persistence encoding.
+func DecodeIssue(data []byte) (Issue, error) {
+	var p persistedIssue
+	if err := json.Unmarshal(data, &p); err != nil {
+		return Issue{}, fmt.Errorf("tracker: decode issue: %w", err)
+	}
+	iss := Issue{
+		ID:          p.ID,
+		Title:       p.Title,
+		Description: p.Description,
+		Comments:    p.Comments,
+		Created:     p.Created,
+		Resolved:    p.Resolved,
+		Labels:      p.Labels,
+		FixRef:      p.FixRef,
+	}
+	// "unknown" is a legal persisted value for each enum (GitHub issues
+	// genuinely lack source severity before extraction); anything else
+	// must parse.
+	if p.Controller != ControllerUnknown.String() {
+		c, err := ParseController(p.Controller)
+		if err != nil {
+			return Issue{}, err
+		}
+		iss.Controller = c
+	}
+	iss.ControllerName = iss.Controller.String()
+	if p.Severity != SeverityUnknown.String() {
+		s, err := ParseSeverity(p.Severity)
+		if err != nil {
+			return Issue{}, err
+		}
+		iss.Severity = s
+	}
+	if p.Status != StatusUnknown.String() {
+		s, err := ParseStatus(p.Status)
+		if err != nil {
+			return Issue{}, err
+		}
+		iss.Status = s
+	}
+	return iss, nil
+}
+
+// DurableStore couples the in-memory issue Store with a crash-consistent
+// durable.Store: every Put is journaled (and fsynced) before it lands in
+// memory, and reopening the same state directory reloads the corpus in
+// its original mining order along with any saved cursors.
+type DurableStore struct {
+	mem *Store
+	d   *durable.Store
+}
+
+// NewDurableStore builds a DurableStore over an opened durable.Store,
+// loading every persisted issue (insertion order preserved).
+func NewDurableStore(d *durable.Store) (*DurableStore, error) {
+	ds := &DurableStore{mem: NewStore(), d: d}
+	var firstErr error
+	d.Range(func(k string, v []byte) bool {
+		if !strings.HasPrefix(k, issueKeyPrefix) {
+			return true
+		}
+		iss, err := DecodeIssue(v)
+		if err != nil {
+			firstErr = fmt.Errorf("tracker: load %s: %w", k, err)
+			return false
+		}
+		if err := ds.mem.Put(iss); err != nil {
+			firstErr = err
+			return false
+		}
+		return true
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return ds, nil
+}
+
+// Put journals the issue durably, then applies it in memory. A re-Put
+// of an existing ID overwrites the value but keeps the original mining
+// slot, which is what makes crash-replayed pages idempotent.
+func (ds *DurableStore) Put(iss Issue) error {
+	if iss.ID == "" {
+		return fmt.Errorf("tracker: issue ID required")
+	}
+	data, err := EncodeIssue(iss)
+	if err != nil {
+		return err
+	}
+	if err := ds.d.Put(issueKeyPrefix+iss.ID, data); err != nil {
+		return err
+	}
+	return ds.mem.Put(iss)
+}
+
+// SaveCursor durably records a mining cursor under name.
+func (ds *DurableStore) SaveCursor(name string, data []byte) error {
+	return ds.d.Put(cursorKeyPrefix+name, data)
+}
+
+// Cursor returns the saved cursor bytes for name, if any.
+func (ds *DurableStore) Cursor(name string) ([]byte, bool) {
+	return ds.d.Get(cursorKeyPrefix + name)
+}
+
+// Store exposes the in-memory store for queries and serving.
+func (ds *DurableStore) Store() *Store { return ds.mem }
+
+// Len returns the number of persisted issues.
+func (ds *DurableStore) Len() int { return ds.mem.Len() }
+
+// IssuesInOrder returns every issue in first-Put (mining) order.
+func (ds *DurableStore) IssuesInOrder() []Issue {
+	var out []Issue
+	ds.d.Range(func(k string, v []byte) bool {
+		if !strings.HasPrefix(k, issueKeyPrefix) {
+			return true
+		}
+		if iss, err := ds.mem.Get(k[len(issueKeyPrefix):]); err == nil {
+			out = append(out, iss)
+		}
+		return true
+	})
+	return out
+}
+
+// CorpusBytes concatenates key and canonical value of every issue in
+// first-Put order — the byte-level corpus fingerprint the crash-recovery
+// experiment compares between a clean mine and a kill-and-resume mine.
+func (ds *DurableStore) CorpusBytes() []byte {
+	var buf []byte
+	ds.d.Range(func(k string, v []byte) bool {
+		if !strings.HasPrefix(k, issueKeyPrefix) {
+			return true
+		}
+		buf = append(buf, k...)
+		buf = append(buf, '\n')
+		buf = append(buf, v...)
+		buf = append(buf, '\n')
+		return true
+	})
+	return buf
+}
+
+// Durable exposes the underlying durable store (recovery stats, manual
+// snapshots).
+func (ds *DurableStore) Durable() *durable.Store { return ds.d }
+
+// Close closes the underlying durable store, releasing its journal and
+// lock.
+func (ds *DurableStore) Close() error { return ds.d.Close() }

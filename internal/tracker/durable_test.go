@@ -1,0 +1,146 @@
+package tracker
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"sdnbugs/internal/diskfault"
+	"sdnbugs/internal/durable"
+)
+
+func sampleIssue(id string) Issue {
+	return Issue{
+		ID:             id,
+		Controller:     ONOS,
+		ControllerName: "ONOS",
+		Title:          "switch reconnect loops forever",
+		Description:    "after mastership change the switch never resyncs",
+		Comments: []Comment{
+			{Author: "alice", Body: "reproduced on 3-node cluster", Created: time.Date(2019, 3, 2, 10, 0, 0, 0, time.UTC)},
+		},
+		Severity: SeverityCritical,
+		Status:   StatusResolved,
+		Created:  time.Date(2019, 3, 1, 9, 30, 0, 0, time.UTC),
+		Resolved: time.Date(2019, 4, 1, 12, 0, 0, 0, time.UTC),
+		Labels:   []string{"bug", "cluster"},
+		FixRef:   "gerrit/21112",
+	}
+}
+
+func TestIssueCodecRoundTrip(t *testing.T) {
+	want := sampleIssue("ONOS-1234")
+	data, err := EncodeIssue(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeIssue(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := EncodeIssue(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The canonical property: decode followed by encode is the identity
+	// on bytes, so persisted corpora can be compared byte-for-byte.
+	if !bytes.Equal(data, again) {
+		t.Fatalf("encoding not canonical:\n%s\nvs\n%s", data, again)
+	}
+	if got.ID != want.ID || got.Severity != want.Severity || got.Status != want.Status ||
+		got.Controller != want.Controller || !got.Created.Equal(want.Created) {
+		t.Errorf("round trip lost fields: %+v", got)
+	}
+	if len(got.Comments) != 1 || got.Comments[0].Author != "alice" {
+		t.Errorf("comments lost: %+v", got.Comments)
+	}
+}
+
+func TestIssueCodecUnknownEnums(t *testing.T) {
+	iss := Issue{ID: "FAUCET#7", Controller: FAUCET, Title: "t",
+		Created: time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)}
+	// Severity and status deliberately unknown (pre-extraction GitHub).
+	data, err := EncodeIssue(iss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeIssue(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Severity != SeverityUnknown || got.Status != StatusUnknown {
+		t.Errorf("unknown enums not preserved: %+v", got)
+	}
+	if _, err := DecodeIssue([]byte(`{"id":"x","controller":"ONOS","severity":"catastrophic","status":"open"}`)); err == nil {
+		t.Error("bogus severity accepted")
+	}
+	if _, err := DecodeIssue([]byte(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestParseStatus(t *testing.T) {
+	for _, s := range []Status{StatusOpen, StatusInProgress, StatusResolved, StatusClosed} {
+		got, err := ParseStatus(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseStatus(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseStatus("nonsense"); err == nil {
+		t.Error("ParseStatus accepted nonsense")
+	}
+}
+
+func TestDurableStoreReloadsInOrder(t *testing.T) {
+	mem := diskfault.NewMemFS()
+	d, err := durable.Open("state", durable.Options{FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := NewDurableStore(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{"ONOS-3", "ONOS-1", "CORD-2"}
+	for _, id := range ids {
+		iss := sampleIssue(id)
+		if id == "CORD-2" {
+			iss.Controller = CORD
+		}
+		if err := ds.Put(iss); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ds.SaveCursor("jira", []byte(`{"start_at":3}`)); err != nil {
+		t.Fatal(err)
+	}
+	fingerprint := ds.CorpusBytes()
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := durable.Open("state", durable.Options{FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := NewDurableStore(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ds2.Close() }()
+	if ds2.Len() != 3 {
+		t.Fatalf("reloaded %d issues, want 3", ds2.Len())
+	}
+	got := ds2.IssuesInOrder()
+	for i, iss := range got {
+		if iss.ID != ids[i] {
+			t.Errorf("order[%d] = %s, want %s (mining order must survive reload)", i, iss.ID, ids[i])
+		}
+	}
+	if cur, ok := ds2.Cursor("jira"); !ok || string(cur) != `{"start_at":3}` {
+		t.Errorf("cursor lost: %q, %v", cur, ok)
+	}
+	if !bytes.Equal(ds2.CorpusBytes(), fingerprint) {
+		t.Error("corpus fingerprint changed across reload")
+	}
+}

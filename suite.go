@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"sdnbugs/internal/corpus"
 	"sdnbugs/internal/engine"
@@ -16,7 +17,7 @@ import (
 // ExperimentResult is one reproduced table or figure with its
 // paper-vs-measured checks and renderable artifacts.
 type ExperimentResult struct {
-	// ID is the experiment id from DESIGN.md (E01..E22).
+	// ID is the experiment id from DESIGN.md (E01..E23).
 	ID string
 	// Title names the paper artifact.
 	Title string
@@ -170,7 +171,7 @@ func (s *Suite) Validator() (*study.Validator, error) {
 	return s.validator, s.valErr
 }
 
-// Registry returns the suite's experiment registry: E01–E22 and
+// Registry returns the suite's experiment registry: E01–E23 and
 // A01–A07 in paper order, each bound to this suite's shared
 // artifacts. The registry is built once and shared; it is safe for
 // concurrent lookups and selection.
@@ -181,6 +182,7 @@ func (s *Suite) Registry() *engine.Registry[ExperimentResult] {
 		s.registerSystemsExperiments(r)
 		s.registerResilienceExperiments(r)
 		s.registerSuperviseExperiments(r)
+		s.registerDurabilityExperiments(r)
 		s.registerAblations(r)
 		s.reg = r
 	})
@@ -221,6 +223,11 @@ type RunOptions struct {
 	// Parallelism bounds the engine's worker pool; <= 0 means
 	// GOMAXPROCS. Results come back in registration order either way.
 	Parallelism int
+	// ExperimentTimeout bounds each experiment's wall-clock time when
+	// positive; an experiment still running at the deadline is reported
+	// errored (context.DeadlineExceeded) while the rest of the batch
+	// continues. 0 means no bound.
+	ExperimentTimeout time.Duration
 	// OnEvent streams per-experiment start/finish events.
 	OnEvent func(engine.Event)
 }
@@ -245,9 +252,10 @@ func (s *Suite) Run(ctx context.Context, opts RunOptions) (engine.Run[Experiment
 		}
 	}
 	runner := &engine.Runner[ExperimentResult]{
-		Parallelism: opts.Parallelism,
-		Checks:      countChecks,
-		OnEvent:     opts.OnEvent,
+		Parallelism:       opts.Parallelism,
+		Checks:            countChecks,
+		OnEvent:           opts.OnEvent,
+		ExperimentTimeout: opts.ExperimentTimeout,
 	}
 	return runner.Run(ctx, exps)
 }
@@ -263,7 +271,7 @@ func (s *Suite) runKind(k engine.Kind) ([]ExperimentResult, error) {
 	return run.Results()
 }
 
-// Experiments runs every experiment (E01–E22) in order. It is a thin
+// Experiments runs every experiment (E01–E23) in order. It is a thin
 // sequential wrapper over Run; use Run directly for parallelism,
 // ID selection and per-experiment outcomes.
 func (s *Suite) Experiments() ([]ExperimentResult, error) {

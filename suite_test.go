@@ -62,6 +62,7 @@ func TestFastExperimentsHold(t *testing.T) {
 		sharedSuite.E20CrossDomainComparison,
 		sharedSuite.E21ResilientMining,
 		sharedSuite.E22SelfHealingCampaign,
+		sharedSuite.E23KillAndResumeMining,
 	}
 	for _, run := range runs {
 		res, err := run()
