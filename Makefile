@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-smoke fuzz verify
+.PHONY: build vet test race bench bench-smoke bench-tracker-smoke fuzz verify
 
 build:
 	$(GO) build ./...
@@ -32,12 +32,23 @@ bench:
 bench-smoke:
 	$(GO) test -run='^$$' -bench 'BenchmarkE09|BenchmarkSuite' -benchtime 1x .
 
+# bench-tracker-smoke drives the whole served-tracker stack at small
+# scale — multi-tenant service, WAL group commit, kill-and-resume
+# miners, TakeOver recovery, report generation — as the CI guard for
+# `trackersim load`. The full run (BENCH_tracker.json) uses
+# -tenants 4 -miners 100.
+bench-tracker-smoke:
+	$(GO) run ./cmd/trackersim load -tenants 2 -miners 8 -rate 500 -burst 50 \
+		-max-inflight 64 -bench-appends 400 -out /tmp/BENCH_tracker_smoke.json
+
 # Fuzz the parsers that face untrusted bytes, briefly: malformed
 # OpenFlow frames must produce typed errors, never panics or
-# over-allocation, and the journal replayer must recover exactly the
-# longest valid prefix of an arbitrarily mangled write-ahead log.
+# over-allocation, the journal replayer must recover exactly the
+# longest valid prefix of an arbitrarily mangled write-ahead log, and
+# the canonical issue codec must stay a byte-stable fixed point.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeMessage -fuzztime=10s ./internal/openflow/
 	$(GO) test -run='^$$' -fuzz=FuzzJournalReplay -fuzztime=10s ./internal/durable/
+	$(GO) test -run='^$$' -fuzz=FuzzIssueCodec -fuzztime=10s ./internal/tracker/
 
 verify: build vet test race

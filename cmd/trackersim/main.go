@@ -1,20 +1,28 @@
 // Command trackersim serves the study's bug corpus behind the JIRA-like
 // and GitHub-like REST APIs, so the mining pipeline (or curl) can be
-// exercised against live endpoints:
+// exercised against live endpoints. It has three modes:
+//
+// Legacy dual-port mode (no subcommand) — one in-memory JIRA simulator
+// and one GitHub simulator:
 //
 //	trackersim -seed 1 -jira :8081 -github :8082
-//
-// With -chaos-rate > 0 both endpoints are wrapped in the deterministic
-// fault injector (rate limits, 5xx bursts, latency spikes, truncated
-// bodies, dropped connections), seeded by -chaos-seed — a live target
-// for exercising retrying clients:
-//
 //	trackersim -seed 1 -chaos-rate 0.3 -chaos-seed 7
 //
-// Try:
+// Served-tracker mode — one multi-tenant trackerd service hosting
+// N tenants × {JIRA, GitHub} projects, each on its own crash-consistent
+// durable shard with WAL group commit, per-tenant rate limits, and a
+// /metricz scrape endpoint:
 //
-//	curl 'http://localhost:8081/rest/api/2/search?project=ONOS&maxResults=2'
-//	curl 'http://localhost:8082/repos/faucetsdn/faucet/issues?per_page=2'
+//	trackersim serve -addr :8080 -tenants 2 -state ./tracker-state
+//	curl 'http://localhost:8080/t/t0/bugs/rest/api/2/search?maxResults=2'
+//	curl 'http://localhost:8080/metricz'
+//
+// Load-generator mode — boots a served tracker in-process, drives many
+// concurrent checkpoint/resume miners against its tenant shards
+// (killing and taking over every miner's durable state mid-run), then
+// writes a benchmark report:
+//
+//	trackersim load -tenants 4 -miners 100 -out BENCH_tracker.json
 package main
 
 import (
@@ -35,19 +43,32 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	args := os.Args[1:]
+	var err error
+	switch {
+	case len(args) > 0 && args[0] == "serve":
+		err = runServe(args[1:])
+	case len(args) > 0 && args[0] == "load":
+		err = runLoad(args[1:], os.Stdout)
+	default:
+		err = runLegacy(args)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "trackersim:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	seed := flag.Int64("seed", 1, "corpus seed")
-	jiraAddr := flag.String("jira", ":8081", "JIRA simulator listen address")
-	ghAddr := flag.String("github", ":8082", "GitHub simulator listen address")
-	chaosRate := flag.Float64("chaos-rate", 0, "per-request fault injection probability in [0,1]; 0 disables chaos")
-	chaosSeed := flag.Int64("chaos-seed", 1, "fault injection schedule seed")
-	flag.Parse()
+func runLegacy(args []string) error {
+	fs := flag.NewFlagSet("trackersim", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "corpus seed")
+	jiraAddr := fs.String("jira", ":8081", "JIRA simulator listen address")
+	ghAddr := fs.String("github", ":8082", "GitHub simulator listen address")
+	chaosRate := fs.Float64("chaos-rate", 0, "per-request fault injection probability in [0,1]; 0 disables chaos")
+	chaosSeed := fs.Int64("chaos-seed", 1, "fault injection schedule seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	corp, err := corpus.Generate(*seed)
 	if err != nil {

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadSmoke drives the whole served-tracker load path end to end
+// at a small scale: boot the multi-tenant service, seed it, run
+// kill-and-resume miners against every tenant shard, recover the
+// server with TakeOver, compare group-commit throughput, and write the
+// report.
+func TestLoadSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_tracker.json")
+	var buf bytes.Buffer
+	err := runLoad([]string{
+		"-tenants", "2",
+		"-miners", "6",
+		"-rate", "500",
+		"-burst", "50",
+		"-max-inflight", "64",
+		"-bench-appends", "200",
+		"-out", out,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("load run failed: %v\n%s", err, buf.String())
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if report.Miners != 6 || report.Tenants != 2 || report.Shards != 4 {
+		t.Errorf("report shape: %+v", report)
+	}
+	if report.IssuesMined == 0 || report.IssuesPerSec <= 0 {
+		t.Errorf("no mining throughput recorded: %+v", report)
+	}
+	if report.Latency.Count == 0 {
+		t.Error("no request latency observed")
+	}
+	if report.MinerRecover.Count != 6 || report.MinerRecover.MaxMS <= 0 {
+		t.Errorf("miner recovery not measured: %+v", report.MinerRecover)
+	}
+	if report.ServerRecover.RecordsRecovered == 0 {
+		t.Errorf("server recovery recovered nothing: %+v", report.ServerRecover)
+	}
+	if report.GroupCommit.GroupCommitPerSec <= 0 || report.GroupCommit.PerAppendFsyncPerSec <= 0 {
+		t.Errorf("group-commit comparison missing: %+v", report.GroupCommit)
+	}
+	if !strings.Contains(buf.String(), "report written") {
+		t.Errorf("summary output missing: %q", buf.String())
+	}
+}

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"time"
+
+	"sdnbugs/internal/chaos"
+	"sdnbugs/internal/corpus"
+	"sdnbugs/internal/diskfault"
+	"sdnbugs/internal/durable"
+	"sdnbugs/internal/tracker"
+	"sdnbugs/internal/trackerd"
+)
+
+// tenantLayout builds the standard tenant fleet: t0..t{n-1}, each
+// hosting a JIRA-dialect "bugs" project and a GitHub-dialect "faucet"
+// project on separate durable shards.
+func tenantLayout(n int, rate float64, burst, maxInflight int) []trackerd.TenantConfig {
+	tenants := make([]trackerd.TenantConfig, 0, n)
+	for i := 0; i < n; i++ {
+		tenants = append(tenants, trackerd.TenantConfig{
+			Name:        fmt.Sprintf("t%d", i),
+			RatePerSec:  rate,
+			Burst:       burst,
+			MaxInflight: maxInflight,
+			Projects: []trackerd.ProjectConfig{
+				{Name: "bugs", Dialect: trackerd.DialectJIRA},
+				{Name: "faucet", Dialect: trackerd.DialectGitHub, Repo: "faucetsdn/faucet", Controller: "FAUCET"},
+			},
+		})
+	}
+	return tenants
+}
+
+// seedService generates a deterministic per-tenant corpus (seed+index)
+// and writes it into each tenant's shards through a pool of concurrent
+// writers, so the WAL group committer gets real batching to do. It
+// returns per-tenant corpus sizes.
+func seedService(svc *trackerd.Service, tenants int, seed int64) (perTenant []int, err error) {
+	perTenant = make([]int, tenants)
+	for i := 0; i < tenants; i++ {
+		corp, err := corpus.Generate(seed + int64(i))
+		if err != nil {
+			return nil, err
+		}
+		perTenant[i] = len(corp.Issues)
+		name := fmt.Sprintf("t%d", i)
+		jira := svc.Shard(name, "bugs")
+		faucet := svc.Shard(name, "faucet")
+		const writers = 8
+		work := make(chan tracker.Issue, writers)
+		errc := make(chan error, writers)
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for iss := range work {
+					shard := faucet
+					if tracker.TrackerFor(iss.Controller) == tracker.KindJIRA {
+						shard = jira
+					}
+					if err := shard.DS.Put(iss); err != nil {
+						select {
+						case errc <- err:
+						default:
+						}
+						return
+					}
+				}
+			}()
+		}
+		for _, iss := range corp.Issues {
+			work <- iss
+		}
+		close(work)
+		wg.Wait()
+		select {
+		case err := <-errc:
+			return nil, fmt.Errorf("seed tenant %s: %w", name, err)
+		default:
+		}
+	}
+	return perTenant, nil
+}
+
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("trackersim serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	state := fs.String("state", "", "state directory for the durable shards; empty serves from a process-lifetime in-memory filesystem")
+	tenants := fs.Int("tenants", 2, "number of tenants (t0..tN-1), each with a JIRA and a GitHub project shard")
+	seed := fs.Int64("seed", 1, "corpus seed (tenant i is seeded with seed+i)")
+	noSeed := fs.Bool("no-seed", false, "skip corpus seeding (serve whatever the state directory already holds)")
+	rate := fs.Float64("rate", 0, "per-tenant sustained requests/sec (token bucket); 0 = unlimited")
+	burst := fs.Int("burst", 50, "per-tenant burst size when -rate is set")
+	maxInflight := fs.Int("max-inflight", 0, "per-tenant concurrent request cap (backpressure); 0 = unlimited")
+	groupCommit := fs.Bool("group-commit", true, "batch concurrent shard writes into one fsync")
+	groupWindow := fs.Duration("group-window", 0, "how long a WAL flush lingers for stragglers (0 = batch from natural concurrency only)")
+	takeOver := fs.Bool("take-over", false, "break a stale shard lock left by a crashed process")
+	chaosRate := fs.Float64("chaos-rate", 0, "per-request fault injection probability in [0,1]; 0 disables chaos")
+	chaosSeed := fs.Int64("chaos-seed", 1, "fault injection schedule seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var shardFS diskfault.FS
+	root := *state
+	if root == "" {
+		shardFS = diskfault.NewMemFS()
+		root = "trackersim"
+	}
+	svc, err := trackerd.New(trackerd.Config{
+		Root: root,
+		Durable: durable.Options{
+			FS:          shardFS,
+			GroupCommit: *groupCommit,
+			GroupWindow: *groupWindow,
+			TakeOver:    *takeOver,
+		},
+		Tenants: tenantLayout(*tenants, *rate, *burst, *maxInflight),
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = svc.Close() }()
+
+	seeded := 0
+	if !*noSeed {
+		perTenant, err := seedService(svc, *tenants, *seed)
+		if err != nil {
+			return err
+		}
+		for _, n := range perTenant {
+			seeded += n
+		}
+	}
+
+	var handler http.Handler = svc
+	if *chaosRate > 0 {
+		handler = chaos.Wrap(handler, chaos.Config{Seed: *chaosSeed, Rate: *chaosRate})
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("trackersim: serving %d tenants (%d issues seeded) on %s; /metricz and /healthz are live\n",
+		*tenants, seeded, *addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(shutdownCtx)
+	return nil
+}

@@ -35,6 +35,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"sdnbugs/internal/diskfault"
 )
@@ -80,6 +81,15 @@ type Options struct {
 	// resuming after a crash that never released the lock. It must only
 	// be set when the previous owner is known to be dead.
 	TakeOver bool
+	// GroupCommit batches concurrent Puts into one journal append and
+	// one fsync (see groupcommit.go). Durability semantics are
+	// unchanged; only the fsync amortization differs.
+	GroupCommit bool
+	// GroupWindow, when GroupCommit is set, lets each flush linger this
+	// long so more writers can join the batch. 0 flushes as soon as the
+	// committer drains the queue (batching from natural concurrency
+	// only), which is the right default for low-latency serving.
+	GroupWindow time.Duration
 }
 
 // RecoveryStats describes what Open had to do.
@@ -108,9 +118,13 @@ type Store struct {
 	journal       diskfault.File
 	journalSize   int64
 	putsSinceSnap int
+	singleAppends uint64 // acknowledged appends in single-put mode
 	closed        bool
 	broken        error // set when the journal can no longer be trusted
 	recovery      RecoveryStats
+
+	// gc is the group-commit state; nil in single-put mode.
+	gc *groupCommitter
 }
 
 // Open opens (creating if needed) the store in dir, recovering state
@@ -132,6 +146,9 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := s.recover(); err != nil {
 		releaseLock(fsys, dir)
 		return nil, err
+	}
+	if opts.GroupCommit {
+		s.startGroupCommit()
 	}
 	return s, nil
 }
@@ -349,12 +366,15 @@ func (s *Store) Put(key string, value []byte) error {
 	if key == "" {
 		return errors.New("durable: empty key")
 	}
+	rec := Record{Key: key, Value: append([]byte(nil), value...)}
+	if s.gc != nil {
+		return s.putGrouped(rec)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.usableLocked(); err != nil {
 		return err
 	}
-	rec := Record{Key: key, Value: append([]byte(nil), value...)}
 	buf := appendRecord(nil, rec)
 	if _, err := s.journal.Write(buf); err != nil {
 		return s.rollbackLocked(fmt.Errorf("durable: journal append: %w", err))
@@ -367,6 +387,7 @@ func (s *Store) Put(key string, value []byte) error {
 	s.journalSize += int64(len(buf))
 	s.applyLocked(rec)
 	s.putsSinceSnap++
+	s.singleAppends++
 	if s.opts.SnapshotEvery > 0 && s.putsSinceSnap >= s.opts.SnapshotEvery {
 		// The put itself is committed; a snapshot failure surfaces to the
 		// caller but leaves the store consistent (journal intact), and the
@@ -503,8 +524,11 @@ func (s *Store) snapshotLocked() error {
 
 // Close syncs and releases the journal and the lock. It is safe to
 // call after a disk crash — every release is attempted regardless of
-// earlier failures — and idempotent.
+// earlier failures — and idempotent. In group-commit mode the queued
+// batch is flushed (and its waiters released) before the journal
+// closes.
 func (s *Store) Close() error {
+	s.stopGroupCommit()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {

@@ -1,0 +1,206 @@
+package durable
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Group commit batches many concurrent Puts into one journal append
+// and one fsync. The durability contract is unchanged — a Put returns
+// only after the fsync covering its record has succeeded, and a failed
+// batch is rolled back to the pre-batch journal length so no waiter is
+// ever acknowledged ahead of the disk — but the fsync cost is
+// amortized across every writer that arrived while the previous flush
+// was in flight. Records are encoded with the exact same appendRecord
+// framing as single-put mode, so recovery, torn-tail truncation, and
+// the FuzzJournalReplay invariant apply byte-for-byte to a batched
+// journal.
+//
+// The committer is a single goroutine woken whenever work is queued.
+// Each cycle it optionally waits one commit window (Options.GroupWindow)
+// to let stragglers join, then drains the whole queue, writes the
+// concatenated records, syncs once, applies them in memory in queue
+// order, and releases the waiters.
+
+// commitWaiter is one queued Put awaiting a group flush.
+type commitWaiter struct {
+	rec  Record
+	buf  []byte // appendRecord framing, encoded outside any lock
+	done chan error
+}
+
+// groupCommitter is the group-commit state hung off a Store.
+type groupCommitter struct {
+	window time.Duration
+
+	mu     sync.Mutex
+	queue  []*commitWaiter
+	closed bool
+
+	wake chan struct{}
+	stop chan struct{}
+	done chan struct{}
+
+	// CommitStats counters.
+	batches      atomic.Uint64
+	records      atomic.Uint64
+	syncs        atomic.Uint64
+	largestBatch atomic.Uint64
+}
+
+// CommitStats reports how effectively group commit is amortizing
+// fsyncs. In single-put mode Batches == Records.
+type CommitStats struct {
+	// Batches counts flush cycles (one fsync each in group mode).
+	Batches uint64
+	// Records counts acknowledged journal records.
+	Records uint64
+	// Syncs counts journal fsyncs issued for record appends.
+	Syncs uint64
+	// LargestBatch is the biggest single flush.
+	LargestBatch uint64
+}
+
+// CommitStats returns append/fsync counters for this store.
+func (s *Store) CommitStats() CommitStats {
+	if s.gc == nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		n := s.singleAppends
+		return CommitStats{Batches: n, Records: n, Syncs: n, LargestBatch: min(n, 1)}
+	}
+	st := CommitStats{
+		Batches:      s.gc.batches.Load(),
+		Records:      s.gc.records.Load(),
+		Syncs:        s.gc.syncs.Load(),
+		LargestBatch: s.gc.largestBatch.Load(),
+	}
+	return st
+}
+
+// startGroupCommit arms the committer goroutine; called from Open when
+// Options.GroupCommit is set.
+func (s *Store) startGroupCommit() {
+	s.gc = &groupCommitter{
+		window: s.opts.GroupWindow,
+		wake:   make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go s.commitLoop()
+}
+
+// putGrouped enqueues one record and blocks until its batch is on disk.
+func (s *Store) putGrouped(rec Record) error {
+	w := &commitWaiter{rec: rec, buf: appendRecord(nil, rec), done: make(chan error, 1)}
+	s.gc.mu.Lock()
+	if s.gc.closed {
+		s.gc.mu.Unlock()
+		return ErrClosed
+	}
+	s.gc.queue = append(s.gc.queue, w)
+	s.gc.mu.Unlock()
+	select {
+	case s.gc.wake <- struct{}{}:
+	default: // a wakeup is already pending; the committer will see us
+	}
+	return <-w.done
+}
+
+// commitLoop is the committer goroutine: wait for work (or shutdown),
+// optionally linger one commit window, then flush everything queued.
+func (s *Store) commitLoop() {
+	defer close(s.gc.done)
+	for {
+		select {
+		case <-s.gc.stop:
+			s.flushBatch() // drain anything enqueued before close
+			return
+		case <-s.gc.wake:
+		}
+		if s.gc.window > 0 {
+			timer := time.NewTimer(s.gc.window)
+			select {
+			case <-s.gc.stop:
+				timer.Stop()
+				s.flushBatch()
+				return
+			case <-timer.C:
+			}
+		}
+		s.flushBatch()
+	}
+}
+
+// flushBatch commits every queued waiter in one append+fsync.
+func (s *Store) flushBatch() {
+	s.gc.mu.Lock()
+	batch := s.gc.queue
+	s.gc.queue = nil
+	s.gc.mu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+
+	s.mu.Lock()
+	if err := s.usableLocked(); err != nil {
+		s.mu.Unlock()
+		for _, w := range batch {
+			w.done <- err
+		}
+		return
+	}
+	var buf []byte
+	for _, w := range batch {
+		buf = append(buf, w.buf...)
+	}
+	var commitErr error
+	if _, err := s.journal.Write(buf); err != nil {
+		commitErr = s.rollbackLocked(fmt.Errorf("durable: journal append: %w", err))
+	} else if err := s.journal.Sync(); err != nil {
+		commitErr = s.rollbackLocked(fmt.Errorf("durable: journal sync: %w", err))
+	}
+	if commitErr == nil {
+		s.gc.syncs.Add(1)
+		s.gc.batches.Add(1)
+		s.gc.records.Add(uint64(len(batch)))
+		if n := uint64(len(batch)); n > s.gc.largestBatch.Load() {
+			s.gc.largestBatch.Store(n)
+		}
+		s.journalSize += int64(len(buf))
+		for _, w := range batch {
+			s.applyLocked(w.rec)
+		}
+		s.putsSinceSnap += len(batch)
+		if s.opts.SnapshotEvery > 0 && s.putsSinceSnap >= s.opts.SnapshotEvery {
+			// As in single-put mode, the batch itself is committed; a
+			// snapshot failure is surfaced (to every member of the batch
+			// that triggered it) while the journal stays intact.
+			commitErr = s.snapshotLocked()
+		}
+	}
+	s.mu.Unlock()
+	for _, w := range batch {
+		w.done <- commitErr
+	}
+}
+
+// stopGroupCommit flushes the queue and retires the committer; no-op
+// when group commit is off or already stopped. It must be called
+// without holding s.mu (the committer locks it to flush).
+func (s *Store) stopGroupCommit() {
+	if s.gc == nil {
+		return
+	}
+	s.gc.mu.Lock()
+	if s.gc.closed {
+		s.gc.mu.Unlock()
+		return
+	}
+	s.gc.closed = true
+	s.gc.mu.Unlock()
+	close(s.gc.stop)
+	<-s.gc.done
+}

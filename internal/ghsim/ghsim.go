@@ -4,12 +4,16 @@
 // carry no explicit severity and, for this study's purposes, no usable
 // resolution timestamp (paper §VIII), so the client recovers severity
 // with the keyword heuristic of tracker.ExtractSeverity.
+//
+// The serving logic itself lives in internal/trackerd (the shared
+// tracker engine, which also hosts the multi-tenant durable service);
+// this package is the single-store compatibility surface plus the
+// mining client.
 package ghsim
 
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -19,168 +23,33 @@ import (
 
 	"sdnbugs/internal/resilience"
 	"sdnbugs/internal/tracker"
+	"sdnbugs/internal/trackerd"
 )
 
 // Handler serves the GitHub-like API for the given store.
 type Handler struct {
-	store *tracker.Store
-	// Repo is the owner/name path the handler answers under,
-	// e.g. "faucetsdn/faucet".
-	repo string
-	mux  *http.ServeMux
+	inner http.Handler
 }
 
 var _ http.Handler = (*Handler)(nil)
 
 // NewHandler builds a Handler for the repository path owner/name.
 func NewHandler(store *tracker.Store, owner, name string) *Handler {
-	h := &Handler{store: store, repo: owner + "/" + name, mux: http.NewServeMux()}
-	h.mux.HandleFunc("GET /repos/"+owner+"/"+name+"/issues", h.handleList)
-	h.mux.HandleFunc("GET /repos/"+owner+"/"+name+"/issues/{number}", h.handleGet)
-	return h
+	return &Handler{inner: trackerd.NewGitHubHandler(
+		trackerd.StoreSource{Store: store}, owner, name, tracker.FAUCET)}
 }
 
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	h.mux.ServeHTTP(w, r)
+	h.inner.ServeHTTP(w, r)
 }
 
-// wireIssue is the GitHub issue JSON shape (subset).
-type wireIssue struct {
-	Number    int         `json:"number"`
-	Title     string      `json:"title"`
-	Body      string      `json:"body"`
-	State     string      `json:"state"`
-	CreatedAt time.Time   `json:"created_at"`
-	ClosedAt  *time.Time  `json:"closed_at"`
-	Labels    []wireLabel `json:"labels"`
-	Comments  []wireNote  `json:"comments_data,omitempty"`
-}
+// wireIssue is the GitHub issue wire shape, owned by the shared engine.
+type wireIssue = trackerd.GHIssue
 
-type wireLabel struct {
-	Name string `json:"name"`
-}
-
-type wireNote struct {
-	User      wireUser  `json:"user"`
-	Body      string    `json:"body"`
-	CreatedAt time.Time `json:"created_at"`
-}
-
-type wireUser struct {
-	Login string `json:"login"`
-}
-
-func toWire(iss tracker.Issue) (wireIssue, error) {
-	num, err := issueNumber(iss.ID)
-	if err != nil {
-		return wireIssue{}, err
-	}
-	w := wireIssue{
-		Number:    num,
-		Title:     iss.Title,
-		Body:      iss.Description,
-		State:     "open",
-		CreatedAt: iss.Created,
-	}
-	if iss.Status == tracker.StatusClosed || iss.Status == tracker.StatusResolved {
-		w.State = "closed"
-		// GitHub would expose closed_at, but as in the paper's data set
-		// the simulator's FAUCET issues carry no resolution timestamp;
-		// only set it when the store has one.
-		if !iss.Resolved.IsZero() {
-			t := iss.Resolved
-			w.ClosedAt = &t
-		}
-	}
-	for _, l := range iss.Labels {
-		w.Labels = append(w.Labels, wireLabel{Name: l})
-	}
-	for _, c := range iss.Comments {
-		w.Comments = append(w.Comments, wireNote{
-			User: wireUser{Login: c.Author}, Body: c.Body, CreatedAt: c.Created,
-		})
-	}
-	return w, nil
-}
-
-// issueNumber extracts N from IDs of the form "<project>#N".
-func issueNumber(id string) (int, error) {
-	for i := len(id) - 1; i >= 0; i-- {
-		if id[i] == '#' {
-			n, err := strconv.Atoi(id[i+1:])
-			if err != nil {
-				return 0, fmt.Errorf("ghsim: bad issue id %q: %w", id, err)
-			}
-			return n, nil
-		}
-	}
-	return 0, fmt.Errorf("ghsim: issue id %q has no number", id)
-}
-
-func (h *Handler) handleList(w http.ResponseWriter, r *http.Request) {
-	qs := r.URL.Query()
-	q := tracker.Query{Controller: tracker.FAUCET}
-	switch qs.Get("state") {
-	case "closed":
-		q.Status = tracker.StatusClosed
-	case "open":
-		q.Status = tracker.StatusOpen
-	}
-	page := atoiDefault(qs.Get("page"), 1)
-	if page < 1 {
-		page = 1
-	}
-	perPage := atoiDefault(qs.Get("per_page"), 30)
-	if perPage > 100 {
-		perPage = 100
-	}
-	q.Offset = (page - 1) * perPage
-	q.Limit = perPage
-
-	issues, _ := h.store.List(q)
-	out := make([]wireIssue, 0, len(issues))
-	for _, iss := range issues {
-		wi, err := toWire(iss)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		out = append(out, wi)
-	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(out)
-}
-
-func (h *Handler) handleGet(w http.ResponseWriter, r *http.Request) {
-	num := r.PathValue("number")
-	iss, err := h.store.Get("FAUCET#" + num)
-	if err != nil {
-		if errors.Is(err, tracker.ErrNotFound) {
-			http.Error(w, "not found", http.StatusNotFound)
-			return
-		}
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	wi, err := toWire(iss)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(wi)
-}
-
-func atoiDefault(s string, def int) int {
-	if s == "" {
-		return def
-	}
-	n, err := strconv.Atoi(s)
-	if err != nil {
-		return def
-	}
-	return n
+// fromWire converts a GitHub wire issue to the neutral FAUCET model.
+func fromWire(wi wireIssue) tracker.Issue {
+	return trackerd.FromGHWire(wi, tracker.FAUCET)
 }
 
 // Client hardening defaults (mirroring jirasim).
@@ -346,33 +215,4 @@ func (c *Client) fetchPage(ctx context.Context, state string, page, perPage int)
 		out = append(out, fromWire(wi))
 	}
 	return out, nil
-}
-
-func fromWire(wi wireIssue) tracker.Issue {
-	iss := tracker.Issue{
-		ID:          fmt.Sprintf("FAUCET#%d", wi.Number),
-		Controller:  tracker.FAUCET,
-		Title:       wi.Title,
-		Description: wi.Body,
-		Created:     wi.CreatedAt,
-		Status:      tracker.StatusOpen,
-	}
-	if wi.State == "closed" {
-		iss.Status = tracker.StatusClosed
-		if wi.ClosedAt != nil {
-			iss.Resolved = *wi.ClosedAt
-		}
-	}
-	for _, l := range wi.Labels {
-		iss.Labels = append(iss.Labels, l.Name)
-	}
-	for _, c := range wi.Comments {
-		iss.Comments = append(iss.Comments, tracker.Comment{
-			Author: c.User.Login, Body: c.Body, Created: c.CreatedAt,
-		})
-	}
-	// GitHub has no severity field: apply the keyword heuristic of the
-	// paper's methodology (§II-B).
-	iss.Severity = tracker.ExtractSeverity(iss.Text())
-	return iss
 }

@@ -7,24 +7,13 @@ import (
 	"net/http/httptest"
 	"reflect"
 	"strings"
-	"sync/atomic"
 	"testing"
 	"time"
 
 	"sdnbugs/internal/chaos"
-	"sdnbugs/internal/resilience"
 	"sdnbugs/internal/tracker"
+	"sdnbugs/internal/trackertest"
 )
-
-func resilientClient() (*http.Client, *resilience.Transport) {
-	rt := resilience.NewTransport(nil, resilience.Policy{
-		MaxAttempts:   8,
-		BaseDelay:     100 * time.Microsecond,
-		MaxDelay:      time.Millisecond,
-		MaxRetryAfter: 5 * time.Millisecond,
-	}, nil)
-	return &http.Client{Transport: rt}, rt
-}
 
 func TestMiningUnderChaosIsByteIdentical(t *testing.T) {
 	srv, store := newServer(t)
@@ -39,7 +28,7 @@ func TestMiningUnderChaosIsByteIdentical(t *testing.T) {
 		Seed: 17, Rate: 0.5, RetryAfter: time.Millisecond, Latency: time.Millisecond,
 	}))
 	defer flaky.Close()
-	hc, rt := resilientClient()
+	hc, rt := trackertest.ResilientClient()
 	got, err := (&Client{BaseURL: flaky.URL, Repo: "faucetsdn/faucet",
 		HTTPClient: hc, PerPage: 1}).FetchAll(context.Background(), "")
 	if err != nil {
@@ -72,17 +61,7 @@ func TestResumeContinuesFromLastCompletedPage(t *testing.T) {
 	}
 
 	// Serve two pages, then fail until healed.
-	var down atomic.Bool
-	down.Store(true)
-	var pageHits atomic.Int32
-	gate := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if pageHits.Add(1) > 2 && down.Load() {
-			http.Error(w, "outage", http.StatusBadGateway)
-			return
-		}
-		NewHandler(store, "faucetsdn", "faucet").ServeHTTP(w, r)
-	}))
-	defer gate.Close()
+	gate, heal := trackertest.Gate(t, NewHandler(store, "faucetsdn", "faucet"), 2)
 
 	c := Client{BaseURL: gate.URL, Repo: "faucetsdn/faucet",
 		HTTPClient: &http.Client{}, PerPage: 20}
@@ -93,7 +72,7 @@ func TestResumeContinuesFromLastCompletedPage(t *testing.T) {
 	if cur.Page != 3 || len(cur.Issues) != 40 {
 		t.Fatalf("cursor after failure: page=%d issues=%d, want 3/40", cur.Page, len(cur.Issues))
 	}
-	down.Store(false)
+	heal()
 	if err := c.Resume(ctx, "", &cur); err != nil {
 		t.Fatalf("resume after heal: %v", err)
 	}

@@ -7,26 +7,13 @@ import (
 	"net/http/httptest"
 	"reflect"
 	"strings"
-	"sync/atomic"
 	"testing"
 	"time"
 
 	"sdnbugs/internal/chaos"
-	"sdnbugs/internal/resilience"
 	"sdnbugs/internal/tracker"
+	"sdnbugs/internal/trackertest"
 )
-
-// resilientClient builds a fast retrying client whose attempt budget
-// exceeds the chaos progress bound, so every page eventually lands.
-func resilientClient() (*http.Client, *resilience.Transport) {
-	rt := resilience.NewTransport(nil, resilience.Policy{
-		MaxAttempts:   8,
-		BaseDelay:     100 * time.Microsecond,
-		MaxDelay:      time.Millisecond,
-		MaxRetryAfter: 5 * time.Millisecond,
-	}, nil)
-	return &http.Client{Transport: rt}, rt
-}
 
 func TestMiningUnderChaosIsByteIdentical(t *testing.T) {
 	// The tentpole property: aggressive fault injection changes the
@@ -43,7 +30,7 @@ func TestMiningUnderChaosIsByteIdentical(t *testing.T) {
 		Seed: 11, Rate: 0.5, RetryAfter: time.Millisecond, Latency: time.Millisecond,
 	}))
 	defer flaky.Close()
-	hc, rt := resilientClient()
+	hc, rt := trackertest.ResilientClient()
 	got, err := (&Client{BaseURL: flaky.URL, HTTPClient: hc, PageSize: 2}).FetchAll(
 		context.Background(), SearchOptions{})
 	if err != nil {
@@ -77,17 +64,7 @@ func TestResumeContinuesFromLastCompletedPage(t *testing.T) {
 	}
 
 	// A gate that serves two pages, then fails until healed.
-	var down atomic.Bool
-	down.Store(true)
-	var pageHits atomic.Int32
-	gate := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if pageHits.Add(1) > 2 && down.Load() {
-			http.Error(w, "outage", http.StatusBadGateway)
-			return
-		}
-		NewHandler(store).ServeHTTP(w, r)
-	}))
-	defer gate.Close()
+	gate, heal := trackertest.Gate(t, NewHandler(store), 2)
 
 	// Plain client (no retries) so the outage surfaces immediately.
 	c := Client{BaseURL: gate.URL, HTTPClient: &http.Client{}, PageSize: 25}
@@ -98,7 +75,7 @@ func TestResumeContinuesFromLastCompletedPage(t *testing.T) {
 	if cur.StartAt != 50 || len(cur.Results) != 50 {
 		t.Fatalf("cursor after failure: startAt=%d results=%d, want 50/50", cur.StartAt, len(cur.Results))
 	}
-	down.Store(false)
+	heal()
 	if err := c.Resume(ctx, SearchOptions{}, &cur); err != nil {
 		t.Fatalf("resume after heal: %v", err)
 	}

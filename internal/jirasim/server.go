@@ -5,272 +5,45 @@
 // enough that the mining code path (search, pagination, severity
 // filters, resolution timestamps) is exercised exactly as it would be
 // against the real service.
+//
+// The serving logic itself lives in internal/trackerd (the shared
+// tracker engine, which also hosts the multi-tenant durable service);
+// this package is the single-store compatibility surface plus the
+// mining client.
 package jirasim
 
 import (
-	"encoding/json"
-	"errors"
-	"fmt"
 	"net/http"
-	"strconv"
-	"strings"
-	"time"
 
 	"sdnbugs/internal/tracker"
+	"sdnbugs/internal/trackerd"
 )
-
-// jiraTime is JIRA's timestamp format.
-const jiraTime = "2006-01-02T15:04:05.000-0700"
 
 // Handler serves the JIRA-like API for the given store.
 type Handler struct {
-	store *tracker.Store
-	mux   *http.ServeMux
+	inner http.Handler
 }
 
 var _ http.Handler = (*Handler)(nil)
 
 // NewHandler builds a Handler backed by store.
 func NewHandler(store *tracker.Store) *Handler {
-	h := &Handler{store: store, mux: http.NewServeMux()}
-	h.mux.HandleFunc("GET /rest/api/2/search", h.handleSearch)
-	h.mux.HandleFunc("GET /rest/api/2/issue/{key}", h.handleIssue)
-	return h
+	return &Handler{inner: trackerd.NewJIRAHandler(trackerd.StoreSource{Store: store})}
 }
 
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	h.mux.ServeHTTP(w, r)
+	h.inner.ServeHTTP(w, r)
 }
 
-// wireIssue is the JIRA issue JSON shape.
-type wireIssue struct {
-	Key    string     `json:"key"`
-	Fields wireFields `json:"fields"`
-}
-
-type wireFields struct {
-	Summary        string       `json:"summary"`
-	Description    string       `json:"description"`
-	Priority       wireNamed    `json:"priority"`
-	Status         wireNamed    `json:"status"`
-	Project        wireNamed    `json:"project"`
-	Created        string       `json:"created"`
-	ResolutionDate string       `json:"resolutiondate,omitempty"`
-	Labels         []string     `json:"labels,omitempty"`
-	Comment        wireComments `json:"comment"`
-}
-
-type wireNamed struct {
-	Name string `json:"name"`
-}
-
-type wireComments struct {
-	Comments []wireComment `json:"comments"`
-	Total    int           `json:"total"`
-}
-
-type wireComment struct {
-	Author  wireNamed `json:"author"`
-	Body    string    `json:"body"`
-	Created string    `json:"created"`
-}
-
-type searchResponse struct {
-	StartAt    int         `json:"startAt"`
-	MaxResults int         `json:"maxResults"`
-	Total      int         `json:"total"`
-	Issues     []wireIssue `json:"issues"`
-}
-
-func toWire(iss tracker.Issue) wireIssue {
-	w := wireIssue{
-		Key: iss.ID,
-		Fields: wireFields{
-			Summary:     iss.Title,
-			Description: iss.Description,
-			Priority:    wireNamed{Name: severityToPriority(iss.Severity)},
-			Status:      wireNamed{Name: statusName(iss.Status)},
-			Project:     wireNamed{Name: iss.Controller.String()},
-			Created:     iss.Created.Format(jiraTime),
-			Labels:      iss.Labels,
-		},
-	}
-	if !iss.Resolved.IsZero() {
-		w.Fields.ResolutionDate = iss.Resolved.Format(jiraTime)
-	}
-	for _, c := range iss.Comments {
-		w.Fields.Comment.Comments = append(w.Fields.Comment.Comments, wireComment{
-			Author:  wireNamed{Name: c.Author},
-			Body:    c.Body,
-			Created: c.Created.Format(jiraTime),
-		})
-	}
-	w.Fields.Comment.Total = len(w.Fields.Comment.Comments)
-	return w
-}
-
-func severityToPriority(s tracker.Severity) string {
-	switch s {
-	case tracker.SeverityBlocker:
-		return "Blocker"
-	case tracker.SeverityCritical:
-		return "Critical"
-	case tracker.SeverityMajor:
-		return "Major"
-	case tracker.SeverityMinor:
-		return "Minor"
-	default:
-		return "Trivial"
-	}
-}
-
-func priorityToSeverity(name string) tracker.Severity {
-	switch strings.ToLower(name) {
-	case "blocker":
-		return tracker.SeverityBlocker
-	case "critical":
-		return tracker.SeverityCritical
-	case "major":
-		return tracker.SeverityMajor
-	case "minor":
-		return tracker.SeverityMinor
-	default:
-		return tracker.SeverityTrivial
-	}
-}
-
-func statusName(s tracker.Status) string {
-	switch s {
-	case tracker.StatusClosed:
-		return "Closed"
-	case tracker.StatusResolved:
-		return "Resolved"
-	case tracker.StatusInProgress:
-		return "In Progress"
-	default:
-		return "Open"
-	}
-}
-
-func parseStatus(name string) tracker.Status {
-	switch strings.ToLower(name) {
-	case "closed":
-		return tracker.StatusClosed
-	case "resolved":
-		return tracker.StatusResolved
-	case "in progress", "in-progress":
-		return tracker.StatusInProgress
-	case "open":
-		return tracker.StatusOpen
-	default:
-		return tracker.StatusUnknown
-	}
-}
-
-func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
-	q := tracker.Query{}
-	qs := r.URL.Query()
-	if p := qs.Get("project"); p != "" {
-		ctl, err := tracker.ParseController(p)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		q.Controller = ctl
-	}
-	if sev := qs.Get("severity"); sev != "" {
-		s, err := tracker.ParseSeverity(strings.ToLower(sev))
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		q.MinSeverity = s
-	}
-	if st := qs.Get("status"); st != "" {
-		q.Status = parseStatus(st)
-	}
-	q.Offset = atoiDefault(qs.Get("startAt"), 0)
-	q.Limit = atoiDefault(qs.Get("maxResults"), 50)
-	if q.Limit > 200 {
-		q.Limit = 200
-	}
-
-	issues, total := h.store.List(q)
-	resp := searchResponse{
-		StartAt:    q.Offset,
-		MaxResults: q.Limit,
-		Total:      total,
-	}
-	for _, iss := range issues {
-		resp.Issues = append(resp.Issues, toWire(iss))
-	}
-	writeJSON(w, resp)
-}
-
-func (h *Handler) handleIssue(w http.ResponseWriter, r *http.Request) {
-	key := r.PathValue("key")
-	iss, err := h.store.Get(key)
-	if err != nil {
-		if errors.Is(err, tracker.ErrNotFound) {
-			http.Error(w, "issue not found", http.StatusNotFound)
-			return
-		}
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	writeJSON(w, toWire(iss))
-}
-
-func atoiDefault(s string, def int) int {
-	if s == "" {
-		return def
-	}
-	n, err := strconv.Atoi(s)
-	if err != nil || n < 0 {
-		return def
-	}
-	return n
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		// Headers are already written; nothing more we can do.
-		return
-	}
-}
+// wireIssue and searchResponse are the JIRA wire shapes, owned by the
+// shared engine.
+type (
+	wireIssue      = trackerd.JIRAIssue
+	searchResponse = trackerd.JIRASearchResponse
+)
 
 // fromWire converts a JIRA wire issue back to the neutral model.
 func fromWire(wi wireIssue) (tracker.Issue, error) {
-	iss := tracker.Issue{
-		ID:          wi.Key,
-		Title:       wi.Fields.Summary,
-		Description: wi.Fields.Description,
-		Severity:    priorityToSeverity(wi.Fields.Priority.Name),
-		Status:      parseStatus(wi.Fields.Status.Name),
-		Labels:      wi.Fields.Labels,
-	}
-	if ctl, err := tracker.ParseController(wi.Fields.Project.Name); err == nil {
-		iss.Controller = ctl
-	}
-	var err error
-	if iss.Created, err = time.Parse(jiraTime, wi.Fields.Created); err != nil {
-		return iss, fmt.Errorf("jirasim: bad created time %q: %w", wi.Fields.Created, err)
-	}
-	if wi.Fields.ResolutionDate != "" {
-		if iss.Resolved, err = time.Parse(jiraTime, wi.Fields.ResolutionDate); err != nil {
-			return iss, fmt.Errorf("jirasim: bad resolution time %q: %w", wi.Fields.ResolutionDate, err)
-		}
-	}
-	for _, c := range wi.Fields.Comment.Comments {
-		created, err := time.Parse(jiraTime, c.Created)
-		if err != nil {
-			return iss, fmt.Errorf("jirasim: bad comment time %q: %w", c.Created, err)
-		}
-		iss.Comments = append(iss.Comments, tracker.Comment{
-			Author: c.Author.Name, Body: c.Body, Created: created,
-		})
-	}
-	return iss, nil
+	return trackerd.FromJIRAWire(wi)
 }

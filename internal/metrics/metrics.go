@@ -1,0 +1,239 @@
+// Package metrics is a lightweight, dependency-free metrics registry
+// for the served tracker stack: monotonic counters, fixed-bucket
+// latency histograms with quantile estimation, and gauge functions
+// evaluated at scrape time (the hook that lets the registry surface
+// stats owned elsewhere — durable commit counters, resilient-transport
+// retry counts — without those packages importing this one).
+//
+// A Registry serializes to a stable JSON document and doubles as an
+// http.Handler, so mounting it at /metricz gives the served tracker a
+// live scrape endpoint; the load generator reads the same snapshot to
+// publish BENCH_tracker.json.
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// histBuckets are the histogram's upper bounds in milliseconds:
+// 0.05ms up to ~26s, doubling each bucket, plus a +Inf overflow. The
+// range covers everything from an in-memory list hit to a
+// group-commit fsync stall.
+var histBuckets = func() []float64 {
+	b := make([]float64, 20)
+	v := 0.05
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}()
+
+// Histogram is a fixed-bucket histogram of millisecond observations.
+// Observe is lock-free; quantiles are estimated by linear
+// interpolation inside the winning bucket.
+type Histogram struct {
+	counts [21]atomic.Uint64 // histBuckets plus overflow
+	sum    atomic.Uint64     // total milliseconds, in microsecond units
+	n      atomic.Uint64
+}
+
+// Observe records a value in milliseconds.
+func (h *Histogram) Observe(ms float64) {
+	if ms < 0 || math.IsNaN(ms) {
+		return
+	}
+	idx := sort.SearchFloat64s(histBuckets, ms)
+	h.counts[idx].Add(1)
+	h.sum.Add(uint64(ms * 1000))
+	h.n.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n.Load() }
+
+// Mean returns the mean observation in milliseconds.
+func (h *Histogram) Mean() float64 {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / 1000 / float64(n)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) in milliseconds. The
+// estimate interpolates linearly within the bucket holding the target
+// rank; observations beyond the last bound report that bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.n.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var seen float64
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if c == 0 {
+			continue
+		}
+		if seen+c >= rank {
+			hi := histBuckets[len(histBuckets)-1]
+			lo := 0.0
+			if i < len(histBuckets) {
+				hi = histBuckets[i]
+			}
+			if i > 0 {
+				lo = histBuckets[i-1]
+			}
+			frac := (rank - seen) / c
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (hi-lo)*frac
+		}
+		seen += c
+	}
+	return histBuckets[len(histBuckets)-1]
+}
+
+// Registry holds named counters, histograms, and gauge functions. All
+// methods are safe for concurrent use; metric creation is
+// get-or-create so callers can look metrics up by name on every hit.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+	gauges   map[string]func() float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+		gauges:   make(map[string]func() float64),
+	}
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the histogram registered under name, creating it
+// if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// GaugeFunc registers fn to be evaluated at every snapshot under
+// name. Re-registering a name replaces the function.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges[name] = fn
+}
+
+// HistogramSnapshot is one histogram's summary in a Snapshot.
+type HistogramSnapshot struct {
+	Count  uint64  `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// Snapshot is a point-in-time view of every metric, with
+// deterministically ordered JSON encoding (maps marshal sorted).
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every registered metric, evaluating gauge
+// functions as it goes.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	gauges := make(map[string]func() float64, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	r.mu.Unlock()
+
+	snap := Snapshot{Counters: make(map[string]uint64, len(counters))}
+	for k, c := range counters {
+		snap.Counters[k] = c.Value()
+	}
+	if len(gauges) > 0 {
+		snap.Gauges = make(map[string]float64, len(gauges))
+		for k, fn := range gauges {
+			snap.Gauges[k] = fn()
+		}
+	}
+	if len(hists) > 0 {
+		snap.Histograms = make(map[string]HistogramSnapshot, len(hists))
+		for k, h := range hists {
+			snap.Histograms[k] = HistogramSnapshot{
+				Count:  h.Count(),
+				MeanMS: h.Mean(),
+				P50MS:  h.Quantile(0.50),
+				P95MS:  h.Quantile(0.95),
+				P99MS:  h.Quantile(0.99),
+				MaxMS:  h.Quantile(1.0),
+			}
+		}
+	}
+	return snap
+}
+
+// ServeHTTP renders the registry as JSON — the /metricz endpoint.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(r.Snapshot())
+}

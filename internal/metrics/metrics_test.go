@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("hits").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	// 1000 observations spread 1..1000 ms: p50 ≈ 500, p99 ≈ 990. The
+	// fixed exponential buckets are coarse, so accept a 2x band.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	if n := h.Count(); n != 1000 {
+		t.Fatalf("count = %d", n)
+	}
+	if m := h.Mean(); math.Abs(m-500.5) > 1 {
+		t.Errorf("mean = %v, want ~500.5", m)
+	}
+	p50, p99 := h.Quantile(0.50), h.Quantile(0.99)
+	if p50 < 250 || p50 > 1000 {
+		t.Errorf("p50 = %v, want within [250, 1000]", p50)
+	}
+	if p99 < 500 || p99 > 2000 {
+		t.Errorf("p99 = %v, want within [500, 2000]", p99)
+	}
+	if p99 < p50 {
+		t.Errorf("p99 %v < p50 %v", p99, p50)
+	}
+}
+
+func TestHistogramIgnoresGarbage(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(-1)
+	h.Observe(math.NaN())
+	if h.Count() != 0 {
+		t.Fatalf("count = %d after garbage observations", h.Count())
+	}
+	if q := h.Quantile(0.99); q != 0 {
+		t.Fatalf("quantile of empty histogram = %v", q)
+	}
+}
+
+func TestSnapshotAndServeHTTP(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests").Add(7)
+	r.Histogram("latency").Observe(3)
+	r.GaugeFunc("queue_depth", func() float64 { return 42 })
+
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metricz", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("decode /metricz: %v", err)
+	}
+	if snap.Counters["requests"] != 7 {
+		t.Errorf("requests = %d", snap.Counters["requests"])
+	}
+	if snap.Gauges["queue_depth"] != 42 {
+		t.Errorf("gauge = %v", snap.Gauges["queue_depth"])
+	}
+	if hs := snap.Histograms["latency"]; hs.Count != 1 {
+		t.Errorf("latency count = %d", hs.Count)
+	}
+}

@@ -1,0 +1,88 @@
+package tracker
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Replica is a snapshot-serving read view over a Store. List traffic
+// is answered from an immutable, pre-sorted copy of the store held in
+// an atomic pointer, so readers never contend on the store's lock:
+// writers keep journaling and Putting at full speed while hundreds of
+// concurrent miners page through the same data. The replica refreshes
+// itself lazily — a reader that notices the store's version moved
+// rebuilds the snapshot (one locked copy) and publishes it for
+// everyone; until then readers serve the previous consistent view,
+// which is exactly the staleness contract of a read replica.
+type Replica struct {
+	src  *Store
+	view atomic.Pointer[replicaView]
+}
+
+// replicaView is one immutable snapshot: every issue, pre-sorted in
+// the canonical listing order (creation time, then ID).
+type replicaView struct {
+	version uint64
+	issues  []*Issue
+}
+
+// NewReplica returns a replica over src. The first List builds the
+// initial snapshot.
+func NewReplica(src *Store) *Replica {
+	return &Replica{src: src}
+}
+
+// refresh returns a view no older than the store version observed at
+// entry. Concurrent refreshes may race; each publishes a complete
+// consistent snapshot, so whichever lands last wins harmlessly.
+func (r *Replica) refresh() *replicaView {
+	v := r.view.Load()
+	version := r.src.Version()
+	if v != nil && v.version == version {
+		return v
+	}
+	nv := &replicaView{version: version}
+	r.src.mu.RLock()
+	nv.issues = make([]*Issue, 0, len(r.src.order))
+	for _, id := range r.src.order {
+		iss := *r.src.issues[id] // copy: the view must never alias live store state
+		nv.issues = append(nv.issues, &iss)
+	}
+	r.src.mu.RUnlock()
+	sort.Slice(nv.issues, func(a, b int) bool { return issueLess(nv.issues[a], nv.issues[b]) })
+	r.view.Store(nv)
+	return nv
+}
+
+// List answers q from the snapshot, with the same ordering and total
+// semantics as Store.List.
+func (r *Replica) List(q Query) ([]Issue, int) {
+	view := r.refresh()
+	matched := make([]*Issue, 0, len(view.issues))
+	for _, iss := range view.issues {
+		if q.Matches(iss) {
+			matched = append(matched, iss)
+		}
+	}
+	total := len(matched)
+	matched = q.paginate(matched)
+	out := make([]Issue, len(matched))
+	for i, iss := range matched {
+		out[i] = *iss
+	}
+	return out, total
+}
+
+// Get returns the issue with the given ID from the snapshot.
+func (r *Replica) Get(id string) (Issue, bool) {
+	view := r.refresh()
+	for _, iss := range view.issues {
+		if iss.ID == id {
+			return *iss, true
+		}
+	}
+	return Issue{}, false
+}
+
+// Len returns the snapshot's issue count.
+func (r *Replica) Len() int { return len(r.refresh().issues) }

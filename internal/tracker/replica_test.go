@@ -1,0 +1,119 @@
+package tracker
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func replicaSeed(t *testing.T, s *Store, n int) {
+	t.Helper()
+	base := time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < n; i++ {
+		if err := s.Put(Issue{
+			ID: fmt.Sprintf("ONOS-%03d", i), Controller: ONOS,
+			Title: "t", Severity: SeverityMajor, Status: StatusClosed,
+			Created: base.Add(time.Duration(i) * time.Minute),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestReplicaMatchesStoreList(t *testing.T) {
+	s := NewStore()
+	replicaSeed(t, s, 57)
+	r := NewReplica(s)
+	queries := []Query{
+		{},
+		{Controller: ONOS},
+		{Controller: FAUCET},
+		{Status: StatusClosed, Offset: 10, Limit: 20},
+		{MinSeverity: SeverityMajor, Offset: 50, Limit: 20},
+		{Offset: 100},
+	}
+	for _, q := range queries {
+		wantIss, wantTotal := s.List(q)
+		gotIss, gotTotal := r.List(q)
+		if gotTotal != wantTotal || !reflect.DeepEqual(gotIss, wantIss) {
+			t.Errorf("query %+v: replica diverged from store (%d vs %d issues)",
+				q, len(gotIss), len(wantIss))
+		}
+	}
+}
+
+func TestReplicaSeesWritesAfterRefresh(t *testing.T) {
+	s := NewStore()
+	replicaSeed(t, s, 3)
+	r := NewReplica(s)
+	if n := r.Len(); n != 3 {
+		t.Fatalf("initial len = %d", n)
+	}
+	if err := s.Put(Issue{ID: "ONOS-new", Controller: ONOS, Title: "t",
+		Created: time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)}); err != nil {
+		t.Fatal(err)
+	}
+	if n := r.Len(); n != 4 {
+		t.Fatalf("len after write = %d, want 4 (version bump must trigger refresh)", n)
+	}
+	if _, ok := r.Get("ONOS-new"); !ok {
+		t.Fatal("replica missing freshly written issue")
+	}
+}
+
+func TestReplicaSnapshotDoesNotAliasStore(t *testing.T) {
+	s := NewStore()
+	replicaSeed(t, s, 1)
+	r := NewReplica(s)
+	got, _ := r.List(Query{})
+	// Overwrite the issue in the store; the previously returned slice
+	// must keep the old value.
+	mod := got[0]
+	mod.Title = "rewritten"
+	if err := s.Put(mod); err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Title != "t" {
+		t.Fatalf("replica result mutated by a later store write: %q", got[0].Title)
+	}
+}
+
+func TestReplicaConcurrentReadersAndWriters(t *testing.T) {
+	s := NewStore()
+	replicaSeed(t, s, 10)
+	r := NewReplica(s)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		base := time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = s.Put(Issue{ID: fmt.Sprintf("W-%d", i), Controller: CORD,
+				Title: "w", Created: base.Add(time.Duration(i) * time.Second)})
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				iss, total := r.List(Query{Limit: 25})
+				if len(iss) > 25 || total < 10 {
+					t.Errorf("inconsistent page: %d issues, total %d", len(iss), total)
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

@@ -243,9 +243,10 @@ func ExtractSeverity(text string) Severity {
 // Store is a concurrency-safe in-memory issue store with the filtering
 // and pagination both tracker simulators expose.
 type Store struct {
-	mu     sync.RWMutex
-	issues map[string]*Issue
-	order  []string // insertion order for stable pagination
+	mu      sync.RWMutex
+	issues  map[string]*Issue
+	order   []string // insertion order for stable pagination
+	version uint64   // bumped on every Put; lets replicas detect staleness
 }
 
 // ErrNotFound is returned for lookups of unknown issue IDs.
@@ -271,7 +272,16 @@ func (s *Store) Put(issue Issue) error {
 	cp.Comments = append([]Comment(nil), issue.Comments...)
 	cp.Labels = append([]string(nil), issue.Labels...)
 	s.issues[issue.ID] = &cp
+	s.version++
 	return nil
+}
+
+// Version returns a counter that changes whenever the store's contents
+// do — the staleness signal Replica refreshes on.
+func (s *Store) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
 }
 
 // Get returns a copy of the issue with the given ID.
@@ -307,47 +317,62 @@ type Query struct {
 	Offset, Limit int
 }
 
+// Matches reports whether the issue satisfies every filter in q
+// (pagination fields are ignored).
+func (q Query) Matches(iss *Issue) bool {
+	if q.Controller != ControllerUnknown && iss.Controller != q.Controller {
+		return false
+	}
+	if q.MinSeverity != SeverityUnknown && (iss.Severity == SeverityUnknown || iss.Severity > q.MinSeverity) {
+		return false
+	}
+	if q.Status != StatusUnknown && iss.Status != q.Status {
+		return false
+	}
+	if !q.CreatedAfter.IsZero() && iss.Created.Before(q.CreatedAfter) {
+		return false
+	}
+	if !q.CreatedBefore.IsZero() && iss.Created.After(q.CreatedBefore) {
+		return false
+	}
+	return true
+}
+
+// paginate applies q's Offset/Limit to a matched slice.
+func (q Query) paginate(matched []*Issue) []*Issue {
+	if q.Offset > len(matched) {
+		return nil
+	}
+	matched = matched[q.Offset:]
+	if q.Limit > 0 && len(matched) > q.Limit {
+		matched = matched[:q.Limit]
+	}
+	return matched
+}
+
+// issueLess is the canonical listing order: creation time, then ID.
+func issueLess(a, b *Issue) bool {
+	if !a.Created.Equal(b.Created) {
+		return a.Created.Before(b.Created)
+	}
+	return a.ID < b.ID
+}
+
 // List returns issues matching q, ordered by creation time then ID,
 // plus the total number of matches before pagination.
 func (s *Store) List(q Query) ([]Issue, int) {
 	s.mu.RLock()
 	matched := make([]*Issue, 0, len(s.order))
 	for _, id := range s.order {
-		iss := s.issues[id]
-		if q.Controller != ControllerUnknown && iss.Controller != q.Controller {
-			continue
+		if iss := s.issues[id]; q.Matches(iss) {
+			matched = append(matched, iss)
 		}
-		if q.MinSeverity != SeverityUnknown && (iss.Severity == SeverityUnknown || iss.Severity > q.MinSeverity) {
-			continue
-		}
-		if q.Status != StatusUnknown && iss.Status != q.Status {
-			continue
-		}
-		if !q.CreatedAfter.IsZero() && iss.Created.Before(q.CreatedAfter) {
-			continue
-		}
-		if !q.CreatedBefore.IsZero() && iss.Created.After(q.CreatedBefore) {
-			continue
-		}
-		matched = append(matched, iss)
 	}
 	s.mu.RUnlock()
 
-	sort.Slice(matched, func(a, b int) bool {
-		if !matched[a].Created.Equal(matched[b].Created) {
-			return matched[a].Created.Before(matched[b].Created)
-		}
-		return matched[a].ID < matched[b].ID
-	})
+	sort.Slice(matched, func(a, b int) bool { return issueLess(matched[a], matched[b]) })
 	total := len(matched)
-	if q.Offset > len(matched) {
-		matched = nil
-	} else {
-		matched = matched[q.Offset:]
-	}
-	if q.Limit > 0 && len(matched) > q.Limit {
-		matched = matched[:q.Limit]
-	}
+	matched = q.paginate(matched)
 	out := make([]Issue, len(matched))
 	for i, iss := range matched {
 		out[i] = *iss

@@ -1,0 +1,117 @@
+package trackerd
+
+import (
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdnbugs/internal/metrics"
+)
+
+// tokenBucket is a classic refill-on-demand token bucket. take either
+// consumes one token or reports how long until one is available.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst), last: time.Now()}
+}
+
+// take consumes one token if available; otherwise it returns the wait
+// until the next token accrues.
+func (b *tokenBucket) take() (ok bool, wait time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := time.Now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+}
+
+// tenantLimiter enforces one tenant's request rate and inflight cap.
+// Rejections are 429s carrying an integer-seconds Retry-After header —
+// the signal resilience.Transport already honors (capped client-side by
+// Policy.MaxRetryAfter), so well-behaved miners back off and retry
+// instead of failing.
+type tenantLimiter struct {
+	name        string
+	bucket      *tokenBucket // nil = unlimited rate
+	maxInflight int64        // 0 = unlimited
+	inflight    atomic.Int64
+
+	requests  *metrics.Counter
+	throttled *metrics.Counter
+	shed      *metrics.Counter
+	latency   *metrics.Histogram
+}
+
+func newTenantLimiter(cfg TenantConfig, reg *metrics.Registry) *tenantLimiter {
+	l := &tenantLimiter{
+		name:        cfg.Name,
+		maxInflight: int64(cfg.MaxInflight),
+		requests:    reg.Counter("tenant." + cfg.Name + ".requests"),
+		throttled:   reg.Counter("tenant." + cfg.Name + ".throttled_429"),
+		shed:        reg.Counter("tenant." + cfg.Name + ".shed_429"),
+		latency:     reg.Histogram("tenant." + cfg.Name + ".request_ms"),
+	}
+	if cfg.RatePerSec > 0 {
+		l.bucket = newTokenBucket(cfg.RatePerSec, cfg.Burst)
+	}
+	return l
+}
+
+// retryAfterSeconds renders wait as the integer-seconds Retry-After
+// value, never below 1 (the header has no sub-second form).
+func retryAfterSeconds(wait time.Duration) string {
+	secs := int(math.Ceil(wait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// wrap applies the limiter in front of next.
+func (l *tenantLimiter) wrap(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		l.requests.Inc()
+		if l.maxInflight > 0 {
+			if l.inflight.Add(1) > l.maxInflight {
+				l.inflight.Add(-1)
+				l.shed.Inc()
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, "tenant overloaded", http.StatusTooManyRequests)
+				return
+			}
+			defer l.inflight.Add(-1)
+		}
+		if l.bucket != nil {
+			if ok, wait := l.bucket.take(); !ok {
+				l.throttled.Inc()
+				w.Header().Set("Retry-After", retryAfterSeconds(wait))
+				http.Error(w, "tenant rate limit exceeded", http.StatusTooManyRequests)
+				return
+			}
+		}
+		start := time.Now()
+		next(w, r)
+		l.latency.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	}
+}

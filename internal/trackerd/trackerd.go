@@ -1,0 +1,81 @@
+// Package trackerd is the shared tracker-serving engine behind the
+// JIRA-like and GitHub-like simulators. One engine implements the
+// pagination, encoding, and fault-handling logic once; two wire
+// dialects (JIRA REST and GitHub REST) translate between the neutral
+// tracker.Issue model and each tracker's JSON shapes. The thin
+// compatibility handlers in internal/jirasim and internal/ghsim are
+// wrappers over this package, and the multi-tenant Service (service.go)
+// mounts the same dialects for N tenants × M projects, each backed by
+// its own crash-consistent durable shard.
+package trackerd
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"sdnbugs/internal/tracker"
+)
+
+// Source is the read surface a dialect serves from: the in-memory
+// tracker.Store (via StoreSource) for the legacy single-store
+// simulators, or a snapshot-serving tracker.Replica for the durable
+// shards of a Service, where list traffic must never block writers.
+type Source interface {
+	List(q tracker.Query) ([]tracker.Issue, int)
+	Get(id string) (tracker.Issue, bool)
+}
+
+// StoreSource adapts a *tracker.Store to the Source interface.
+type StoreSource struct {
+	Store *tracker.Store
+}
+
+// List implements Source.
+func (s StoreSource) List(q tracker.Query) ([]tracker.Issue, int) { return s.Store.List(q) }
+
+// Get implements Source.
+func (s StoreSource) Get(id string) (tracker.Issue, bool) {
+	iss, err := s.Store.Get(id)
+	return iss, err == nil
+}
+
+// NewJIRAHandler serves the JIRA /rest/api/2 dialect from src, with the
+// exact wire behavior the jirasim package has always had.
+func NewJIRAHandler(src Source) http.Handler {
+	mux := http.NewServeMux()
+	(&jiraAPI{src: src}).register(mux, "")
+	return mux
+}
+
+// NewGitHubHandler serves the GitHub issues dialect for the repository
+// path owner/name from src. Issue IDs are expected in the
+// "<controller>#<number>" form ctl implies.
+func NewGitHubHandler(src Source, owner, name string, ctl tracker.Controller) http.Handler {
+	mux := http.NewServeMux()
+	(&githubAPI{src: src, ctl: ctl}).register(mux, "", owner, name)
+	return mux
+}
+
+// atoiDefault parses s, falling back to def for empty, malformed, or
+// negative input — the shared query-parameter rule of both dialects.
+func atoiDefault(s string, def int) int {
+	if s == "" {
+		return def
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return def
+	}
+	return n
+}
+
+// writeJSON encodes v with a streaming encoder (trailing newline
+// included), matching the original simulators byte for byte.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already written; nothing more we can do.
+		return
+	}
+}

@@ -1,0 +1,48 @@
+// Package trackertest holds test scaffolding shared by the tracker
+// simulators' resilience tests (internal/jirasim, internal/ghsim) and
+// the served-tracker tests, so the retry-policy and outage-gate setup
+// lives in one place instead of being copied per package.
+package trackertest
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sdnbugs/internal/resilience"
+)
+
+// ResilientClient builds a fast retrying client whose attempt budget
+// exceeds the chaos progress bound, so every page eventually lands. The
+// transport is returned too, for asserting on its retry metrics.
+func ResilientClient() (*http.Client, *resilience.Transport) {
+	rt := resilience.NewTransport(nil, resilience.Policy{
+		MaxAttempts:   8,
+		BaseDelay:     100 * time.Microsecond,
+		MaxDelay:      time.Millisecond,
+		MaxRetryAfter: 5 * time.Millisecond,
+	}, nil)
+	return &http.Client{Transport: rt}, rt
+}
+
+// Gate starts a server that forwards the first okRequests requests to
+// inner and then answers 502 until heal is called — the standard
+// mid-mining outage used by the resume tests. The server is closed via
+// t.Cleanup.
+func Gate(t testing.TB, inner http.Handler, okRequests int) (srv *httptest.Server, heal func()) {
+	t.Helper()
+	var down atomic.Bool
+	down.Store(true)
+	var hits atomic.Int32
+	srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if int(hits.Add(1)) > okRequests && down.Load() {
+			http.Error(w, "outage", http.StatusBadGateway)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, func() { down.Store(false) }
+}
