@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-smoke bench-tracker-smoke fuzz verify
+.PHONY: build vet test race bench bench-smoke bench-tracker-smoke fuzz fuzz-perf fuzz-perf-smoke verify
 
 build:
 	$(GO) build ./...
@@ -50,5 +50,17 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeMessage -fuzztime=10s ./internal/openflow/
 	$(GO) test -run='^$$' -fuzz=FuzzJournalReplay -fuzztime=10s ./internal/durable/
 	$(GO) test -run='^$$' -fuzz=FuzzIssueCodec -fuzztime=10s ./internal/tracker/
+	$(GO) test -run='^$$' -fuzz=FuzzMutate -fuzztime=10s ./internal/perfuzz/
 
-verify: build vet test race
+# fuzz-perf runs the feedback-guided performance fuzzer (the E24
+# workload) at a real budget and writes the JSON report — worst
+# genomes, shrunk minimal reproducers, learner scores.
+fuzz-perf:
+	$(GO) run ./cmd/perfuzz -seed 1 -generations 12 -population 12 -out FUZZ_perf.json
+
+# fuzz-perf-smoke is the CI guard: a bounded budget that still
+# exercises search, shrinking, and learning end to end.
+fuzz-perf-smoke:
+	$(GO) run ./cmd/perfuzz -seed 1 -out /tmp/FUZZ_perf_smoke.json
+
+verify: build vet test race fuzz-perf-smoke

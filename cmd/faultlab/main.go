@@ -12,14 +12,23 @@
 // baseline.
 //
 //	faultlab -campaign -seed 1 [-events 1500] [-checkpoint-every 64]
+//
+// Adding -json to a campaign run emits the three CampaignResults plus
+// a live metrics snapshot (restart counts, probe firings, restore
+// timings) as one JSON document instead of tables, for scripted
+// consumers.
+//
+//	faultlab -campaign -json -seed 1
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"sdnbugs/internal/faultlab"
+	"sdnbugs/internal/metrics"
 	"sdnbugs/internal/recovery"
 	"sdnbugs/internal/report"
 	"sdnbugs/internal/sdn"
@@ -40,10 +49,14 @@ func run() error {
 	campaign := flag.Bool("campaign", false, "run the sustained fault-injection campaign instead")
 	events := flag.Int("events", 1500, "campaign schedule length (with -campaign)")
 	ckptEvery := flag.Int("checkpoint-every", 64, "supervised checkpoint cadence (with -campaign)")
+	jsonOut := flag.Bool("json", false, "emit campaign results and metrics as JSON (with -campaign)")
 	flag.Parse()
 
 	if *campaign {
-		return runCampaign(*seed, *events, *ckptEvery)
+		return runCampaign(*seed, *events, *ckptEvery, *jsonOut)
+	}
+	if *jsonOut {
+		return fmt.Errorf("-json requires -campaign")
 	}
 
 	strategies := recovery.StandardStrategies()
@@ -112,12 +125,15 @@ func run() error {
 }
 
 // runCampaign runs the sustained campaign three ways and renders the
-// comparison the E22 experiment asserts on.
-func runCampaign(seed int64, events, ckptEvery int) error {
+// comparison the E22 experiment asserts on — as tables, or with
+// jsonOut as one JSON document that also carries the live metrics
+// snapshot (restart counts, probe firings, restore timings).
+func runCampaign(seed int64, events, ckptEvery int, jsonOut bool) error {
+	reg := metrics.NewRegistry()
 	modes := []faultlab.CampaignConfig{
-		{Seed: seed, Events: events, Supervised: true, CheckpointEvery: ckptEvery},
-		{Seed: seed, Events: events, Supervised: true},
-		{Seed: seed, Events: events},
+		{Seed: seed, Events: events, Supervised: true, CheckpointEvery: ckptEvery, Metrics: reg},
+		{Seed: seed, Events: events, Supervised: true, Metrics: reg},
+		{Seed: seed, Events: events, Metrics: reg},
 	}
 	var results []faultlab.CampaignResult
 	for _, cfg := range modes {
@@ -126,6 +142,18 @@ func runCampaign(seed int64, events, ckptEvery int) error {
 			return err
 		}
 		results = append(results, res)
+	}
+
+	if jsonOut {
+		doc := struct {
+			Seed      int64                     `json:"seed"`
+			Events    int                       `json:"events"`
+			Campaigns []faultlab.CampaignResult `json:"campaigns"`
+			Metrics   metrics.Snapshot          `json:"metrics"`
+		}{Seed: seed, Events: events, Campaigns: results, Metrics: reg.Snapshot()}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
 	}
 
 	tbl := &report.Table{Title: fmt.Sprintf("Sustained fault-injection campaign (seed %d, %d slots)", seed, events),

@@ -33,8 +33,11 @@
 //     (short/torn writes, failed syncs, scheduled crash points)
 //   - internal/mine            — the resumable miner checkpointing
 //     both trackers' cursors into a durable store
+//   - internal/perfuzz         — the feedback-guided stateful
+//     performance fuzzer (schedule genomes, delta-debugged minimal
+//     reproducers, failure-model learner)
 //
-// The Suite type in this package registers every experiment (E01–E23,
+// The Suite type in this package registers every experiment (E01–E24,
 // one per table/figure — see DESIGN.md) and ablation (A01–A07) with
 // the engine and reports paper-vs-measured checks. Suite.Run selects
 // experiments by ID and executes them on a configurable worker pool —

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"sdnbugs/internal/metrics"
 	"sdnbugs/internal/resilience"
 	"sdnbugs/internal/sdn"
 	"sdnbugs/internal/supervise"
@@ -150,6 +151,19 @@ type CampaignConfig struct {
 	// schedule items (default 8) — the detection lag during which a
 	// crashed controller silently loses events.
 	WatchdogEvery int
+	// Metrics, when set, receives live campaign observability:
+	// schedule slots, wire faults, watchdog restarts, plus the
+	// supervisor's supervise_* counters and restore-timing histograms
+	// on supervised runs. Purely observational — results stay
+	// byte-identical.
+	Metrics *metrics.Registry
+}
+
+// count increments a campaign counter when observability is wired.
+func (c CampaignConfig) count(name string) {
+	if c.Metrics != nil {
+		c.Metrics.Counter(name).Inc()
+	}
 }
 
 func (c CampaignConfig) withDefaults() CampaignConfig {
@@ -313,6 +327,7 @@ func runSupervised(cfg CampaignConfig, lab *Lab, schedule []scheduleItem, hosts 
 		DegradeAfter:     cfg.DegradeAfter,
 		Classify:         ClassifyEvent,
 		OnRestart:        lab.NewIncarnations,
+		Metrics:          cfg.Metrics,
 	})
 	// The graceful-degradation hook: shed classes die at the lab
 	// filter, before they reach the controller.
@@ -324,6 +339,7 @@ func runSupervised(cfg CampaignConfig, lab *Lab, schedule []scheduleItem, hosts 
 	}
 	full := len(hosts) - 1
 	for _, it := range schedule {
+		cfg.count("faultlab_campaign_slots_total")
 		switch it.kind {
 		case itemConfig, itemPoisonConfig, itemExternal, itemReboot:
 			offer(it.ev)
@@ -352,6 +368,7 @@ func runSupervised(cfg CampaignConfig, lab *Lab, schedule []scheduleItem, hosts 
 			}
 		case itemWireFault:
 			res.WireFaults++
+			cfg.count("faultlab_wire_faults_total")
 			ferr, err := WireEpisode(it.wire, wireRng)
 			if err != nil {
 				return res, err
@@ -438,10 +455,12 @@ func runUnsupervised(cfg CampaignConfig, lab *Lab, schedule []scheduleItem, host
 			res.ColdRestores++
 			res.ColdRestoreTicks += supervise.RestartCost
 			res.DowntimeTicks += supervise.RestartCost
+			cfg.count("faultlab_watchdog_restarts_total")
 		}
 	}
 	full := len(hosts) - 1
 	for _, it := range schedule {
+		cfg.count("faultlab_campaign_slots_total")
 		switch it.kind {
 		case itemConfig, itemPoisonConfig, itemExternal, itemReboot:
 			submit(it.ev)
@@ -459,6 +478,7 @@ func runUnsupervised(cfg CampaignConfig, lab *Lab, schedule []scheduleItem, host
 			}
 		case itemWireFault:
 			res.WireFaults++
+			cfg.count("faultlab_wire_faults_total")
 			ferr, err := WireEpisode(it.wire, wireRng)
 			if err != nil {
 				return res, err

@@ -1,0 +1,40 @@
+package perfuzz
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzMutate drives the mutation and splice operators from arbitrary
+// seeds and verifies the genome invariants the harness relies on:
+// length stays in [1, maxLen] and every op decodes to a known
+// episode. Registered in `make fuzz` alongside the codec targets.
+func FuzzMutate(f *testing.F) {
+	f.Add(int64(1), uint8(10), uint8(20))
+	f.Add(int64(-7), uint8(200), uint8(1))
+	f.Add(int64(1<<40), uint8(0), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, steps, length uint8) {
+		const maxLen = 96
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomGenome(rng, int(length)%maxLen)
+		for i := 0; i < int(steps)%64+1; i++ {
+			if i%4 == 3 {
+				g = Splice(rng, g, RandomGenome(rng, 1+rng.Intn(40)), maxLen)
+			} else {
+				g = Mutate(rng, g, maxLen)
+			}
+			if len(g) < 1 || len(g) > maxLen {
+				t.Fatalf("step %d: length %d outside [1,%d]", i, len(g), maxLen)
+			}
+			for j, gene := range g {
+				if gene.Op >= numOps {
+					t.Fatalf("step %d: gene %d has invalid op %d", i, j, gene.Op)
+				}
+			}
+		}
+		// The mutated genome must also survive featurization.
+		if got := len(Featurize(g)); got != numFeatures {
+			t.Fatalf("feature width %d, want %d", got, numFeatures)
+		}
+	})
+}

@@ -19,6 +19,7 @@ package supervise
 import (
 	"time"
 
+	"sdnbugs/internal/metrics"
 	"sdnbugs/internal/resilience"
 	"sdnbugs/internal/sdn"
 	"sdnbugs/internal/taxonomy"
@@ -73,6 +74,12 @@ type Config struct {
 	// OnRestart runs immediately before every supervised restart; the
 	// fault lab advances fault incarnations here.
 	OnRestart func()
+	// Metrics, when set, receives live observability counters and
+	// histograms (restarts, probe firings, checkpoint/restore
+	// timings) under supervise_* names. Metrics never influence
+	// supervision decisions, so wiring a registry keeps runs
+	// byte-identical.
+	Metrics *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -217,6 +224,21 @@ func New(c *sdn.Controller, cfg Config) *Supervisor {
 	}
 }
 
+// count increments a registry counter when observability is wired.
+func (s *Supervisor) count(name string) {
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.Counter(name).Inc()
+	}
+}
+
+// observe records a registry histogram sample (logical ticks) when
+// observability is wired.
+func (s *Supervisor) observe(name string, ticks int) {
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.Histogram(name).Observe(float64(ticks))
+	}
+}
+
 // Alive reports process liveness (the controller is not crashed).
 func (s *Supervisor) Alive() bool { return s.C.State != sdn.StateCrashed }
 
@@ -293,6 +315,7 @@ func (s *Supervisor) ReportDivergence(class string, verify func() bool) bool {
 		return false
 	}
 	s.Metrics.Divergences++
+	s.count("supervise_divergences_total")
 	return s.heal(class, nil, verify)
 }
 
@@ -304,6 +327,7 @@ func (s *Supervisor) WireError(err error) {
 	_ = err
 	s.Metrics.WireErrors++
 	s.Metrics.RecoveryTicks += WireReconnectCost
+	s.count("supervise_wire_errors_total")
 }
 
 // heal is the recovery loop for one incident: restart (budgeted, with
@@ -350,6 +374,7 @@ func (s *Supervisor) degrade(class string) {
 	if !s.shed[class] {
 		s.shed[class] = true
 		s.Metrics.Degradations++
+		s.count("supervise_degradations_total")
 	}
 	if s.C.State != sdn.StateRunning {
 		s.restart(0)
@@ -367,6 +392,7 @@ func (s *Supervisor) restart(attempt int) {
 	s.C.Restart(true)
 	s.window = s.window[:0]
 	s.Metrics.Restarts++
+	s.count("supervise_restarts_total")
 	down := RestartCost
 	if s.cfg.Backoff.BaseDelay > 0 {
 		down += int(s.cfg.Backoff.Backoff(attempt) / time.Millisecond)
@@ -375,11 +401,13 @@ func (s *Supervisor) restart(attempt int) {
 		t := RestartCost + s.cp.Apply(s.C) + s.replayConfig(s.cp.HighWater)
 		s.Metrics.CheckpointRestores++
 		s.Metrics.CheckpointRestoreTicks += t
+		s.observe("supervise_checkpoint_restore_ticks", t)
 		down += t - RestartCost
 	} else {
 		t := RestartCost + s.replayConfig(0)
 		s.Metrics.ColdRestores++
 		s.Metrics.ColdRestoreTicks += t
+		s.observe("supervise_cold_restore_ticks", t)
 		down += t - RestartCost
 	}
 	s.Metrics.RecoveryTicks += down
@@ -453,6 +481,7 @@ func (s *Supervisor) noteSuccess(class string) {
 			s.cp = Capture(s.C)
 			s.Metrics.Checkpoints++
 			s.Metrics.UptimeTicks += CheckpointCost
+			s.count("supervise_checkpoints_total")
 		}
 	}
 }
@@ -461,10 +490,13 @@ func (s *Supervisor) noteSymptom(sym taxonomy.Symptom) {
 	switch sym {
 	case taxonomy.SymptomFailStop:
 		s.Metrics.FailStops++
+		s.count("supervise_probe_failstop_total")
 	case taxonomy.SymptomByzantine:
 		s.Metrics.Stalls++
+		s.count("supervise_probe_stall_total")
 	case taxonomy.SymptomPerformance:
 		s.Metrics.PerfRegressions++
+		s.count("supervise_probe_perf_total")
 	}
 }
 

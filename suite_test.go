@@ -63,6 +63,7 @@ func TestFastExperimentsHold(t *testing.T) {
 		sharedSuite.E21ResilientMining,
 		sharedSuite.E22SelfHealingCampaign,
 		sharedSuite.E23KillAndResumeMining,
+		sharedSuite.E24PerformanceFuzzing,
 	}
 	for _, run := range runs {
 		res, err := run()
