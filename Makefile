@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-smoke bench-tracker-smoke fuzz fuzz-perf fuzz-perf-smoke verify
+.PHONY: build vet test race bench bench-smoke bench-tracker-smoke fuzz fuzz-perf fuzz-perf-smoke repair-smoke verify
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzJournalReplay -fuzztime=10s ./internal/durable/
 	$(GO) test -run='^$$' -fuzz=FuzzIssueCodec -fuzztime=10s ./internal/tracker/
 	$(GO) test -run='^$$' -fuzz=FuzzMutate -fuzztime=10s ./internal/perfuzz/
+	$(GO) test -run='^$$' -fuzz=FuzzRepairPatch -fuzztime=10s ./internal/repair/
 
 # fuzz-perf runs the feedback-guided performance fuzzer (the E24
 # workload) at a real budget and writes the JSON report — worst
@@ -63,4 +64,11 @@ fuzz-perf:
 fuzz-perf-smoke:
 	$(GO) run ./cmd/perfuzz -seed 1 -out /tmp/FUZZ_perf_smoke.json
 
-verify: build vet test race fuzz-perf-smoke
+# repair-smoke is the CI guard for the automatic repair loop (the E25
+# workload): a bounded-budget repair of one poison class — shed,
+# synthesize, rank, validate against reproducer + campaign, lift.
+repair-smoke:
+	$(GO) run ./cmd/faultlab -repair -seed 1 -events 400 -max-candidates 4 \
+		-repair-class configuration/multicast -json > /tmp/repair_smoke.json
+
+verify: build vet test race fuzz-perf-smoke repair-smoke

@@ -1,5 +1,5 @@
 // The benchmark harness: one benchmark per table and figure of the
-// paper (E01–E24, see DESIGN.md's per-experiment index) plus ablation
+// paper (E01–E25, see DESIGN.md's per-experiment index) plus ablation
 // benches for the design choices DESIGN.md calls out. Each benchmark
 // regenerates its artifact from scratch and reports the headline
 // measured values via b.ReportMetric, failing if any paper-vs-measured
@@ -97,7 +97,7 @@ func writeBenchJSON(b *testing.B) {
 	}
 }
 
-// benchSuiteRun executes the whole E01–E24 slate through the engine on
+// benchSuiteRun executes the whole E01–E25 slate through the engine on
 // a fresh suite per iteration (cold validation caches; corpus prebuilt
 // outside the timer) and returns the last run.
 func benchSuiteRun(b *testing.B, parallelism, workers int) engine.Run[ExperimentResult] {
@@ -377,6 +377,13 @@ func BenchmarkE24_PerformanceFuzzing(b *testing.B) {
 	// guided search, equal-budget random baseline, reproducer
 	// shrinking, and classifier training.
 	runExperiment(b, benchSuite.E24PerformanceFuzzing, nil)
+}
+
+func BenchmarkE25_AutomaticRepair(b *testing.B) {
+	// Two full repair runs (the second for the byte-identity check):
+	// shed-mode campaign epoch, candidate synthesis + learner ranking,
+	// reproducer + campaign validation per survivor, lifted epoch.
+	runExperiment(b, benchSuite.E25AutomaticRepair, nil)
 }
 
 func BenchmarkAblation_Features(b *testing.B) {

@@ -19,6 +19,17 @@
 // consumers.
 //
 //	faultlab -campaign -json -seed 1
+//
+// With -repair it runs the automatic repair loop (the E25 workload):
+// play a supervised campaign epoch until the supervisor sheds its
+// deterministic poison classes, synthesize and rank candidate
+// flow-rule repairs per shed class, validate them against the ddmin
+// minimal reproducer plus the full campaign, lift the sheds a
+// validated repair clears, and replay the schedule to measure the
+// repaired availability. -json emits the repair report and the
+// metrics snapshot as one document.
+//
+//	faultlab -repair -seed 1 [-events 1500] [-max-candidates 8] [-repair-class configuration/multicast] [-json]
 package main
 
 import (
@@ -30,6 +41,7 @@ import (
 	"sdnbugs/internal/faultlab"
 	"sdnbugs/internal/metrics"
 	"sdnbugs/internal/recovery"
+	"sdnbugs/internal/repair"
 	"sdnbugs/internal/report"
 	"sdnbugs/internal/sdn"
 	"sdnbugs/internal/taxonomy"
@@ -47,16 +59,25 @@ func run() error {
 	trials := flag.Int("trials", 6, "trials per fault × strategy")
 	extended := flag.Bool("extended", false, "include the extended-scope event transform")
 	campaign := flag.Bool("campaign", false, "run the sustained fault-injection campaign instead")
-	events := flag.Int("events", 1500, "campaign schedule length (with -campaign)")
-	ckptEvery := flag.Int("checkpoint-every", 64, "supervised checkpoint cadence (with -campaign)")
-	jsonOut := flag.Bool("json", false, "emit campaign results and metrics as JSON (with -campaign)")
+	events := flag.Int("events", 1500, "campaign schedule length (with -campaign/-repair)")
+	ckptEvery := flag.Int("checkpoint-every", 64, "supervised checkpoint cadence (with -campaign/-repair)")
+	jsonOut := flag.Bool("json", false, "emit results and metrics as JSON (with -campaign/-repair)")
+	repairLoop := flag.Bool("repair", false, "run the automatic repair loop instead")
+	maxCandidates := flag.Int("max-candidates", 8, "full validations per shed class (with -repair)")
+	repairClass := flag.String("repair-class", "", "restrict repair attempts to this shed class (with -repair)")
 	flag.Parse()
 
+	if *campaign && *repairLoop {
+		return fmt.Errorf("-campaign and -repair are mutually exclusive")
+	}
+	if *repairLoop {
+		return runRepair(*seed, *events, *ckptEvery, *maxCandidates, *repairClass, *jsonOut)
+	}
 	if *campaign {
 		return runCampaign(*seed, *events, *ckptEvery, *jsonOut)
 	}
 	if *jsonOut {
-		return fmt.Errorf("-json requires -campaign")
+		return fmt.Errorf("-json requires -campaign or -repair")
 	}
 
 	strategies := recovery.StandardStrategies()
@@ -122,6 +143,79 @@ func run() error {
 		}
 	}
 	return trig.Render(os.Stdout)
+}
+
+// runRepair runs the automatic repair loop and renders the NetRep-
+// style per-category/per-class outcome — as tables, or with jsonOut
+// as one JSON document carrying the full repair report plus the live
+// metrics snapshot (candidate counters, validation wall times).
+func runRepair(seed int64, events, ckptEvery, maxCandidates int, repairClass string, jsonOut bool) error {
+	reg := metrics.NewRegistry()
+	cfg := repair.Config{
+		Seed:            seed,
+		Events:          events,
+		CheckpointEvery: ckptEvery,
+		MaxCandidates:   maxCandidates,
+		Metrics:         reg,
+	}
+	if repairClass != "" {
+		cfg.Classes = []string{repairClass}
+	}
+	rep, err := repair.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	if jsonOut {
+		doc := struct {
+			Seed    int64            `json:"seed"`
+			Events  int              `json:"events"`
+			Report  repair.Report    `json:"report"`
+			Metrics metrics.Snapshot `json:"metrics"`
+		}{Seed: seed, Events: events, Report: rep, Metrics: reg.Snapshot()}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}
+
+	sum := &report.Table{Title: fmt.Sprintf("Automatic repair loop (seed %d, %d slots/epoch)", seed, events),
+		Headers: []string{"metric", "epoch 1 (shed mode)", "epoch 2 (repaired)"}}
+	_ = sum.AddRow("events offered", fmt.Sprintf("%d", rep.Epoch1.Offered), fmt.Sprintf("%d", rep.Epoch2.Offered))
+	_ = sum.AddRow("events processed", fmt.Sprintf("%d", rep.Epoch1.Processed), fmt.Sprintf("%d", rep.Epoch2.Processed))
+	_ = sum.AddRow("events shed", fmt.Sprintf("%d", rep.Epoch1.Shed), fmt.Sprintf("%d", rep.Epoch2.Shed))
+	_ = sum.AddRow("event availability", fmt.Sprintf("%.4f", rep.Epoch1.Availability), fmt.Sprintf("%.4f", rep.Epoch2.Availability))
+	_ = sum.AddRow("classes shed", fmt.Sprintf("%v", rep.Epoch1.ShedClasses), fmt.Sprintf("%v", rep.Epoch2.ShedClasses))
+	if err := sum.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	fmt.Println()
+	cls := &report.Table{Title: "Per-class repair outcomes",
+		Headers: []string{"class", "candidates", "reproducer len", "repaired", "winning patch"}}
+	for _, cr := range rep.Classes {
+		patch := "—"
+		if cr.Repaired {
+			patch = cr.Patch
+		}
+		if err := cls.AddRow(cr.Class, fmt.Sprintf("%d", cr.Candidates),
+			fmt.Sprintf("%d", cr.ReproducerLen), fmt.Sprintf("%v", cr.Repaired), patch); err != nil {
+			return err
+		}
+	}
+	if err := cls.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	fmt.Println()
+	rates := &report.Table{Title: "Repair rate by taxonomy trigger category",
+		Headers: []string{"category", "shed", "repaired", "rate"}}
+	for _, rt := range rep.Rates {
+		if err := rates.AddRow(rt.Category, fmt.Sprintf("%d", rt.Shed),
+			fmt.Sprintf("%d", rt.Repaired), fmt.Sprintf("%.2f", rt.Rate)); err != nil {
+			return err
+		}
+	}
+	return rates.Render(os.Stdout)
 }
 
 // runCampaign runs the sustained campaign three ways and renders the

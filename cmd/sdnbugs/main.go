@@ -17,8 +17,11 @@
 // the engine registry — E01–E20 reproduce the paper's artifacts,
 // E21 re-mines the corpus through fault-injected simulators behind
 // the resilience transport, E22 runs the self-healing supervisor
-// through a sustained fault-injection campaign, and E23 kills and
-// resumes the durable miner at scheduled disk-crash points — run them
+// through a sustained fault-injection campaign, E23 kills and
+// resumes the durable miner at scheduled disk-crash points, E24
+// fuzzes event schedules for the stateful performance bugs, and E25
+// closes the loop by synthesizing, validating, and lifting automatic
+// repairs for shed poison classes — run them
 // on a -parallel worker pool
 // (0 means GOMAXPROCS) with identical output to a sequential run,
 // keep going past individual experiment failures (including panics,

@@ -3,10 +3,8 @@ package faultlab
 import (
 	"fmt"
 	"math/rand"
-	"time"
 
 	"sdnbugs/internal/metrics"
-	"sdnbugs/internal/resilience"
 	"sdnbugs/internal/sdn"
 	"sdnbugs/internal/supervise"
 	"sdnbugs/internal/taxonomy"
@@ -157,6 +155,16 @@ type CampaignConfig struct {
 	// on supervised runs. Purely observational — results stay
 	// byte-identical.
 	Metrics *metrics.Registry
+	// Program, when set (supervised only), interposes a patchable
+	// flow-rule program ahead of the supervisor's shed filter: repairs
+	// rewrite or clamp poison inputs before they reach the controller.
+	// Clamp counters reset on every restart (per-incarnation
+	// semantics, like fault budgets).
+	Program *sdn.Program
+	// OnShed, when set (supervised only), is forwarded to the
+	// supervisor and fires when a class is newly shed — the automatic
+	// repair loop's trigger.
+	OnShed func(class string)
 }
 
 // count increments a campaign counter when observability is wired.
@@ -214,6 +222,12 @@ type CampaignResult struct {
 
 	BroadcastProbes   int
 	BroadcastFailures int
+
+	// ProgramRewrites/ProgramDrops count flow-rule program decisions
+	// when a repair program is interposed (see CampaignConfig.Program);
+	// program drops are accounted as offered-and-shed.
+	ProgramRewrites int
+	ProgramDrops    int
 
 	ShedClasses []string
 	FinalState  string
@@ -274,6 +288,15 @@ func (r CampaignResult) Fingerprint() string {
 // wire-level faults.
 func RunCampaign(cfg CampaignConfig) (CampaignResult, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Supervised {
+		// The supervised path is a single-epoch Session — the same
+		// runtime the repair loop drives across multiple epochs.
+		sess, err := NewSession(cfg)
+		if err != nil {
+			return CampaignResult{}, err
+		}
+		return sess.PlayEpoch()
+	}
 	lab, err := NewMultiLab(CampaignSuite(cfg.Seed))
 	if err != nil {
 		return CampaignResult{}, err
@@ -282,9 +305,6 @@ func RunCampaign(cfg CampaignConfig) (CampaignResult, error) {
 	dpids := lab.C.Net.Switches()
 	schedule := buildSchedule(cfg.Seed, cfg.Events, hosts, dpids)
 	wireRng := rand.New(rand.NewSource(cfg.Seed*104729 + 5))
-	if cfg.Supervised {
-		return runSupervised(cfg, lab, schedule, hosts, wireRng)
-	}
 	return runUnsupervised(cfg, lab, schedule, hosts, wireRng)
 }
 
@@ -310,99 +330,6 @@ func pump(net *sdn.Network, src uint64, p sdn.Packet, submit func(sdn.Event)) in
 		seen[d.MAC] = true
 	}
 	return len(seen)
-}
-
-// runSupervised executes the schedule under the self-healing runtime.
-func runSupervised(cfg CampaignConfig, lab *Lab, schedule []scheduleItem, hosts []uint64, wireRng *rand.Rand) (CampaignResult, error) {
-	mode := "supervised-cold"
-	if cfg.CheckpointEvery > 0 {
-		mode = "supervised-checkpoint"
-	}
-	res := CampaignResult{Mode: mode, Events: len(schedule)}
-	sup := supervise.New(lab.C, supervise.Config{
-		BaselineMeanCost: lab.baselineMeanCost,
-		Backoff:          resilience.Policy{BaseDelay: 2 * time.Millisecond, MaxDelay: 64 * time.Millisecond},
-		Budget:           resilience.NewBudget(64, 0.25),
-		CheckpointEvery:  cfg.CheckpointEvery,
-		DegradeAfter:     cfg.DegradeAfter,
-		Classify:         ClassifyEvent,
-		OnRestart:        lab.NewIncarnations,
-		Metrics:          cfg.Metrics,
-	})
-	// The graceful-degradation hook: shed classes die at the lab
-	// filter, before they reach the controller.
-	lab.Filter = sup.Filter
-	offer := func(ev sdn.Event) {
-		if rewritten, keep := lab.Filter(ev); keep {
-			sup.Submit(rewritten)
-		}
-	}
-	full := len(hosts) - 1
-	for _, it := range schedule {
-		cfg.count("faultlab_campaign_slots_total")
-		switch it.kind {
-		case itemConfig, itemPoisonConfig, itemExternal, itemReboot:
-			offer(it.ev)
-		case itemUnicast:
-			pump(lab.C.Net, it.src, sdn.Packet{EthDst: it.dst, EthType: 0x0800}, offer)
-		case itemBroadcast:
-			res.BroadcastProbes++
-			got := pump(lab.C.Net, it.src, sdn.Packet{EthDst: sdn.BroadcastMAC, EthType: 0x0806}, offer)
-			if got < full && !sup.ClassShed("network-event") {
-				// Byzantine divergence the probes can't see: feed the
-				// spot-check into the supervisor.
-				res.BroadcastFailures++
-				sup.ReportDivergence("network-event", func() bool {
-					return pump(lab.C.Net, it.src, sdn.Packet{EthDst: sdn.BroadcastMAC, EthType: 0x0806}, offer) >= full
-				})
-			}
-		case itemMirrorBroadcast:
-			res.BroadcastProbes++
-			shedAlready := sup.ClassShed("network-event/mirror-vlan")
-			got := pump(lab.C.Net, it.src, sdn.Packet{EthDst: sdn.BroadcastMAC, EthType: 0x0806, VlanID: PoisonVLAN}, offer)
-			if got < full && !shedAlready {
-				res.BroadcastFailures++
-				sup.ReportDivergence("network-event/mirror-vlan", func() bool {
-					return pump(lab.C.Net, it.src, sdn.Packet{EthDst: sdn.BroadcastMAC, EthType: 0x0806, VlanID: PoisonVLAN}, offer) >= full
-				})
-			}
-		case itemWireFault:
-			res.WireFaults++
-			cfg.count("faultlab_wire_faults_total")
-			ferr, err := WireEpisode(it.wire, wireRng)
-			if err != nil {
-				return res, err
-			}
-			if ferr != nil {
-				sup.WireError(ferr)
-			}
-		}
-	}
-	m := sup.Metrics
-	res.Offered = m.EventsOffered
-	res.Processed = m.EventsProcessed
-	res.Healed = m.EventsHealed
-	res.Shed = m.EventsShed
-	res.Lost = m.EventsLost
-	res.Incidents = m.Incidents
-	res.FailStops = m.FailStops
-	res.Stalls = m.Stalls
-	res.PerfRegressions = m.PerfRegressions
-	res.Divergences = m.Divergences
-	res.Restarts = m.Restarts
-	res.Degradations = m.Degradations
-	res.BudgetDenials = m.BudgetDenials
-	res.Checkpoints = m.Checkpoints
-	res.CheckpointRestores = m.CheckpointRestores
-	res.ColdRestores = m.ColdRestores
-	res.CheckpointRestoreTicks = m.CheckpointRestoreTicks
-	res.ColdRestoreTicks = m.ColdRestoreTicks
-	res.UptimeTicks = m.UptimeTicks
-	res.DowntimeTicks = m.RecoveryTicks
-	res.WireErrors = m.WireErrors
-	res.ShedClasses = sup.ShedClasses()
-	res.FinalState = lab.C.State.String()
-	return res, nil
 }
 
 // runUnsupervised executes the schedule under the fail-fast baseline:

@@ -1,0 +1,195 @@
+package faultlab
+
+// Session is a live supervised campaign runtime — the substrate of
+// the automatic repair loop (internal/repair, E25). Unlike
+// RunCampaign, which builds and discards its runtime, a Session keeps
+// the lab, supervisor, and fault incarnation state alive between
+// schedule epochs, so a caller can: play an epoch (sheds accumulate),
+// install a repaired flow-rule program, lift the repaired sheds on
+// the *same* supervisor, and play another epoch to measure the
+// repaired availability on live state. RunCampaign's supervised path
+// runs on a single-epoch Session, so both share one code path.
+
+import (
+	"math/rand"
+	"time"
+
+	"sdnbugs/internal/resilience"
+	"sdnbugs/internal/sdn"
+	"sdnbugs/internal/supervise"
+)
+
+// Session holds one live supervised campaign runtime.
+type Session struct {
+	Lab *Lab
+	Sup *supervise.Supervisor
+
+	cfg     CampaignConfig
+	hosts   []uint64
+	dpids   []uint64
+	wireRng *rand.Rand
+	program *sdn.Program
+
+	// res accumulates the session-local counters (schedule slots, wire
+	// faults, broadcast probes, program rewrites/drops) across epochs;
+	// supervisor counters are read live at snapshot time.
+	res CampaignResult
+}
+
+// NewSession builds a supervised campaign runtime: full CampaignSuite
+// armed, self-healing supervisor attached, cfg.Program (if any)
+// interposed ahead of the shed filter.
+func NewSession(cfg CampaignConfig) (*Session, error) {
+	cfg = cfg.withDefaults()
+	lab, err := NewMultiLab(CampaignSuite(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		Lab:     lab,
+		cfg:     cfg,
+		hosts:   lab.C.Net.Hosts(),
+		dpids:   lab.C.Net.Switches(),
+		wireRng: rand.New(rand.NewSource(cfg.Seed*104729 + 5)),
+		program: cfg.Program,
+	}
+	mode := "supervised-cold"
+	if cfg.CheckpointEvery > 0 {
+		mode = "supervised-checkpoint"
+	}
+	s.res = CampaignResult{Mode: mode}
+	s.Sup = supervise.New(lab.C, supervise.Config{
+		BaselineMeanCost: lab.baselineMeanCost,
+		Backoff:          resilience.Policy{BaseDelay: 2 * time.Millisecond, MaxDelay: 64 * time.Millisecond},
+		Budget:           resilience.NewBudget(64, 0.25),
+		CheckpointEvery:  cfg.CheckpointEvery,
+		DegradeAfter:     cfg.DegradeAfter,
+		Classify:         ClassifyEvent,
+		OnRestart:        s.onRestart,
+		OnShed:           cfg.OnShed,
+		Metrics:          cfg.Metrics,
+	})
+	// The graceful-degradation hook: shed classes die at the lab
+	// filter, before they reach the controller.
+	lab.Filter = s.Sup.Filter
+	return s, nil
+}
+
+// onRestart advances fault incarnations and resets the program's
+// per-incarnation clamp counters on every supervised restart.
+func (s *Session) onRestart() {
+	s.Lab.NewIncarnations()
+	if s.program != nil {
+		s.program.NewIncarnation()
+	}
+}
+
+// SetProgram installs (or replaces) the flow-rule program for
+// subsequent epochs — the repair loop installs the validated composed
+// program here before lifting sheds.
+func (s *Session) SetProgram(p *sdn.Program) { s.program = p }
+
+// offer routes one workload event: program first (repairs rewrite or
+// clamp poison inputs), then the supervisor's shed filter, then
+// supervised submission.
+func (s *Session) offer(ev sdn.Event) {
+	if s.program != nil {
+		out, verdict := s.program.Apply(ev)
+		switch verdict {
+		case sdn.VerdictDropped:
+			s.res.ProgramDrops++
+			s.cfg.count("faultlab_program_drops_total")
+			return
+		case sdn.VerdictRewritten:
+			s.res.ProgramRewrites++
+			s.cfg.count("faultlab_program_rewrites_total")
+		}
+		ev = out
+	}
+	if rewritten, keep := s.Lab.Filter(ev); keep {
+		s.Sup.Submit(rewritten)
+	}
+}
+
+// PlayEpoch plays one full schedule epoch — the same seed-derived
+// schedule every time, so epochs before and after a repair face the
+// identical offered workload — and returns the cumulative result.
+func (s *Session) PlayEpoch() (CampaignResult, error) {
+	schedule := buildSchedule(s.cfg.Seed, s.cfg.Events, s.hosts, s.dpids)
+	s.res.Events += len(schedule)
+	full := len(s.hosts) - 1
+	for _, it := range schedule {
+		s.cfg.count("faultlab_campaign_slots_total")
+		switch it.kind {
+		case itemConfig, itemPoisonConfig, itemExternal, itemReboot:
+			s.offer(it.ev)
+		case itemUnicast:
+			pump(s.Lab.C.Net, it.src, sdn.Packet{EthDst: it.dst, EthType: 0x0800}, s.offer)
+		case itemBroadcast:
+			s.res.BroadcastProbes++
+			got := pump(s.Lab.C.Net, it.src, sdn.Packet{EthDst: sdn.BroadcastMAC, EthType: 0x0806}, s.offer)
+			if got < full && !s.Sup.ClassShed("network-event") {
+				// Byzantine divergence the probes can't see: feed the
+				// spot-check into the supervisor.
+				s.res.BroadcastFailures++
+				s.Sup.ReportDivergence("network-event", func() bool {
+					return pump(s.Lab.C.Net, it.src, sdn.Packet{EthDst: sdn.BroadcastMAC, EthType: 0x0806}, s.offer) >= full
+				})
+			}
+		case itemMirrorBroadcast:
+			s.res.BroadcastProbes++
+			shedAlready := s.Sup.ClassShed("network-event/mirror-vlan")
+			got := pump(s.Lab.C.Net, it.src, sdn.Packet{EthDst: sdn.BroadcastMAC, EthType: 0x0806, VlanID: PoisonVLAN}, s.offer)
+			if got < full && !shedAlready {
+				s.res.BroadcastFailures++
+				s.Sup.ReportDivergence("network-event/mirror-vlan", func() bool {
+					return pump(s.Lab.C.Net, it.src, sdn.Packet{EthDst: sdn.BroadcastMAC, EthType: 0x0806, VlanID: PoisonVLAN}, s.offer) >= full
+				})
+			}
+		case itemWireFault:
+			s.res.WireFaults++
+			s.cfg.count("faultlab_wire_faults_total")
+			ferr, err := WireEpisode(it.wire, s.wireRng)
+			if err != nil {
+				return s.Snapshot(), err
+			}
+			if ferr != nil {
+				s.Sup.WireError(ferr)
+			}
+		}
+	}
+	return s.Snapshot(), nil
+}
+
+// Snapshot folds the live supervisor metrics into the session
+// counters and returns the cumulative campaign result. Events the
+// program dropped count as offered-and-shed: a repair that merely
+// discards traffic buys no availability.
+func (s *Session) Snapshot() CampaignResult {
+	res := s.res
+	m := s.Sup.Metrics
+	res.Offered = m.EventsOffered + res.ProgramDrops
+	res.Processed = m.EventsProcessed
+	res.Healed = m.EventsHealed
+	res.Shed = m.EventsShed + res.ProgramDrops
+	res.Lost = m.EventsLost
+	res.Incidents = m.Incidents
+	res.FailStops = m.FailStops
+	res.Stalls = m.Stalls
+	res.PerfRegressions = m.PerfRegressions
+	res.Divergences = m.Divergences
+	res.Restarts = m.Restarts
+	res.Degradations = m.Degradations
+	res.BudgetDenials = m.BudgetDenials
+	res.Checkpoints = m.Checkpoints
+	res.CheckpointRestores = m.CheckpointRestores
+	res.ColdRestores = m.ColdRestores
+	res.CheckpointRestoreTicks = m.CheckpointRestoreTicks
+	res.ColdRestoreTicks = m.ColdRestoreTicks
+	res.UptimeTicks = m.UptimeTicks
+	res.DowntimeTicks = m.RecoveryTicks
+	res.WireErrors = m.WireErrors
+	res.ShedClasses = s.Sup.ShedClasses()
+	res.FinalState = s.Lab.C.State.String()
+	return res
+}

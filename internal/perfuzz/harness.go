@@ -155,6 +155,18 @@ type Harness struct {
 	// (evals, cache hits, degradations found, fitness, tail latency).
 	Registry *metrics.Registry
 
+	// Suite, when set, overrides the armed fault set (default
+	// FaultSuite) — the repair loop evaluates reproducers against the
+	// campaign's full fault matrix instead of the fuzzer's.
+	Suite func(seed int64) []*faultlab.Fault
+	// Program, when set, interposes a flow-rule program ahead of the
+	// supervisor's filter, mirroring the campaign session: a candidate
+	// repair is replayed against the very reproducer that triggered
+	// the shed. Clamp counters reset on restart and at the start of
+	// every run. The memo cache keys on the genome alone, so use a
+	// fresh harness per program.
+	Program *sdn.Program
+
 	cache map[string]Eval
 	// Evals counts logical evaluations (cache hits included);
 	// UniqueEvals counts lab runs.
@@ -196,10 +208,15 @@ func (h *Harness) Eval(g Genome) (Eval, error) {
 
 // run executes the genome on a fresh lab.
 func (h *Harness) run(g Genome) (Eval, error) {
-	lab, err := faultlab.NewMultiLab(FaultSuite(h.Seed))
+	suite := h.Suite
+	if suite == nil {
+		suite = FaultSuite
+	}
+	lab, err := faultlab.NewMultiLab(suite(h.Seed))
 	if err != nil {
 		return Eval{}, fmt.Errorf("perfuzz: lab: %w", err)
 	}
+	h.Program.NewIncarnation()
 	hosts := lab.C.Net.Hosts()
 	dpids := lab.C.Net.Switches()
 	if len(hosts) < 2 || len(dpids) == 0 {
@@ -211,8 +228,11 @@ func (h *Harness) run(g Genome) (Eval, error) {
 		Budget:           resilience.NewBudget(64, 0.25),
 		CheckpointEvery:  checkpointEvery,
 		Classify:         faultlab.ClassifyEvent,
-		OnRestart:        lab.NewIncarnations,
-		Metrics:          h.Registry,
+		OnRestart: func() {
+			lab.NewIncarnations()
+			h.Program.NewIncarnation()
+		},
+		Metrics: h.Registry,
 	})
 	lab.Filter = sup.Filter
 
@@ -222,6 +242,13 @@ func (h *Harness) run(g Genome) (Eval, error) {
 	var costs []int
 	elapsed := func() int { return sup.Metrics.UptimeTicks + sup.Metrics.RecoveryTicks }
 	offer := func(ev sdn.Event) {
+		if h.Program != nil {
+			out, verdict := h.Program.Apply(ev)
+			if verdict == sdn.VerdictDropped {
+				return
+			}
+			ev = out
+		}
 		if rewritten, keep := lab.Filter(ev); keep {
 			before := elapsed()
 			sup.Submit(rewritten)

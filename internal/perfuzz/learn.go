@@ -72,6 +72,47 @@ type LearnerReport struct {
 	Beats bool `json:"beats_baselines"`
 }
 
+// FailureModel is a failure-inducing predictor trained on the whole
+// corpus (no held-out split — held-out scoring is Learn's job). The
+// repair loop uses it to rank candidate patches: project each patch
+// onto the shed's reproducer schedule, predict whether the projected
+// schedule still degrades, and validate the likely-healthy candidates
+// first, so the expensive full-campaign validations are spent where
+// the model expects success.
+type FailureModel struct {
+	tree *dtree.Tree
+}
+
+// TrainFailureModel fits a decision tree on the full corpus.
+func TrainFailureModel(corpus []Record) (*FailureModel, error) {
+	if len(corpus) < 2 {
+		return nil, ErrTinyCorpus
+	}
+	x := mathx.NewMatrix(len(corpus), numFeatures)
+	y := make([]int, len(corpus))
+	for i, r := range corpus {
+		copy(x.Row(i), Featurize(r.Genome))
+		if r.Eval.Degraded() {
+			y[i] = 1
+		}
+	}
+	t := &dtree.Tree{MaxDepth: 8, MinLeaf: 1}
+	if err := t.Fit(x, y); err != nil {
+		return nil, err
+	}
+	return &FailureModel{tree: t}, nil
+}
+
+// PredictDegraded reports whether the model expects the schedule to
+// degrade the controller.
+func (m *FailureModel) PredictDegraded(g Genome) bool {
+	if m == nil || m.tree == nil {
+		return false
+	}
+	cls, err := m.tree.Predict(Featurize(g))
+	return err == nil && cls == 1
+}
+
 // Learn featurizes the corpus, trains a depth-bounded decision tree
 // on 2/3 of it (the paper's split protocol), and scores it on the
 // held-out third against the majority and random-guess baselines.

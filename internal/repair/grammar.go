@@ -1,0 +1,287 @@
+// Package repair closes the paper's mine → classify → fix circle
+// (ROADMAP item 2, experiment E25): when the self-healing supervisor
+// sheds a deterministic poison class, the repair loop synthesizes
+// candidate patches to the controller's flow-rule program by
+// sketch-based parameter search over a small repair grammar
+// (NetRep-style), ranks the candidates with the perfuzz
+// failure-model learner, validates each survivor against the ddmin
+// minimal reproducer that triggered the shed plus the full faultlab
+// fault-injection campaign, and lifts the shed only when a candidate
+// passes everything. Graceful degradation (E22) becomes actual
+// self-repair — and classes no grammar production can fix (a drifted
+// external service, a rebooting device) stay shed, exactly as they
+// should.
+package repair
+
+import (
+	"fmt"
+	"strings"
+
+	"sdnbugs/internal/faultlab"
+	"sdnbugs/internal/sdn"
+)
+
+// Production is one repair-grammar production.
+type Production int
+
+// Grammar productions.
+const (
+	// ProdReorder swaps the priorities of two existing program rules —
+	// the classic flow-table fix for shadowed rules.
+	ProdReorder Production = iota
+	// ProdGuard inserts a rewrite rule guarding the class's poison
+	// signature (strip the poison VLAN tag, or normalize the config
+	// value) so the guarded traffic keeps flowing around the bug.
+	ProdGuard
+	// ProdRollback re-targets a poisoned config push onto a
+	// quarantined key prefix: the push is patched, not lost.
+	ProdRollback
+	// ProdClamp admits at most Budget matching events per controller
+	// incarnation — the queue-amplifier repair.
+	ProdClamp
+
+	numProductions
+)
+
+func (p Production) String() string {
+	switch p {
+	case ProdReorder:
+		return "reorder"
+	case ProdGuard:
+		return "guard"
+	case ProdRollback:
+		return "rollback"
+	case ProdClamp:
+		return "clamp"
+	default:
+		return fmt.Sprintf("production-%d", int(p))
+	}
+}
+
+// Patch is one sketch instantiation: a production with its holes
+// filled. Applying a patch to a base program yields a new candidate
+// program; the base is never mutated.
+type Patch struct {
+	Production Production `json:"production"`
+	// Class is the shed degradation class the patch targets.
+	Class string `json:"class"`
+
+	// Reorder holes: the rule positions to swap (taken modulo the rule
+	// count).
+	I int `json:"i,omitempty"`
+	J int `json:"j,omitempty"`
+
+	// Guard holes.
+	StripVlan bool   `json:"strip_vlan,omitempty"`
+	SetValue  string `json:"set_value,omitempty"`
+
+	// Rollback hole: the quarantine prefix replacing the poison
+	// prefix.
+	SetKeyPrefix string `json:"set_key_prefix,omitempty"`
+
+	// Clamp hole: matching events admitted per incarnation.
+	Budget int `json:"budget,omitempty"`
+
+	// Priority of the inserted rule (insertion productions only;
+	// default 10).
+	Priority int `json:"priority,omitempty"`
+}
+
+// String renders the patch for reports and test names.
+func (p Patch) String() string {
+	switch p.Production {
+	case ProdReorder:
+		return fmt.Sprintf("reorder(%d<->%d)", p.I, p.J)
+	case ProdGuard:
+		if p.StripVlan {
+			return fmt.Sprintf("guard(%s: strip-vlan)", p.Class)
+		}
+		return fmt.Sprintf("guard(%s: value=%q)", p.Class, p.SetValue)
+	case ProdRollback:
+		if p.SetValue != "" {
+			return fmt.Sprintf("rollback(%s -> %s, value=%q)", p.Class, p.SetKeyPrefix, p.SetValue)
+		}
+		return fmt.Sprintf("rollback(%s -> %s)", p.Class, p.SetKeyPrefix)
+	case ProdClamp:
+		return fmt.Sprintf("clamp(%s: budget=%d)", p.Class, p.Budget)
+	default:
+		return p.Production.String()
+	}
+}
+
+// classPredicate maps a degradation class (faultlab.ClassifyEvent's
+// vocabulary) to the flow-rule predicate matching its poison
+// signature.
+func classPredicate(class string) (sdn.Predicate, bool) {
+	switch {
+	case class == "configuration/multicast":
+		return sdn.Predicate{Kind: sdn.EventConfig, KeyPrefix: "multicast."}, true
+	case class == "configuration":
+		return sdn.Predicate{Kind: sdn.EventConfig}, true
+	case class == "network-event/mirror-vlan":
+		return sdn.Predicate{Kind: sdn.EventNetwork, BroadcastOnly: true,
+			MatchVlan: true, VlanID: faultlab.PoisonVLAN}, true
+	case class == "network-event":
+		return sdn.Predicate{Kind: sdn.EventNetwork}, true
+	case strings.HasPrefix(class, "external-call/"):
+		return sdn.Predicate{Kind: sdn.EventExternalCall,
+			Service: strings.TrimPrefix(class, "external-call/")}, true
+	case class == "hardware-reboot":
+		return sdn.Predicate{Kind: sdn.EventHardwareReboot}, true
+	}
+	return sdn.Predicate{}, false
+}
+
+// slug flattens a class name into a rule-id fragment.
+func slug(class string) string {
+	return strings.NewReplacer("/", "-", ".", "-").Replace(class)
+}
+
+// uniqueID returns base, suffixed with the smallest counter that
+// avoids colliding with an existing rule id.
+func uniqueID(prog *sdn.Program, base string) string {
+	used := make(map[string]bool, len(prog.Rules))
+	for _, r := range prog.Rules {
+		used[r.ID] = true
+	}
+	if !used[base] {
+		return base
+	}
+	for n := 2; ; n++ {
+		id := fmt.Sprintf("%s-%d", base, n)
+		if !used[id] {
+			return id
+		}
+	}
+}
+
+// Apply instantiates the patch against base, returning a new
+// normalized, validated program. base is cloned, never mutated; a nil
+// base starts from the empty program. Errors mean the patch is not
+// applicable (reorder without two rules, rollback of a non-config
+// class, zero clamp budget) — never a panic, and never an invalid
+// program.
+func (p Patch) Apply(base *sdn.Program) (*sdn.Program, error) {
+	prog := base.Clone()
+	priority := p.Priority
+	if priority == 0 {
+		priority = 10
+	}
+	switch p.Production {
+	case ProdReorder:
+		n := len(prog.Rules)
+		if n < 2 {
+			return nil, fmt.Errorf("repair: reorder needs at least 2 rules, program has %d", n)
+		}
+		i, j := mod(p.I, n), mod(p.J, n)
+		if i == j {
+			j = (i + 1) % n
+		}
+		if prog.Rules[i].Priority == prog.Rules[j].Priority {
+			prog.Rules[i].Priority++
+		} else {
+			prog.Rules[i].Priority, prog.Rules[j].Priority =
+				prog.Rules[j].Priority, prog.Rules[i].Priority
+		}
+	case ProdGuard:
+		pred, ok := classPredicate(p.Class)
+		if !ok {
+			return nil, fmt.Errorf("repair: no poison predicate for class %q", p.Class)
+		}
+		rw := sdn.Rewrite{StripVlan: p.StripVlan, SetValue: p.SetValue}
+		if rw == (sdn.Rewrite{}) {
+			return nil, fmt.Errorf("repair: guard for %q has an empty rewrite", p.Class)
+		}
+		prog.Rules = append(prog.Rules, sdn.Rule{
+			ID:       uniqueID(prog, "guard-"+slug(p.Class)),
+			Priority: priority,
+			Match:    pred,
+			Action:   sdn.ActRewrite,
+			Rewrite:  rw,
+		})
+	case ProdRollback:
+		pred, ok := classPredicate(p.Class)
+		if !ok {
+			return nil, fmt.Errorf("repair: no poison predicate for class %q", p.Class)
+		}
+		if pred.KeyPrefix == "" {
+			return nil, fmt.Errorf("repair: rollback targets config pushes; class %q has no key prefix", p.Class)
+		}
+		if p.SetKeyPrefix == "" || strings.HasPrefix(p.SetKeyPrefix, pred.KeyPrefix) {
+			return nil, fmt.Errorf("repair: rollback prefix %q must be non-empty and leave the poison prefix %q", p.SetKeyPrefix, pred.KeyPrefix)
+		}
+		prog.Rules = append(prog.Rules, sdn.Rule{
+			ID:       uniqueID(prog, "rollback-"+slug(p.Class)),
+			Priority: priority,
+			Match:    pred,
+			Action:   sdn.ActRewrite,
+			Rewrite:  sdn.Rewrite{SetKeyPrefix: p.SetKeyPrefix, SetValue: p.SetValue},
+		})
+	case ProdClamp:
+		pred, ok := classPredicate(p.Class)
+		if !ok {
+			return nil, fmt.Errorf("repair: no poison predicate for class %q", p.Class)
+		}
+		if p.Budget < 1 {
+			return nil, fmt.Errorf("repair: clamp budget %d < 1 (a zero budget is a shed, not a repair)", p.Budget)
+		}
+		prog.Rules = append(prog.Rules, sdn.Rule{
+			ID:          uniqueID(prog, "clamp-"+slug(p.Class)),
+			Priority:    priority,
+			Match:       pred,
+			Action:      sdn.ActClamp,
+			ClampBudget: p.Budget,
+		})
+	default:
+		return nil, fmt.Errorf("repair: unknown production %d", int(p.Production))
+	}
+	prog.Normalize()
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("repair: patch %s produced an invalid program: %w", p, err)
+	}
+	return prog, nil
+}
+
+// mod is a non-negative modulus.
+func mod(v, n int) int {
+	m := v % n
+	if m < 0 {
+		m += n
+	}
+	return m
+}
+
+// SynthesizeCandidates enumerates the sketch grid for a shed class
+// against the current base program, in a fixed order. The order is
+// deliberately learner-neutral — the cheap clamp sketches come first
+// — so the failure-model ranking, not enumeration luck, decides which
+// candidate burns the first full-campaign validation.
+func SynthesizeCandidates(class string, base *sdn.Program) []Patch {
+	var out []Patch
+	add := func(p Patch) {
+		p.Class = class
+		out = append(out, p)
+	}
+	for _, b := range []int{1, 2, 4} {
+		add(Patch{Production: ProdClamp, Budget: b})
+	}
+	switch {
+	case strings.HasPrefix(class, "configuration"):
+		for _, v := range []string{"0", "disabled"} {
+			add(Patch{Production: ProdGuard, SetValue: v})
+		}
+		for _, pfx := range []string{"app.quarantine.", "app.mc."} {
+			for _, v := range []string{"", "0"} {
+				add(Patch{Production: ProdRollback, SetKeyPrefix: pfx, SetValue: v})
+			}
+		}
+	case strings.HasPrefix(class, "network-event"):
+		add(Patch{Production: ProdGuard, StripVlan: true})
+	}
+	if base != nil {
+		for i := 0; i+1 < len(base.Rules) && i < 2; i++ {
+			add(Patch{Production: ProdReorder, I: i, J: i + 1})
+		}
+	}
+	return out
+}

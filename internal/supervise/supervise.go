@@ -74,6 +74,11 @@ type Config struct {
 	// OnRestart runs immediately before every supervised restart; the
 	// fault lab advances fault incarnations here.
 	OnRestart func()
+	// OnShed runs after a class is newly shed — the automatic repair
+	// loop's trigger: it synthesizes candidate patches for the shed
+	// class, validates them, and calls LiftShed on success. The hook
+	// must not submit events.
+	OnShed func(class string)
 	// Metrics, when set, receives live observability counters and
 	// histograms (restarts, probe firings, checkpoint/restore
 	// timings) under supervise_* names. Metrics never influence
@@ -153,6 +158,7 @@ type Metrics struct {
 
 	Restarts      int
 	Degradations  int // classes shed
+	ShedLifts     int // sheds lifted by a validated repair
 	BudgetDenials int
 
 	Checkpoints            int
@@ -253,6 +259,24 @@ func (s *Supervisor) ShedClasses() []string {
 	}
 	sortStrings(out)
 	return out
+}
+
+// LiftShed re-admits a shed event class and returns true; it returns
+// false when the class was not shed. Shed state is deliberately
+// sticky everywhere else: budget deposits, restarts, and checkpoint
+// restores never un-shed a class (a deterministic poison would
+// re-trigger the moment its class flowed again), so the only way back
+// is an explicit lift by a validated repair (internal/repair). The
+// class's failure streak resets — post-repair, it starts clean.
+func (s *Supervisor) LiftShed(class string) bool {
+	if !s.shed[class] {
+		return false
+	}
+	delete(s.shed, class)
+	delete(s.consec, class)
+	s.Metrics.ShedLifts++
+	s.count("supervise_shed_lifts_total")
+	return true
 }
 
 // Filter is the degradation hook, shaped for faultlab.Lab.Filter:
@@ -375,6 +399,9 @@ func (s *Supervisor) degrade(class string) {
 		s.shed[class] = true
 		s.Metrics.Degradations++
 		s.count("supervise_degradations_total")
+		if s.cfg.OnShed != nil {
+			s.cfg.OnShed(class)
+		}
 	}
 	if s.C.State != sdn.StateRunning {
 		s.restart(0)
