@@ -4,7 +4,13 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-smoke bench-tracker-smoke fuzz fuzz-perf fuzz-perf-smoke repair-smoke verify
+# GOMAXPROCS for the full bench slate. The default oversubscribes a
+# single-core host on purpose so BENCH_suite.json records the
+# scheduler-parallel configuration; on multi-core hardware the engine
+# pool turns the same setting into real speedup.
+BENCH_GOMAXPROCS ?= 4
+
+.PHONY: build vet test race bench bench-smoke bench-dataplane-smoke bench-tracker-smoke fuzz fuzz-perf fuzz-perf-smoke repair-smoke verify
 
 build:
 	$(GO) build ./...
@@ -22,15 +28,25 @@ race:
 
 # The full bench slate also refreshes BENCH_suite.json, the
 # machine-readable perf record (suite walls, speedup, per-experiment
-# timings) written by the suite benchmarks.
+# timings, dataplane matrix) written by the suite benchmarks.
 bench:
-	BENCH_JSON=$(CURDIR)/BENCH_suite.json $(GO) test -bench . -benchtime 1x .
+	GOMAXPROCS=$(BENCH_GOMAXPROCS) BENCH_JSON=$(CURDIR)/BENCH_suite.json \
+		$(GO) test -bench . -benchtime 1x .
 
 # bench-smoke is the CI guard: the E09 hot path and the suite
 # sequential/parallel pair, one iteration each, so perf-critical code
 # keeps compiling and running without burning CI minutes.
 bench-smoke:
 	$(GO) test -run='^$$' -bench 'BenchmarkE09|BenchmarkSuite' -benchtime 1x .
+
+# bench-dataplane-smoke is the zero-alloc dataplane gate: the OpenFlow
+# codec benches fail on any steady-state allocation, and the batched
+# controller pipeline must hold >= 2x packets/sec over the per-event
+# baseline. Both the root matrix and the internal/openflow
+# micro-benches run.
+bench-dataplane-smoke:
+	$(GO) test -run='^$$' -bench 'BenchmarkOpenFlow|BenchmarkControllerEvents' -benchtime 200x .
+	$(GO) test -run='^$$' -bench 'BenchmarkOpenFlow' -benchtime 200x ./internal/openflow/
 
 # bench-tracker-smoke drives the whole served-tracker stack at small
 # scale — multi-tenant service, WAL group commit, kill-and-resume
@@ -71,4 +87,4 @@ repair-smoke:
 	$(GO) run ./cmd/faultlab -repair -seed 1 -events 400 -max-candidates 4 \
 		-repair-class configuration/multicast -json > /tmp/repair_smoke.json
 
-verify: build vet test race fuzz-perf-smoke repair-smoke
+verify: build vet test race bench-dataplane-smoke fuzz-perf-smoke repair-smoke

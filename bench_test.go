@@ -52,11 +52,24 @@ var benchState struct {
 	sequentialWall time.Duration
 	parallelWall   time.Duration
 	experiments    []benchExperiment
+	dataplane      []benchDataplane
 }
 
 type benchExperiment struct {
 	ID     string  `json:"id"`
 	WallMS float64 `json:"wall_ms"`
+}
+
+// benchDataplane is one row of the zero-alloc dataplane matrix
+// (bench_dataplane_test.go): codec micro-benches record ns_per_op and
+// allocs per message, the controller pipeline benches record
+// packets_per_sec and allocs per packet (malloc delta over the timed
+// loop).
+type benchDataplane struct {
+	Name          string  `json:"name"`
+	NsPerOp       float64 `json:"ns_per_op,omitempty"`
+	PacketsPerSec float64 `json:"packets_per_sec,omitempty"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
 }
 
 type benchRecord struct {
@@ -65,7 +78,37 @@ type benchRecord struct {
 	SequentialWallMS float64           `json:"sequential_wall_ms"`
 	ParallelWallMS   float64           `json:"parallel_wall_ms"`
 	Speedup          float64           `json:"speedup"`
-	Experiments      []benchExperiment `json:"experiments"`
+	// BatchedSpeedup is the batched-over-serial controller pipeline
+	// throughput ratio (packets/sec), when both pipeline benches ran.
+	BatchedSpeedup float64           `json:"batched_packets_speedup,omitempty"`
+	Experiments    []benchExperiment `json:"experiments"`
+	Dataplane      []benchDataplane  `json:"dataplane,omitempty"`
+}
+
+// recordDataplane upserts one dataplane matrix row by name.
+func recordDataplane(e benchDataplane) {
+	benchState.mu.Lock()
+	defer benchState.mu.Unlock()
+	for i := range benchState.dataplane {
+		if benchState.dataplane[i].Name == e.Name {
+			benchState.dataplane[i] = e
+			return
+		}
+	}
+	benchState.dataplane = append(benchState.dataplane, e)
+}
+
+// dataplaneRate returns the recorded packets_per_sec for a named row
+// (0 when that bench has not run in this invocation).
+func dataplaneRate(name string) float64 {
+	benchState.mu.Lock()
+	defer benchState.mu.Unlock()
+	for _, e := range benchState.dataplane {
+		if e.Name == name {
+			return e.PacketsPerSec
+		}
+	}
+	return 0
 }
 
 // writeBenchJSON persists the suite benchmark record to the path in
@@ -84,9 +127,22 @@ func writeBenchJSON(b *testing.B) {
 		SequentialWallMS: float64(benchState.sequentialWall) / float64(time.Millisecond),
 		ParallelWallMS:   float64(benchState.parallelWall) / float64(time.Millisecond),
 		Experiments:      benchState.experiments,
+		Dataplane:        benchState.dataplane,
 	}
 	if benchState.sequentialWall > 0 && benchState.parallelWall > 0 {
 		rec.Speedup = float64(benchState.sequentialWall) / float64(benchState.parallelWall)
+	}
+	var serialPPS, batchedPPS float64
+	for _, e := range benchState.dataplane {
+		switch e.Name {
+		case "controller_events_serial":
+			serialPPS = e.PacketsPerSec
+		case "controller_events_batched":
+			batchedPPS = e.PacketsPerSec
+		}
+	}
+	if serialPPS > 0 && batchedPPS > 0 {
+		rec.BatchedSpeedup = batchedPPS / serialPPS
 	}
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
@@ -307,11 +363,25 @@ func BenchmarkE11_TopicUniqueness(b *testing.B) {
 	runExperiment(b, benchSuite.E11TopicUniqueness, nil)
 }
 
+// BenchmarkE11_TopicUniqueness_Serial pins Workers=1 on a cold suite;
+// the ratio against the cold parallel run below is the NMF sweep's
+// internal parallel speedup.
+func BenchmarkE11_TopicUniqueness_Serial(b *testing.B) {
+	runExperimentCold(b, 1, (*Suite).E11TopicUniqueness, nil)
+}
+
 func BenchmarkE12_FullDatasetPrediction(b *testing.B) {
 	runExperimentCold(b, 0, (*Suite).E12FullDatasetPrediction, func(b *testing.B, res ExperimentResult) {
 		b.ReportMetric(pctMetric(findCheck(res, "configuration is the dominant predicted trigger")), "pred_config_%")
 		b.ReportMetric(pctMetric(findCheck(res, "network events contribute a small part")), "pred_network_%")
 	})
+}
+
+// BenchmarkE12_FullDatasetPrediction_Serial pins Workers=1; against
+// BenchmarkE12_FullDatasetPrediction it measures the full-dataset
+// fold pool's parallel speedup.
+func BenchmarkE12_FullDatasetPrediction_Serial(b *testing.B) {
+	runExperimentCold(b, 1, (*Suite).E12FullDatasetPrediction, nil)
 }
 
 func BenchmarkE13_SmellTrend(b *testing.B) {
@@ -344,6 +414,13 @@ func BenchmarkE18_ControllerSelection(b *testing.B) {
 
 func BenchmarkE19_RecoveryCoverage(b *testing.B) {
 	runExperiment(b, benchSuite.E19RecoveryCoverage, nil)
+}
+
+// BenchmarkE19_RecoveryCoverage_Serial pins Workers=1 on a cold suite
+// so the recovery-matrix fan-out cost is measurable against the warm
+// parallel bench above.
+func BenchmarkE19_RecoveryCoverage_Serial(b *testing.B) {
+	runExperimentCold(b, 1, (*Suite).E19RecoveryCoverage, nil)
 }
 
 func BenchmarkE20_CrossDomainComparison(b *testing.B) {

@@ -261,12 +261,14 @@ func (l *Lab) pumpPacket(src uint64, p sdn.Packet) ([]sdn.Delivery, error) {
 		if len(pis) == 0 {
 			break
 		}
+		// Ownership of pis transfers at DrainPacketIns: events point into
+		// the drained slice, no per-punt heap copy.
+		l.C.ReserveLog(len(pis))
 		for i := range pis {
 			if l.C.State == sdn.StateCrashed {
 				return net.DrainDeliveries(), nil
 			}
-			pi := pis[i]
-			if err := l.submit(sdn.Event{Kind: sdn.EventNetwork, Msg: &pi}); err != nil {
+			if err := l.submit(sdn.Event{Kind: sdn.EventNetwork, Msg: &pis[i]}); err != nil {
 				return net.DrainDeliveries(), err
 			}
 		}

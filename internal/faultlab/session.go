@@ -111,6 +111,18 @@ func (s *Session) offer(ev sdn.Event) {
 	}
 }
 
+// offerBatch routes one pump round of workload events. The program,
+// shed filter, and supervised submission still run per event in order
+// — a mid-round shed or restart must affect the very next event,
+// exactly as the one-at-a-time path did — so only the controller's log
+// growth is amortized into a single pre-reserved region per round.
+func (s *Session) offerBatch(events []sdn.Event) {
+	s.Sup.C.ReserveLog(len(events))
+	for _, ev := range events {
+		s.offer(ev)
+	}
+}
+
 // PlayEpoch plays one full schedule epoch — the same seed-derived
 // schedule every time, so epochs before and after a repair face the
 // identical offered workload — and returns the cumulative result.
@@ -124,26 +136,26 @@ func (s *Session) PlayEpoch() (CampaignResult, error) {
 		case itemConfig, itemPoisonConfig, itemExternal, itemReboot:
 			s.offer(it.ev)
 		case itemUnicast:
-			pump(s.Lab.C.Net, it.src, sdn.Packet{EthDst: it.dst, EthType: 0x0800}, s.offer)
+			pump(s.Lab.C.Net, it.src, sdn.Packet{EthDst: it.dst, EthType: 0x0800}, s.offerBatch)
 		case itemBroadcast:
 			s.res.BroadcastProbes++
-			got := pump(s.Lab.C.Net, it.src, sdn.Packet{EthDst: sdn.BroadcastMAC, EthType: 0x0806}, s.offer)
+			got := pump(s.Lab.C.Net, it.src, sdn.Packet{EthDst: sdn.BroadcastMAC, EthType: 0x0806}, s.offerBatch)
 			if got < full && !s.Sup.ClassShed("network-event") {
 				// Byzantine divergence the probes can't see: feed the
 				// spot-check into the supervisor.
 				s.res.BroadcastFailures++
 				s.Sup.ReportDivergence("network-event", func() bool {
-					return pump(s.Lab.C.Net, it.src, sdn.Packet{EthDst: sdn.BroadcastMAC, EthType: 0x0806}, s.offer) >= full
+					return pump(s.Lab.C.Net, it.src, sdn.Packet{EthDst: sdn.BroadcastMAC, EthType: 0x0806}, s.offerBatch) >= full
 				})
 			}
 		case itemMirrorBroadcast:
 			s.res.BroadcastProbes++
 			shedAlready := s.Sup.ClassShed("network-event/mirror-vlan")
-			got := pump(s.Lab.C.Net, it.src, sdn.Packet{EthDst: sdn.BroadcastMAC, EthType: 0x0806, VlanID: PoisonVLAN}, s.offer)
+			got := pump(s.Lab.C.Net, it.src, sdn.Packet{EthDst: sdn.BroadcastMAC, EthType: 0x0806, VlanID: PoisonVLAN}, s.offerBatch)
 			if got < full && !shedAlready {
 				s.res.BroadcastFailures++
 				s.Sup.ReportDivergence("network-event/mirror-vlan", func() bool {
-					return pump(s.Lab.C.Net, it.src, sdn.Packet{EthDst: sdn.BroadcastMAC, EthType: 0x0806, VlanID: PoisonVLAN}, s.offer) >= full
+					return pump(s.Lab.C.Net, it.src, sdn.Packet{EthDst: sdn.BroadcastMAC, EthType: 0x0806, VlanID: PoisonVLAN}, s.offerBatch) >= full
 				})
 			}
 		case itemWireFault:

@@ -32,6 +32,12 @@ type Conn struct {
 	readMu  sync.Mutex
 	nextXid uint32
 	closed  bool
+
+	// fr/fw are the lazily created batch reader and writer (guarded by
+	// readMu and writeMu respectively). Once fr exists, Recv must drain
+	// it instead of the raw transport or buffered frames would be lost.
+	fr *FrameReader
+	fw *FrameWriter
 }
 
 // New wraps rw. The caller retains ownership of closing the underlying
@@ -83,6 +89,9 @@ func (c *Conn) Recv() (openflow.Message, uint32, error) {
 	if c.closed {
 		return nil, 0, ErrClosed
 	}
+	if c.fr != nil {
+		return c.fr.ReadOne()
+	}
 	return openflow.ReadMessage(c.rw)
 }
 
@@ -127,6 +136,10 @@ type SwitchAgent struct {
 	Net *sdn.Network
 	// DPID is the switch this agent fronts.
 	DPID uint64
+
+	// scratch and replies are ServeBatch's reusable frame slices.
+	scratch []Frame
+	replies []Frame
 }
 
 // Start performs the switch-side session setup: handshake, then answer

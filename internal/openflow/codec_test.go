@@ -1,0 +1,274 @@
+package openflow
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func sampleMessages() []Message {
+	return []Message{
+		&Hello{},
+		&EchoRequest{Data: []byte("ping-payload")},
+		&EchoReply{Data: []byte("pong")},
+		&FeaturesRequest{},
+		&FeaturesReply{DatapathID: 0xabcdef01, NumPorts: 48},
+		&PacketIn{DatapathID: 7, InPort: 3, Reason: 1, Data: []byte("raw-packet-bytes")},
+		&PacketOut{DatapathID: 7, InPort: 2, Actions: []Action{{Type: ActionOutput, Port: 9}}, Data: []byte("payload")},
+		&FlowMod{
+			DatapathID: 7, Command: FlowAdd, Priority: 100, IdleTimeout: 30,
+			Match:   Match{MatchInPort: true, InPort: 1, EthDst: 0x0a0b0c0d0e0f, EthType: 0x0800, VlanID: 12},
+			Actions: []Action{{Type: ActionOutput, Port: 2}, {Type: ActionSetVlan, Vlan: 42}},
+		},
+		&FlowRemoved{DatapathID: 7, Priority: 100, Match: Match{EthSrc: 0x1234}, Reason: 1},
+		&PortStatus{DatapathID: 7, Port: 4, Reason: 2, Up: true},
+		&ErrorMsg{ErrType: 1, Code: 5, Data: []byte("bad flow-mod")},
+	}
+}
+
+// AppendEncode must produce byte-identical frames to the historical
+// Encode path, including when appending after existing bytes.
+func TestAppendEncodeMatchesEncode(t *testing.T) {
+	for _, msg := range sampleMessages() {
+		want, err := Encode(msg, 77)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", msg.Type(), err)
+		}
+		got, err := AppendEncode(nil, msg, 77)
+		if err != nil {
+			t.Fatalf("AppendEncode(%v): %v", msg.Type(), err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("AppendEncode(%v) = %x, want %x", msg.Type(), got, want)
+		}
+		prefix := []byte("prefix")
+		appended, err := AppendEncode(append([]byte(nil), prefix...), msg, 77)
+		if err != nil {
+			t.Fatalf("AppendEncode with prefix (%v): %v", msg.Type(), err)
+		}
+		if !bytes.Equal(appended[:len(prefix)], prefix) || !bytes.Equal(appended[len(prefix):], want) {
+			t.Fatalf("AppendEncode(%v) with prefix corrupted frame", msg.Type())
+		}
+	}
+}
+
+func TestAppendEncodeOversizedLeavesDst(t *testing.T) {
+	dst := []byte("keepme")
+	big := &PacketOut{Data: make([]byte, MaxFrameLen)}
+	out, err := AppendEncode(dst, big, 1)
+	if !errors.Is(err, ErrOversized) {
+		t.Fatalf("err = %v, want ErrOversized", err)
+	}
+	if string(out) != "keepme" {
+		t.Fatalf("dst not truncated back on error: %q", out)
+	}
+}
+
+func TestDecodeInto(t *testing.T) {
+	for _, msg := range sampleMessages() {
+		frame, err := Encode(msg, 1234)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", msg.Type(), err)
+		}
+		dst, err := newMessage(msg.Type())
+		if err != nil {
+			t.Fatalf("newMessage(%v): %v", msg.Type(), err)
+		}
+		xid, rest, err := DecodeInto(frame, dst)
+		if err != nil {
+			t.Fatalf("DecodeInto(%v): %v", msg.Type(), err)
+		}
+		if xid != 1234 || len(rest) != 0 {
+			t.Fatalf("DecodeInto(%v): xid=%d rest=%d", msg.Type(), xid, len(rest))
+		}
+		if !reflect.DeepEqual(dst, msg) {
+			t.Fatalf("DecodeInto(%v) = %+v, want %+v", msg.Type(), dst, msg)
+		}
+	}
+}
+
+func TestDecodeIntoTypeMismatch(t *testing.T) {
+	frame, err := Encode(&Hello{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pi PacketIn
+	if _, _, err := DecodeInto(frame, &pi); !errors.Is(err, ErrTypeMatch) {
+		t.Fatalf("err = %v, want ErrTypeMatch", err)
+	}
+}
+
+// A recycled message must not leak previous contents: decoding a
+// shorter payload into reused scratch truncates, never retains.
+func TestDecodeIntoReusedScratchTruncates(t *testing.T) {
+	long, _ := Encode(&PacketIn{DatapathID: 1, Data: []byte("a-long-payload")}, 1)
+	short, _ := Encode(&PacketIn{DatapathID: 2, Data: []byte("s")}, 2)
+	var pi PacketIn
+	if _, _, err := DecodeInto(long, &pi); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeInto(short, &pi); err != nil {
+		t.Fatal(err)
+	}
+	if string(pi.Data) != "s" || pi.DatapathID != 2 {
+		t.Fatalf("reused scratch retained stale state: %+v", pi)
+	}
+	mods, _ := Encode(&FlowMod{Actions: []Action{{Type: ActionOutput, Port: 1}, {Type: ActionDrop}}}, 3)
+	modNone, _ := Encode(&FlowMod{}, 4)
+	var fm FlowMod
+	if _, _, err := DecodeInto(mods, &fm); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeInto(modNone, &fm); err != nil {
+		t.Fatal(err)
+	}
+	if len(fm.Actions) != 0 {
+		t.Fatalf("reused scratch retained stale actions: %+v", fm.Actions)
+	}
+}
+
+func TestCodecDecodeAllTypes(t *testing.T) {
+	for _, mode := range []struct {
+		name  string
+		codec *Codec
+	}{{"copy", NewCodec()}, {"zero-copy", NewZeroCopyCodec()}} {
+		t.Run(mode.name, func(t *testing.T) {
+			for _, msg := range sampleMessages() {
+				frame, err := Encode(msg, 55)
+				if err != nil {
+					t.Fatalf("Encode(%v): %v", msg.Type(), err)
+				}
+				got, xid, rest, err := mode.codec.Decode(frame)
+				if err != nil {
+					t.Fatalf("Codec.Decode(%v): %v", msg.Type(), err)
+				}
+				if xid != 55 || len(rest) != 0 {
+					t.Fatalf("Codec.Decode(%v): xid=%d rest=%d", msg.Type(), xid, len(rest))
+				}
+				if !reflect.DeepEqual(got, msg) {
+					t.Fatalf("Codec.Decode(%v) = %+v, want %+v", msg.Type(), got, msg)
+				}
+			}
+		})
+	}
+}
+
+// Zero-copy decodes must alias the input buffer; copy-mode decodes
+// must not.
+func TestCodecAliasing(t *testing.T) {
+	frame, err := Encode(&PacketIn{DatapathID: 1, InPort: 2, Data: []byte("alias-me")}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	zc := NewZeroCopyCodec()
+	msg, _, _, err := zc.Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := msg.(*PacketIn)
+	frame[len(frame)-1] = 'X'
+	if pi.Data[len(pi.Data)-1] != 'X' {
+		t.Fatal("zero-copy decode did not alias the input buffer")
+	}
+	frame[len(frame)-1] = 'e'
+
+	cp := NewCodec()
+	msg, _, _, err = cp.Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi = msg.(*PacketIn)
+	frame[len(frame)-1] = 'X'
+	if pi.Data[len(pi.Data)-1] == 'X' {
+		t.Fatal("copy-mode decode aliased the input buffer")
+	}
+}
+
+func TestCodecReadMessage(t *testing.T) {
+	var stream bytes.Buffer
+	msgs := sampleMessages()
+	for i, msg := range msgs {
+		if err := WriteMessage(&stream, msg, uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := NewCodec()
+	for i, want := range msgs {
+		got, xid, err := c.ReadMessage(&stream)
+		if err != nil {
+			t.Fatalf("ReadMessage %d: %v", i, err)
+		}
+		if xid != uint32(i) {
+			t.Fatalf("ReadMessage %d: xid = %d", i, xid)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("ReadMessage %d = %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+func TestCodecDecodeErrors(t *testing.T) {
+	c := NewCodec()
+	if _, _, _, err := c.Decode([]byte{Version, 0, 0}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short frame: %v", err)
+	}
+	bad := []byte{0x01, 0, 0, 8, 0, 0, 0, 0}
+	if _, _, _, err := c.Decode(bad); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("bad version: %v", err)
+	}
+	unknown := []byte{Version, 99, 0, 8, 0, 0, 0, 0}
+	if _, _, _, err := c.Decode(unknown); !errors.Is(err, ErrBadType) {
+		t.Fatalf("unknown type: %v", err)
+	}
+}
+
+func BenchmarkOpenFlowEncode(b *testing.B) {
+	msg := &PacketIn{DatapathID: 7, InPort: 3, Reason: 1, Data: make([]byte, 64)}
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = AppendEncode(buf[:0], msg, uint32(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+func BenchmarkOpenFlowDecode(b *testing.B) {
+	frame, err := Encode(&PacketIn{DatapathID: 7, InPort: 3, Reason: 1, Data: make([]byte, 64)}, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := NewZeroCopyCodec()
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := c.Decode(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOpenFlowReadMessage(b *testing.B) {
+	frame, err := Encode(&PacketIn{DatapathID: 7, InPort: 3, Reason: 1, Data: make([]byte, 64)}, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := NewCodec()
+	r := bytes.NewReader(frame)
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset(frame)
+		if _, _, err := c.ReadMessage(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

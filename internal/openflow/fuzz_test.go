@@ -82,6 +82,37 @@ func FuzzDecodeMessage(f *testing.F) {
 			t.Fatalf("round trip changed %v/%d -> %v/%d (rest %d)",
 				msg.Type(), xid, msg2.Type(), xid2, len(rest2))
 		}
+		// The hot-path encoder must agree with Encode byte-for-byte,
+		// and its output must survive encode -> decode -> encode with
+		// byte identity (the canonical form is a fixed point).
+		appended, err := AppendEncode(nil, msg, xid)
+		if err != nil {
+			t.Fatalf("AppendEncode %v: %v", msg.Type(), err)
+		}
+		if !bytes.Equal(appended, frame) {
+			t.Fatalf("AppendEncode diverged from Encode for %v", msg.Type())
+		}
+		again, err := AppendEncode(nil, msg2, xid2)
+		if err != nil {
+			t.Fatalf("AppendEncode(decoded) %v: %v", msg.Type(), err)
+		}
+		if !bytes.Equal(again, frame) {
+			t.Fatalf("encode->decode->encode not byte-identical for %v:\n  %x\n  %x",
+				msg.Type(), frame, again)
+		}
+		// The zero-copy codec must agree with the allocating decoder.
+		zc := NewZeroCopyCodec()
+		msg3, xid3, _, err := zc.Decode(frame)
+		if err != nil {
+			t.Fatalf("Codec.Decode(encode(%v)): %v", msg.Type(), err)
+		}
+		third, err := AppendEncode(nil, msg3, xid3)
+		if err != nil {
+			t.Fatalf("AppendEncode(codec-decoded) %v: %v", msg.Type(), err)
+		}
+		if !bytes.Equal(third, frame) {
+			t.Fatalf("zero-copy decode changed %v on re-encode", msg.Type())
+		}
 	})
 }
 

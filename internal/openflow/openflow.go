@@ -5,10 +5,18 @@
 // endian fields) follows the OpenFlow specification; match and action
 // structures use fixed layouts rather than full OXM TLVs, which is all
 // the simulated dataplane requires.
+//
+// The codec has two tiers. The convenience tier (Encode, Decode,
+// ReadMessage, WriteMessage) allocates a fresh frame or message per
+// call and is what casual callers use. The hot tier (AppendEncode,
+// DecodeInto, Codec) is allocation-free in steady state: AppendEncode
+// frames into a caller-provided buffer, and a Codec decodes into
+// reusable per-type message scratch with an optional zero-copy mode
+// that aliases payload bytes instead of copying them. The batched
+// dataplane path (internal/ofconn) is built on the hot tier.
 package openflow
 
 import (
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -71,6 +79,7 @@ var (
 	ErrTruncated  = errors.New("openflow: truncated message")
 	ErrBadType    = errors.New("openflow: unknown message type")
 	ErrOversized  = errors.New("openflow: message too large")
+	ErrTypeMatch  = errors.New("openflow: frame type does not match message")
 )
 
 // headerLen is the fixed OpenFlow header size.
@@ -85,10 +94,13 @@ const MaxFrameLen = 0xffff
 type Message interface {
 	// Type returns the message's wire type.
 	Type() MsgType
-	// encodeBody appends the body (everything after the header).
-	encodeBody(*bytes.Buffer)
-	// decodeBody parses the body.
-	decodeBody([]byte) error
+	// appendBody appends the body (everything after the header) to dst
+	// and returns the extended slice.
+	appendBody(dst []byte) []byte
+	// decodeBody parses the body. With zeroCopy set, payload byte
+	// slices alias b instead of being copied; the caller owns the
+	// aliasing hazard (the Codec's batch path does).
+	decodeBody(b []byte, zeroCopy bool) error
 }
 
 // Match selects packets; zero fields are wildcards except InPort,
@@ -104,23 +116,17 @@ type Match struct {
 
 const matchLen = 1 + 4 + 8 + 8 + 2 + 2
 
-func (m Match) encode(buf *bytes.Buffer) {
+func (m Match) append(dst []byte) []byte {
 	var flag byte
 	if m.MatchInPort {
 		flag = 1
 	}
-	buf.WriteByte(flag)
-	var tmp [8]byte
-	binary.BigEndian.PutUint32(tmp[:4], m.InPort)
-	buf.Write(tmp[:4])
-	binary.BigEndian.PutUint64(tmp[:], m.EthSrc)
-	buf.Write(tmp[:])
-	binary.BigEndian.PutUint64(tmp[:], m.EthDst)
-	buf.Write(tmp[:])
-	binary.BigEndian.PutUint16(tmp[:2], m.EthType)
-	buf.Write(tmp[:2])
-	binary.BigEndian.PutUint16(tmp[:2], m.VlanID)
-	buf.Write(tmp[:2])
+	dst = append(dst, flag)
+	dst = binary.BigEndian.AppendUint32(dst, m.InPort)
+	dst = binary.BigEndian.AppendUint64(dst, m.EthSrc)
+	dst = binary.BigEndian.AppendUint64(dst, m.EthDst)
+	dst = binary.BigEndian.AppendUint16(dst, m.EthType)
+	return binary.BigEndian.AppendUint16(dst, m.VlanID)
 }
 
 func decodeMatch(b []byte) (Match, []byte, error) {
@@ -165,14 +171,10 @@ const PortController = 0xfffffffd
 
 const actionLen = 2 + 4 + 2
 
-func (a Action) encode(buf *bytes.Buffer) {
-	var tmp [4]byte
-	binary.BigEndian.PutUint16(tmp[:2], uint16(a.Type))
-	buf.Write(tmp[:2])
-	binary.BigEndian.PutUint32(tmp[:4], a.Port)
-	buf.Write(tmp[:4])
-	binary.BigEndian.PutUint16(tmp[:2], a.Vlan)
-	buf.Write(tmp[:2])
+func (a Action) append(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(a.Type))
+	dst = binary.BigEndian.AppendUint32(dst, a.Port)
+	return binary.BigEndian.AppendUint16(dst, a.Vlan)
 }
 
 func decodeAction(b []byte) (Action, []byte, error) {
@@ -187,22 +189,49 @@ func decodeAction(b []byte) (Action, []byte, error) {
 	return a, b[actionLen:], nil
 }
 
+// takeBytes fills *dst with b according to the copy mode: zero-copy
+// aliases b directly, copy mode reuses *dst's backing capacity so a
+// recycled message reaches steady-state zero allocations. An empty b
+// leaves *dst nil on a fresh message, matching the historical decoder.
+func takeBytes(dst *[]byte, b []byte, zeroCopy bool) {
+	if zeroCopy {
+		*dst = b
+		return
+	}
+	*dst = append((*dst)[:0], b...)
+}
+
+// takeActions decodes n actions from rest into *dst, reusing *dst's
+// capacity, and returns the remaining bytes.
+func takeActions(dst *[]Action, n int, rest []byte) ([]byte, error) {
+	*dst = (*dst)[:0]
+	for i := 0; i < n; i++ {
+		a, r, err := decodeAction(rest)
+		if err != nil {
+			return nil, err
+		}
+		*dst = append(*dst, a)
+		rest = r
+	}
+	return rest, nil
+}
+
 // Hello opens a connection.
 type Hello struct{}
 
 // Type implements Message.
-func (Hello) Type() MsgType              { return TypeHello }
-func (Hello) encodeBody(*bytes.Buffer)   {}
-func (*Hello) decodeBody(b []byte) error { return nil }
+func (Hello) Type() MsgType                  { return TypeHello }
+func (Hello) appendBody(dst []byte) []byte   { return dst }
+func (*Hello) decodeBody([]byte, bool) error { return nil }
 
 // EchoRequest is a liveness probe.
 type EchoRequest struct{ Data []byte }
 
 // Type implements Message.
 func (EchoRequest) Type() MsgType                  { return TypeEchoRequest }
-func (e EchoRequest) encodeBody(buf *bytes.Buffer) { buf.Write(e.Data) }
-func (e *EchoRequest) decodeBody(b []byte) error {
-	e.Data = append([]byte(nil), b...)
+func (e EchoRequest) appendBody(dst []byte) []byte { return append(dst, e.Data...) }
+func (e *EchoRequest) decodeBody(b []byte, zc bool) error {
+	takeBytes(&e.Data, b, zc)
 	return nil
 }
 
@@ -211,9 +240,9 @@ type EchoReply struct{ Data []byte }
 
 // Type implements Message.
 func (EchoReply) Type() MsgType                  { return TypeEchoReply }
-func (e EchoReply) encodeBody(buf *bytes.Buffer) { buf.Write(e.Data) }
-func (e *EchoReply) decodeBody(b []byte) error {
-	e.Data = append([]byte(nil), b...)
+func (e EchoReply) appendBody(dst []byte) []byte { return append(dst, e.Data...) }
+func (e *EchoReply) decodeBody(b []byte, zc bool) error {
+	takeBytes(&e.Data, b, zc)
 	return nil
 }
 
@@ -221,9 +250,9 @@ func (e *EchoReply) decodeBody(b []byte) error {
 type FeaturesRequest struct{}
 
 // Type implements Message.
-func (FeaturesRequest) Type() MsgType              { return TypeFeaturesReq }
-func (FeaturesRequest) encodeBody(*bytes.Buffer)   {}
-func (*FeaturesRequest) decodeBody(b []byte) error { return nil }
+func (FeaturesRequest) Type() MsgType                  { return TypeFeaturesReq }
+func (FeaturesRequest) appendBody(dst []byte) []byte   { return dst }
+func (*FeaturesRequest) decodeBody([]byte, bool) error { return nil }
 
 // FeaturesReply describes a datapath.
 type FeaturesReply struct {
@@ -233,14 +262,11 @@ type FeaturesReply struct {
 
 // Type implements Message.
 func (FeaturesReply) Type() MsgType { return TypeFeaturesReply }
-func (f FeaturesReply) encodeBody(buf *bytes.Buffer) {
-	var tmp [8]byte
-	binary.BigEndian.PutUint64(tmp[:], f.DatapathID)
-	buf.Write(tmp[:])
-	binary.BigEndian.PutUint32(tmp[:4], f.NumPorts)
-	buf.Write(tmp[:4])
+func (f FeaturesReply) appendBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, f.DatapathID)
+	return binary.BigEndian.AppendUint32(dst, f.NumPorts)
 }
-func (f *FeaturesReply) decodeBody(b []byte) error {
+func (f *FeaturesReply) decodeBody(b []byte, _ bool) error {
 	if len(b) < 12 {
 		return ErrTruncated
 	}
@@ -260,23 +286,20 @@ type PacketIn struct {
 
 // Type implements Message.
 func (PacketIn) Type() MsgType { return TypePacketIn }
-func (p PacketIn) encodeBody(buf *bytes.Buffer) {
-	var tmp [8]byte
-	binary.BigEndian.PutUint64(tmp[:], p.DatapathID)
-	buf.Write(tmp[:])
-	binary.BigEndian.PutUint32(tmp[:4], p.InPort)
-	buf.Write(tmp[:4])
-	buf.WriteByte(p.Reason)
-	buf.Write(p.Data)
+func (p PacketIn) appendBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, p.DatapathID)
+	dst = binary.BigEndian.AppendUint32(dst, p.InPort)
+	dst = append(dst, p.Reason)
+	return append(dst, p.Data...)
 }
-func (p *PacketIn) decodeBody(b []byte) error {
+func (p *PacketIn) decodeBody(b []byte, zc bool) error {
 	if len(b) < 13 {
 		return ErrTruncated
 	}
 	p.DatapathID = binary.BigEndian.Uint64(b[:8])
 	p.InPort = binary.BigEndian.Uint32(b[8:12])
 	p.Reason = b[12]
-	p.Data = append([]byte(nil), b[13:]...)
+	takeBytes(&p.Data, b[13:], zc)
 	return nil
 }
 
@@ -290,20 +313,16 @@ type PacketOut struct {
 
 // Type implements Message.
 func (PacketOut) Type() MsgType { return TypePacketOut }
-func (p PacketOut) encodeBody(buf *bytes.Buffer) {
-	var tmp [8]byte
-	binary.BigEndian.PutUint64(tmp[:], p.DatapathID)
-	buf.Write(tmp[:])
-	binary.BigEndian.PutUint32(tmp[:4], p.InPort)
-	buf.Write(tmp[:4])
-	binary.BigEndian.PutUint16(tmp[:2], uint16(len(p.Actions)))
-	buf.Write(tmp[:2])
+func (p PacketOut) appendBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, p.DatapathID)
+	dst = binary.BigEndian.AppendUint32(dst, p.InPort)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(p.Actions)))
 	for _, a := range p.Actions {
-		a.encode(buf)
+		dst = a.append(dst)
 	}
-	buf.Write(p.Data)
+	return append(dst, p.Data...)
 }
-func (p *PacketOut) decodeBody(b []byte) error {
+func (p *PacketOut) decodeBody(b []byte, zc bool) error {
 	if len(b) < 14 {
 		return ErrTruncated
 	}
@@ -316,17 +335,11 @@ func (p *PacketOut) decodeBody(b []byte) error {
 	if n*actionLen > len(rest) {
 		return ErrTruncated
 	}
-	p.Actions = nil
-	for i := 0; i < n; i++ {
-		var a Action
-		var err error
-		a, rest, err = decodeAction(rest)
-		if err != nil {
-			return err
-		}
-		p.Actions = append(p.Actions, a)
+	rest, err := takeActions(&p.Actions, n, rest)
+	if err != nil {
+		return err
 	}
-	p.Data = append([]byte(nil), rest...)
+	takeBytes(&p.Data, rest, zc)
 	return nil
 }
 
@@ -351,23 +364,19 @@ type FlowMod struct {
 
 // Type implements Message.
 func (FlowMod) Type() MsgType { return TypeFlowMod }
-func (f FlowMod) encodeBody(buf *bytes.Buffer) {
-	var tmp [8]byte
-	binary.BigEndian.PutUint64(tmp[:], f.DatapathID)
-	buf.Write(tmp[:])
-	buf.WriteByte(byte(f.Command))
-	binary.BigEndian.PutUint16(tmp[:2], f.Priority)
-	buf.Write(tmp[:2])
-	binary.BigEndian.PutUint16(tmp[:2], f.IdleTimeout)
-	buf.Write(tmp[:2])
-	f.Match.encode(buf)
-	binary.BigEndian.PutUint16(tmp[:2], uint16(len(f.Actions)))
-	buf.Write(tmp[:2])
+func (f FlowMod) appendBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, f.DatapathID)
+	dst = append(dst, byte(f.Command))
+	dst = binary.BigEndian.AppendUint16(dst, f.Priority)
+	dst = binary.BigEndian.AppendUint16(dst, f.IdleTimeout)
+	dst = f.Match.append(dst)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(f.Actions)))
 	for _, a := range f.Actions {
-		a.encode(buf)
+		dst = a.append(dst)
 	}
+	return dst
 }
-func (f *FlowMod) decodeBody(b []byte) error {
+func (f *FlowMod) decodeBody(b []byte, _ bool) error {
 	if len(b) < 13+matchLen+2 {
 		return ErrTruncated
 	}
@@ -390,16 +399,8 @@ func (f *FlowMod) decodeBody(b []byte) error {
 	if n*actionLen > len(rest) {
 		return ErrTruncated
 	}
-	f.Actions = nil
-	for i := 0; i < n; i++ {
-		var a Action
-		a, rest, err = decodeAction(rest)
-		if err != nil {
-			return err
-		}
-		f.Actions = append(f.Actions, a)
-	}
-	return nil
+	_, err = takeActions(&f.Actions, n, rest)
+	return err
 }
 
 // FlowRemoved notifies the controller a flow expired or was deleted.
@@ -413,16 +414,13 @@ type FlowRemoved struct {
 
 // Type implements Message.
 func (FlowRemoved) Type() MsgType { return TypeFlowRemoved }
-func (f FlowRemoved) encodeBody(buf *bytes.Buffer) {
-	var tmp [8]byte
-	binary.BigEndian.PutUint64(tmp[:], f.DatapathID)
-	buf.Write(tmp[:])
-	binary.BigEndian.PutUint16(tmp[:2], f.Priority)
-	buf.Write(tmp[:2])
-	f.Match.encode(buf)
-	buf.WriteByte(f.Reason)
+func (f FlowRemoved) appendBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, f.DatapathID)
+	dst = binary.BigEndian.AppendUint16(dst, f.Priority)
+	dst = f.Match.append(dst)
+	return append(dst, f.Reason)
 }
-func (f *FlowRemoved) decodeBody(b []byte) error {
+func (f *FlowRemoved) decodeBody(b []byte, _ bool) error {
 	if len(b) < 10+matchLen+1 {
 		return ErrTruncated
 	}
@@ -453,20 +451,16 @@ type PortStatus struct {
 
 // Type implements Message.
 func (PortStatus) Type() MsgType { return TypePortStatus }
-func (p PortStatus) encodeBody(buf *bytes.Buffer) {
-	var tmp [8]byte
-	binary.BigEndian.PutUint64(tmp[:], p.DatapathID)
-	buf.Write(tmp[:])
-	binary.BigEndian.PutUint32(tmp[:4], p.Port)
-	buf.Write(tmp[:4])
-	buf.WriteByte(p.Reason)
+func (p PortStatus) appendBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, p.DatapathID)
+	dst = binary.BigEndian.AppendUint32(dst, p.Port)
+	dst = append(dst, p.Reason)
 	if p.Up {
-		buf.WriteByte(1)
-	} else {
-		buf.WriteByte(0)
+		return append(dst, 1)
 	}
+	return append(dst, 0)
 }
-func (p *PortStatus) decodeBody(b []byte) error {
+func (p *PortStatus) decodeBody(b []byte, _ bool) error {
 	if len(b) < 14 {
 		return ErrTruncated
 	}
@@ -486,92 +480,135 @@ type ErrorMsg struct {
 
 // Type implements Message.
 func (ErrorMsg) Type() MsgType { return TypeError }
-func (e ErrorMsg) encodeBody(buf *bytes.Buffer) {
-	var tmp [2]byte
-	binary.BigEndian.PutUint16(tmp[:], e.ErrType)
-	buf.Write(tmp[:])
-	binary.BigEndian.PutUint16(tmp[:], e.Code)
-	buf.Write(tmp[:])
-	buf.Write(e.Data)
+func (e ErrorMsg) appendBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, e.ErrType)
+	dst = binary.BigEndian.AppendUint16(dst, e.Code)
+	return append(dst, e.Data...)
 }
-func (e *ErrorMsg) decodeBody(b []byte) error {
+func (e *ErrorMsg) decodeBody(b []byte, zc bool) error {
 	if len(b) < 4 {
 		return ErrTruncated
 	}
 	e.ErrType = binary.BigEndian.Uint16(b[:2])
 	e.Code = binary.BigEndian.Uint16(b[2:4])
-	e.Data = append([]byte(nil), b[4:]...)
+	takeBytes(&e.Data, b[4:], zc)
 	return nil
 }
 
-// Encode frames msg with the given transaction id.
-func Encode(msg Message, xid uint32) ([]byte, error) {
-	var body bytes.Buffer
-	msg.encodeBody(&body)
-	total := headerLen + body.Len()
-	if total > MaxFrameLen {
-		return nil, fmt.Errorf("%w: %d bytes", ErrOversized, total)
+// newMessage returns a fresh zero message of the given wire type.
+func newMessage(t MsgType) (Message, error) {
+	switch t {
+	case TypeHello:
+		return &Hello{}, nil
+	case TypeError:
+		return &ErrorMsg{}, nil
+	case TypeEchoRequest:
+		return &EchoRequest{}, nil
+	case TypeEchoReply:
+		return &EchoReply{}, nil
+	case TypeFeaturesReq:
+		return &FeaturesRequest{}, nil
+	case TypeFeaturesReply:
+		return &FeaturesReply{}, nil
+	case TypePacketIn:
+		return &PacketIn{}, nil
+	case TypeFlowRemoved:
+		return &FlowRemoved{}, nil
+	case TypePortStatus:
+		return &PortStatus{}, nil
+	case TypePacketOut:
+		return &PacketOut{}, nil
+	case TypeFlowMod:
+		return &FlowMod{}, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadType, uint8(t))
 	}
-	out := make([]byte, headerLen, total)
-	out[0] = Version
-	out[1] = byte(msg.Type())
-	binary.BigEndian.PutUint16(out[2:4], uint16(total))
-	binary.BigEndian.PutUint32(out[4:8], xid)
-	return append(out, body.Bytes()...), nil
 }
 
-// Decode parses one framed message, returning it, its xid, and any
-// trailing bytes beyond the framed length.
-func Decode(b []byte) (Message, uint32, []byte, error) {
+// AppendEncode frames msg with the given transaction id, appending the
+// encoded frame to dst and returning the extended slice. With enough
+// capacity in dst the call performs no allocation — this is the hot
+// encode path the batched dataplane writer uses. On error dst is
+// returned truncated to its original length.
+func AppendEncode(dst []byte, msg Message, xid uint32) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, Version, byte(msg.Type()), 0, 0)
+	dst = binary.BigEndian.AppendUint32(dst, xid)
+	dst = msg.appendBody(dst)
+	total := len(dst) - start
+	if total > MaxFrameLen {
+		return dst[:start], fmt.Errorf("%w: %d bytes", ErrOversized, total)
+	}
+	binary.BigEndian.PutUint16(dst[start+2:start+4], uint16(total))
+	return dst, nil
+}
+
+// Encode frames msg with the given transaction id into a fresh buffer.
+func Encode(msg Message, xid uint32) ([]byte, error) {
+	return AppendEncode(nil, msg, xid)
+}
+
+// parseHeader validates a frame header and returns the framed length
+// and xid.
+func parseHeader(b []byte) (length int, xid uint32, err error) {
 	if len(b) < headerLen {
-		return nil, 0, nil, ErrTruncated
+		return 0, 0, ErrTruncated
 	}
 	if b[0] != Version {
-		return nil, 0, nil, fmt.Errorf("%w: 0x%02x", ErrBadVersion, b[0])
+		return 0, 0, fmt.Errorf("%w: 0x%02x", ErrBadVersion, b[0])
 	}
-	length := int(binary.BigEndian.Uint16(b[2:4]))
+	length = int(binary.BigEndian.Uint16(b[2:4]))
 	if length < headerLen || len(b) < length {
-		return nil, 0, nil, ErrTruncated
+		return 0, 0, ErrTruncated
 	}
-	xid := binary.BigEndian.Uint32(b[4:8])
-	body := b[headerLen:length]
-	var msg Message
-	switch MsgType(b[1]) {
-	case TypeHello:
-		msg = &Hello{}
-	case TypeError:
-		msg = &ErrorMsg{}
-	case TypeEchoRequest:
-		msg = &EchoRequest{}
-	case TypeEchoReply:
-		msg = &EchoReply{}
-	case TypeFeaturesReq:
-		msg = &FeaturesRequest{}
-	case TypeFeaturesReply:
-		msg = &FeaturesReply{}
-	case TypePacketIn:
-		msg = &PacketIn{}
-	case TypeFlowRemoved:
-		msg = &FlowRemoved{}
-	case TypePortStatus:
-		msg = &PortStatus{}
-	case TypePacketOut:
-		msg = &PacketOut{}
-	case TypeFlowMod:
-		msg = &FlowMod{}
-	default:
-		return nil, 0, nil, fmt.Errorf("%w: %d", ErrBadType, b[1])
+	return length, binary.BigEndian.Uint32(b[4:8]), nil
+}
+
+// Decode parses one framed message into a freshly allocated message,
+// returning it, its xid, and any trailing bytes beyond the framed
+// length.
+func Decode(b []byte) (Message, uint32, []byte, error) {
+	length, xid, err := parseHeader(b)
+	if err != nil {
+		return nil, 0, nil, err
 	}
-	if err := msg.decodeBody(body); err != nil {
+	msg, err := newMessage(MsgType(b[1]))
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	if err := msg.decodeBody(b[headerLen:length], false); err != nil {
 		return nil, 0, nil, err
 	}
 	return msg, xid, b[length:], nil
 }
 
+// DecodeInto parses one framed message into the caller-provided msg,
+// whose type must match the frame's wire type, and returns the xid and
+// any trailing bytes. Payload slices and action slices reuse msg's
+// existing capacity, so decoding into a recycled message is
+// allocation-free in steady state.
+func DecodeInto(b []byte, msg Message) (uint32, []byte, error) {
+	return decodeInto(b, msg, false)
+}
+
+func decodeInto(b []byte, msg Message, zeroCopy bool) (uint32, []byte, error) {
+	length, xid, err := parseHeader(b)
+	if err != nil {
+		return 0, nil, err
+	}
+	if MsgType(b[1]) != msg.Type() {
+		return 0, nil, fmt.Errorf("%w: frame %v into %v", ErrTypeMatch, MsgType(b[1]), msg.Type())
+	}
+	if err := msg.decodeBody(b[headerLen:length], zeroCopy); err != nil {
+		return 0, nil, err
+	}
+	return xid, b[length:], nil
+}
+
 // ReadMessage reads exactly one framed message from r.
 func ReadMessage(r io.Reader) (Message, uint32, error) {
-	hdr := make([]byte, headerLen)
-	if _, err := io.ReadFull(r, hdr); err != nil {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, 0, fmt.Errorf("openflow: read header: %w", err)
 	}
 	if hdr[0] != Version {
@@ -581,8 +618,10 @@ func ReadMessage(r io.Reader) (Message, uint32, error) {
 	if length < headerLen {
 		return nil, 0, ErrTruncated
 	}
+	// One allocation for the whole frame (the header used to be a
+	// second); Codec.ReadMessage reuses a scratch buffer and makes none.
 	full := make([]byte, length)
-	copy(full, hdr)
+	copy(full, hdr[:])
 	if _, err := io.ReadFull(r, full[headerLen:]); err != nil {
 		return nil, 0, fmt.Errorf("openflow: read body: %w", err)
 	}

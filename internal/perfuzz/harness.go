@@ -322,7 +322,9 @@ func (h *Harness) run(g Genome) (Eval, error) {
 }
 
 // pump injects one packet and routes the resulting punts through
-// offer (mirrors the campaign's traffic pump).
+// offer (mirrors the campaign's traffic pump). Events point into the
+// drained packet-in slice — ownership transfers at DrainPacketIns, so
+// no per-punt heap copy is needed and offer-order is unchanged.
 func pump(net *sdn.Network, src uint64, p sdn.Packet, offer func(sdn.Event)) {
 	net.DrainDeliveries()
 	if _, err := net.InjectFromHost(src, p); err != nil {
@@ -334,8 +336,7 @@ func pump(net *sdn.Network, src uint64, p sdn.Packet, offer func(sdn.Event)) {
 			break
 		}
 		for i := range pis {
-			pi := pis[i]
-			offer(sdn.Event{Kind: sdn.EventNetwork, Msg: &pi})
+			offer(sdn.Event{Kind: sdn.EventNetwork, Msg: &pis[i]})
 		}
 	}
 	net.DrainDeliveries()

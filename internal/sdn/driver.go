@@ -29,13 +29,16 @@ func (d *Driver) SendPacket(srcMAC uint64, p Packet) ([]Delivery, error) {
 		if len(pis) == 0 {
 			break
 		}
+		// DrainPacketIns transfers ownership, so events can point into
+		// the drained slice instead of heap-copying each punt; the log
+		// region for the round is reserved up front.
+		d.C.ReserveLog(len(pis))
 		for i := range pis {
-			pi := pis[i]
 			if d.C.State == StateCrashed {
 				// Dead controller: punts go unanswered.
 				return net.DrainDeliveries(), nil
 			}
-			if err := d.C.Submit(Event{Kind: EventNetwork, Msg: &pi}); err != nil {
+			if err := d.C.Submit(Event{Kind: EventNetwork, Msg: &pis[i]}); err != nil {
 				// Crash while handling: stop pumping, traffic is lost.
 				return net.DrainDeliveries(), nil
 			}

@@ -1,0 +1,21 @@
+package supervise
+
+import "sdnbugs/internal/sdn"
+
+// SubmitBatch feeds events through the supervisor in order. Probes,
+// healing, shedding, and checkpoint ticks all observe each event
+// individually — outcomes and metrics are identical to the same
+// sequence of Submit calls — while the controller's log growth is
+// amortized into one pre-reserved append region for the whole batch.
+// Each event's outcome is appended to outcomes (pass a reused slice to
+// avoid per-batch allocation) and the extended slice is returned.
+func (s *Supervisor) SubmitBatch(events []sdn.Event, outcomes []Outcome) []Outcome {
+	if len(events) == 0 {
+		return outcomes
+	}
+	s.C.ReserveLog(len(events))
+	for _, ev := range events {
+		outcomes = append(outcomes, s.Submit(ev))
+	}
+	return outcomes
+}

@@ -1,0 +1,121 @@
+package supervise
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sdnbugs/internal/sdn"
+)
+
+// buildBatchScript returns a fresh scripted app plus a deterministic
+// event stream exercising clean events, transient crashes, a poison
+// (deterministic-crash) key that degrades into a shed class, and heavy
+// events that trip the perf probe.
+func buildBatchScript(seed int64) (*scriptApp, []sdn.Event) {
+	app := &scriptApp{
+		crashes: map[string]int{"flaky": 2, "poison": -1},
+		cost:    map[string]int{"heavy": 40},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	keys := []string{"a", "b", "flaky", "poison", "heavy", "c"}
+	var events []sdn.Event
+	n := 30 + rng.Intn(40)
+	for i := 0; i < n; i++ {
+		k := keys[rng.Intn(len(keys))]
+		events = append(events, cfgEvent(k, fmt.Sprintf("v%d", i)))
+		if rng.Intn(5) == 0 {
+			events = append(events, sdn.Event{Kind: sdn.EventNetwork})
+		}
+	}
+	return app, events
+}
+
+type supSnapshot struct {
+	Metrics  Metrics
+	Shed     []string
+	State    sdn.State
+	Stats    sdn.Stats
+	Config   map[string]string
+	LogLen   int
+	ErrorLog []string
+}
+
+func snapshotSupervisor(s *Supervisor) supSnapshot {
+	return supSnapshot{
+		Metrics:  s.Metrics,
+		Shed:     s.ShedClasses(),
+		State:    s.C.State,
+		Stats:    s.C.Stats,
+		Config:   s.C.Config,
+		LogLen:   len(s.C.Log),
+		ErrorLog: append([]string(nil), s.C.ErrorLog...),
+	}
+}
+
+// SubmitBatch must be observationally identical to sequential Submit
+// calls: same outcomes in order, same supervisor metrics, same shed
+// classes, same controller state — through transient heals, perf
+// regressions, and a class degrading to shed mid-batch.
+func TestSubmitBatchEquivalentToSequential(t *testing.T) {
+	cfg := Config{DegradeAfter: 2, BaselineMeanCost: 1, PerfFactor: 4, PerfWindow: 8, CheckpointEvery: 10}
+	for seed := int64(1); seed <= 10; seed++ {
+		appA, events := buildBatchScript(seed)
+		serial := newScripted(appA, cfg)
+		var wantOutcomes []Outcome
+		for _, ev := range events {
+			wantOutcomes = append(wantOutcomes, serial.Submit(ev))
+		}
+
+		appB, eventsB := buildBatchScript(seed)
+		if !reflect.DeepEqual(events, eventsB) {
+			t.Fatal("script generation not deterministic")
+		}
+		batched := newScripted(appB, cfg)
+		gotOutcomes := batched.SubmitBatch(events, nil)
+
+		if !reflect.DeepEqual(gotOutcomes, wantOutcomes) {
+			t.Fatalf("seed %d: outcomes diverged\nserial:  %v\nbatched: %v", seed, wantOutcomes, gotOutcomes)
+		}
+		a, b := snapshotSupervisor(serial), snapshotSupervisor(batched)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: supervisors diverged\nserial:  %+v\nbatched: %+v", seed, a, b)
+		}
+		if len(a.Shed) == 0 && seed == 1 {
+			t.Fatal("script never shed a class; the test lost its teeth")
+		}
+	}
+}
+
+// Sub-batch boundaries must be invisible: any split of the stream
+// yields the same final state as one big batch.
+func TestSubmitBatchSplitInvariance(t *testing.T) {
+	cfg := Config{DegradeAfter: 2, BaselineMeanCost: 1, PerfFactor: 4, PerfWindow: 8}
+	_, events := buildBatchScript(3)
+
+	run := func(chunk int) (supSnapshot, []Outcome) {
+		app, _ := buildBatchScript(3)
+		s := newScripted(app, cfg)
+		var outcomes []Outcome
+		for i := 0; i < len(events); i += chunk {
+			end := i + chunk
+			if end > len(events) {
+				end = len(events)
+			}
+			outcomes = s.SubmitBatch(events[i:end], outcomes)
+		}
+		return snapshotSupervisor(s), outcomes
+	}
+
+	wantSnap, wantOutcomes := run(len(events))
+	for _, chunk := range []int{1, 2, 5, 17} {
+		gotSnap, gotOutcomes := run(chunk)
+		if !reflect.DeepEqual(gotOutcomes, wantOutcomes) {
+			t.Fatalf("chunk %d: outcomes diverged", chunk)
+		}
+		if !reflect.DeepEqual(gotSnap, wantSnap) {
+			t.Fatalf("chunk %d: state diverged\nwant: %+v\ngot:  %+v", chunk, wantSnap, gotSnap)
+		}
+	}
+}
