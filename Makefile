@@ -10,7 +10,7 @@ GO ?= go
 # pool turns the same setting into real speedup.
 BENCH_GOMAXPROCS ?= 4
 
-.PHONY: build vet test race bench bench-smoke bench-dataplane-smoke bench-tracker-smoke fuzz fuzz-perf fuzz-perf-smoke repair-smoke verify
+.PHONY: build vet test race bench bench-smoke bench-dataplane-smoke bench-tracker-smoke fuzz fuzz-perf fuzz-perf-smoke repair-smoke cluster-smoke verify
 
 build:
 	$(GO) build ./...
@@ -64,6 +64,7 @@ bench-tracker-smoke:
 # the canonical issue codec must stay a byte-stable fixed point.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeMessage -fuzztime=10s ./internal/openflow/
+	$(GO) test -run='^$$' -fuzz=FuzzRoleCodec -fuzztime=10s ./internal/openflow/
 	$(GO) test -run='^$$' -fuzz=FuzzJournalReplay -fuzztime=10s ./internal/durable/
 	$(GO) test -run='^$$' -fuzz=FuzzIssueCodec -fuzztime=10s ./internal/tracker/
 	$(GO) test -run='^$$' -fuzz=FuzzMutate -fuzztime=10s ./internal/perfuzz/
@@ -87,4 +88,13 @@ repair-smoke:
 	$(GO) run ./cmd/faultlab -repair -seed 1 -events 400 -max-candidates 4 \
 		-repair-class configuration/multicast -json > /tmp/repair_smoke.json
 
-verify: build vet test race bench-dataplane-smoke fuzz-perf-smoke repair-smoke
+# cluster-smoke is the CI guard for controller HA (the E26 workload):
+# a 3-replica ensemble plays a bounded schedule under induced primary
+# crashes, partitions, and asymmetric links; faultlab exits non-zero
+# unless the converged ensemble state is byte-identical to the
+# unfaulted run and prints the failover/fencing counters.
+cluster-smoke:
+	$(GO) run ./cmd/faultlab -cluster -seed 1 -events 400 -replicas 3 -json \
+		> /tmp/cluster_smoke.json
+
+verify: build vet test race bench-dataplane-smoke fuzz-perf-smoke repair-smoke cluster-smoke

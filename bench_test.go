@@ -1,5 +1,5 @@
 // The benchmark harness: one benchmark per table and figure of the
-// paper (E01–E25, see DESIGN.md's per-experiment index) plus ablation
+// paper (E01–E26, see DESIGN.md's per-experiment index) plus ablation
 // benches for the design choices DESIGN.md calls out. Each benchmark
 // regenerates its artifact from scratch and reports the headline
 // measured values via b.ReportMetric, failing if any paper-vs-measured
@@ -153,7 +153,7 @@ func writeBenchJSON(b *testing.B) {
 	}
 }
 
-// benchSuiteRun executes the whole E01–E25 slate through the engine on
+// benchSuiteRun executes the whole E01–E26 slate through the engine on
 // a fresh suite per iteration (cold validation caches; corpus prebuilt
 // outside the timer) and returns the last run.
 func benchSuiteRun(b *testing.B, parallelism, workers int) engine.Run[ExperimentResult] {
@@ -461,6 +461,13 @@ func BenchmarkE25_AutomaticRepair(b *testing.B) {
 	// shed-mode campaign epoch, candidate synthesis + learner ranking,
 	// reproducer + campaign validation per survivor, lifted epoch.
 	runExperiment(b, benchSuite.E25AutomaticRepair, nil)
+}
+
+func BenchmarkE26_ClusterFailover(b *testing.B) {
+	// Two full HA campaigns (the second for the byte-identity check):
+	// replicated ensemble under crashes/partitions, supervised
+	// single-controller baseline, and the unfaulted truth run.
+	runExperiment(b, benchSuite.E26ClusterFailover, nil)
 }
 
 func BenchmarkAblation_Features(b *testing.B) {

@@ -30,6 +30,18 @@
 // metrics snapshot as one document.
 //
 //	faultlab -repair -seed 1 [-events 1500] [-max-candidates 8] [-repair-class configuration/multicast] [-json]
+//
+// With -cluster it runs the controller-HA campaign (the E26
+// workload): the same seed-deterministic schedule played through an
+// N-replica ensemble under induced primary crashes, partitions, and
+// asymmetric links, compared against a supervised single controller
+// and an unfaulted truth run. It exits non-zero if the converged
+// ensemble state diverges from the unfaulted fingerprint, so it
+// doubles as the cluster smoke check. -json emits the three mode
+// results plus the metrics snapshot (election/failover/fencing
+// counters, failover wall-tick histogram) as one document.
+//
+//	faultlab -cluster -seed 1 [-events 1500] [-replicas 3] [-lease-slots 3] [-json]
 package main
 
 import (
@@ -65,19 +77,31 @@ func run() error {
 	repairLoop := flag.Bool("repair", false, "run the automatic repair loop instead")
 	maxCandidates := flag.Int("max-candidates", 8, "full validations per shed class (with -repair)")
 	repairClass := flag.String("repair-class", "", "restrict repair attempts to this shed class (with -repair)")
+	cluster := flag.Bool("cluster", false, "run the controller-HA failover campaign instead")
+	replicas := flag.Int("replicas", 3, "ensemble size (with -cluster)")
+	leaseSlots := flag.Int("lease-slots", 3, "slots a partitioned primary holds its lease (with -cluster)")
 	flag.Parse()
 
-	if *campaign && *repairLoop {
-		return fmt.Errorf("-campaign and -repair are mutually exclusive")
+	exclusive := 0
+	for _, on := range []bool{*campaign, *repairLoop, *cluster} {
+		if on {
+			exclusive++
+		}
+	}
+	if exclusive > 1 {
+		return fmt.Errorf("-campaign, -repair and -cluster are mutually exclusive")
 	}
 	if *repairLoop {
 		return runRepair(*seed, *events, *ckptEvery, *maxCandidates, *repairClass, *jsonOut)
+	}
+	if *cluster {
+		return runCluster(*seed, *events, *replicas, *leaseSlots, *jsonOut)
 	}
 	if *campaign {
 		return runCampaign(*seed, *events, *ckptEvery, *jsonOut)
 	}
 	if *jsonOut {
-		return fmt.Errorf("-json requires -campaign or -repair")
+		return fmt.Errorf("-json requires -campaign, -repair or -cluster")
 	}
 
 	strategies := recovery.StandardStrategies()
@@ -216,6 +240,91 @@ func runRepair(seed int64, events, ckptEvery, maxCandidates int, repairClass str
 		}
 	}
 	return rates.Render(os.Stdout)
+}
+
+// runCluster runs the controller-HA campaign and renders the
+// three-mode comparison the E26 experiment asserts on — as tables, or
+// with jsonOut as one JSON document that also carries the live
+// metrics snapshot (election/failover/fencing counters, failover
+// wall-tick histogram). It fails — non-zero exit — when the converged
+// ensemble state is not byte-identical to the unfaulted run, which
+// makes it usable as a smoke check in CI.
+func runCluster(seed int64, events, replicas, leaseSlots int, jsonOut bool) error {
+	reg := metrics.NewRegistry()
+	res, err := faultlab.RunClusterCampaign(faultlab.ClusterCampaignConfig{
+		Seed: seed, Events: events, Replicas: replicas, LeaseSlots: leaseSlots, Metrics: reg,
+	})
+	if err != nil {
+		return err
+	}
+
+	var verify error
+	if !res.Identical() {
+		verify = fmt.Errorf("ensemble state diverged: cluster %s vs unfaulted %s (replicas %v)",
+			res.Cluster.Fingerprint, res.Unfaulted.Fingerprint, res.Cluster.ReplicaFingerprints)
+	}
+
+	if jsonOut {
+		doc := struct {
+			Seed      int64                       `json:"seed"`
+			Events    int                         `json:"events"`
+			Replicas  int                         `json:"replicas"`
+			Identical bool                        `json:"identical"`
+			Modes     []faultlab.ClusterRunResult `json:"modes"`
+			Metrics   metrics.Snapshot            `json:"metrics"`
+		}{Seed: seed, Events: events, Replicas: replicas, Identical: res.Identical(),
+			Modes:   []faultlab.ClusterRunResult{res.Cluster, res.Baseline, res.Unfaulted},
+			Metrics: reg.Snapshot()}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			return err
+		}
+		return verify
+	}
+
+	tbl := &report.Table{Title: fmt.Sprintf("Controller-HA failover campaign (seed %d, %d slots, %d replicas)",
+		seed, events, replicas),
+		Headers: []string{"metric", res.Cluster.Mode, res.Baseline.Mode, res.Unfaulted.Mode}}
+	row := func(name string, f func(faultlab.ClusterRunResult) string) {
+		_ = tbl.AddRow(name, f(res.Cluster), f(res.Baseline), f(res.Unfaulted))
+	}
+	d := func(v func(faultlab.ClusterRunResult) int) func(faultlab.ClusterRunResult) string {
+		return func(r faultlab.ClusterRunResult) string { return fmt.Sprintf("%d", v(r)) }
+	}
+	row("events offered", d(func(r faultlab.ClusterRunResult) int { return r.Offered }))
+	row("events processed", d(func(r faultlab.ClusterRunResult) int { return r.Processed }))
+	row("events lost", d(func(r faultlab.ClusterRunResult) int { return r.Lost }))
+	row("failovers / elections", func(r faultlab.ClusterRunResult) string {
+		return fmt.Sprintf("%d / %d", r.Failovers, r.Elections)
+	})
+	row("failed elections", d(func(r faultlab.ClusterRunResult) int { return r.FailedElections }))
+	row("restarts / cold restores", func(r faultlab.ClusterRunResult) string {
+		return fmt.Sprintf("%d / %d", r.Restarts, r.ColdRestores)
+	})
+	row("mean failover ticks", func(r faultlab.ClusterRunResult) string {
+		return fmt.Sprintf("%.1f", r.MeanFailoverTicks)
+	})
+	row("mean cold restore ticks", func(r faultlab.ClusterRunResult) string {
+		return fmt.Sprintf("%.1f", r.MeanColdRestoreTicks)
+	})
+	row("fenced writes rejected (wire stale)", func(r faultlab.ClusterRunResult) string {
+		return fmt.Sprintf("%d (%d)", r.FencedRejects, r.WireStaleRejects)
+	})
+	row("fenced-write leaks", d(func(r faultlab.ClusterRunResult) int { return r.FencedLeaks }))
+	row("time availability", func(r faultlab.ClusterRunResult) string {
+		return fmt.Sprintf("%.4f", r.TimeAvailability())
+	})
+	row("log length", d(func(r faultlab.ClusterRunResult) int { return r.LogLen }))
+	row("state fingerprint", func(r faultlab.ClusterRunResult) string { return r.Fingerprint })
+	if err := tbl.Render(os.Stdout); err != nil {
+		return err
+	}
+	if verify == nil {
+		fmt.Printf("\nconverged ensemble state byte-identical to the unfaulted run (%s)\n",
+			res.Unfaulted.Fingerprint)
+	}
+	return verify
 }
 
 // runCampaign runs the sustained campaign three ways and renders the

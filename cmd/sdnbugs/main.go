@@ -19,9 +19,10 @@
 // the resilience transport, E22 runs the self-healing supervisor
 // through a sustained fault-injection campaign, E23 kills and
 // resumes the durable miner at scheduled disk-crash points, E24
-// fuzzes event schedules for the stateful performance bugs, and E25
+// fuzzes event schedules for the stateful performance bugs, E25
 // closes the loop by synthesizing, validating, and lifting automatic
-// repairs for shed poison classes — run them
+// repairs for shed poison classes, and E26 replicates the controller
+// into a fenced ensemble whose failovers are byte-invisible — run them
 // on a -parallel worker pool
 // (0 means GOMAXPROCS) with identical output to a sequential run,
 // keep going past individual experiment failures (including panics,

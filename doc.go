@@ -40,7 +40,7 @@
 //     grammar over flow-rule programs, learner-ranked candidates,
 //     reproducer + campaign validation, shed lifting)
 //
-// The Suite type in this package registers every experiment (E01–E25,
+// The Suite type in this package registers every experiment (E01–E26,
 // one per table/figure — see DESIGN.md) and ablation (A01–A07) with
 // the engine and reports paper-vs-measured checks. Suite.Run selects
 // experiments by ID and executes them on a configurable worker pool —

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"sdnbugs/internal/ofconn"
+	"sdnbugs/internal/openflow"
+	"sdnbugs/internal/sdn"
+)
+
+// Bank models the switch side of mastership handoff: one SwitchAgent
+// per datapath, each reached through a real ofconn session, so every
+// failover is a genuine OFPT_ROLE_REQUEST/REPLY exchange and every
+// stale claim is rejected on the wire with OFPRRFC_STALE. The bank is
+// shared by the whole ensemble — the generation id a switch remembers
+// is global across controller connections, which is exactly what
+// makes it a fencing token.
+type Bank struct {
+	switches []*bankSwitch
+}
+
+type bankSwitch struct {
+	dpid  uint64
+	agent *ofconn.SwitchAgent
+	sess  *ofconn.ControllerSession
+}
+
+// pumpedBuf is a single-threaded duplex endpoint: writes go to out,
+// reads come from in, and when in is empty the pump runs the peer's
+// serve loop to produce the pending reply. It lets a controller
+// session and a switch agent converse deterministically without
+// goroutines — every RequestRole is still a full encode → decode →
+// agent state machine → encode → decode round trip.
+type pumpedBuf struct {
+	in   *bytes.Buffer
+	out  *bytes.Buffer
+	pump func() error
+}
+
+func (d *pumpedBuf) Read(p []byte) (int, error) {
+	if d.in.Len() == 0 && d.pump != nil {
+		if err := d.pump(); err != nil {
+			return 0, err
+		}
+	}
+	return d.in.Read(p)
+}
+
+func (d *pumpedBuf) Write(p []byte) (int, error) { return d.out.Write(p) }
+
+// NewBank builds one switch agent + controller session per datapath.
+func NewBank(dpids []uint64) (*Bank, error) {
+	if len(dpids) == 0 {
+		return nil, errors.New("cluster: bank needs at least one switch")
+	}
+	// The agents need a dataplane to front; role handling never touches
+	// it, so a minimal mirror of the dpids suffices.
+	net := sdn.NewNetwork()
+	for _, d := range dpids {
+		net.AddSwitch(d, 4)
+	}
+	b := &Bank{}
+	for _, d := range dpids {
+		toAgent := &bytes.Buffer{}
+		toSess := &bytes.Buffer{}
+		agent := &ofconn.SwitchAgent{
+			Conn: ofconn.New(&pumpedBuf{in: toAgent, out: toSess}),
+			Net:  net,
+			DPID: d,
+		}
+		sess := &ofconn.ControllerSession{DatapathID: d}
+		sess.Conn = ofconn.New(&pumpedBuf{
+			in:  toSess,
+			out: toAgent,
+			pump: func() error {
+				_, err := agent.ServeOne()
+				return err
+			},
+		})
+		b.switches = append(b.switches, &bankSwitch{dpid: d, agent: agent, sess: sess})
+	}
+	return b, nil
+}
+
+// Handoff claims mastership of every switch under gen, returning how
+// many switches granted it. Any refusal (a stale generation would
+// mean the caller lost a race for the primaryship) aborts with the
+// count of switches already re-homed.
+func (b *Bank) Handoff(gen uint64) (int, error) {
+	granted := 0
+	for _, sw := range b.switches {
+		role, got, err := sw.sess.RequestRole(openflow.RoleMaster, gen)
+		if err != nil {
+			return granted, fmt.Errorf("cluster: handoff dpid %d: %w", sw.dpid, err)
+		}
+		if role != openflow.RoleMaster || got != gen {
+			return granted, fmt.Errorf("cluster: handoff dpid %d granted role=%v gen=%d", sw.dpid, role, got)
+		}
+		granted++
+	}
+	return granted, nil
+}
+
+// TryStaleMaster is the deposed primary's wire-level reclaim attempt:
+// request mastership of every switch under an old generation id and
+// count the OFPRRFC_STALE rejections. Switch state must be untouched;
+// a grant (or a silently advanced generation) is reported as a leak
+// by returning fewer rejections than switches.
+func (b *Bank) TryStaleMaster(gen uint64) int {
+	rejected := 0
+	for _, sw := range b.switches {
+		before, _ := sw.agent.GenerationID()
+		_, _, err := sw.sess.RequestRole(openflow.RoleMaster, gen)
+		after, _ := sw.agent.GenerationID()
+		if errors.Is(err, ofconn.ErrStaleRole) && after == before {
+			rejected++
+		}
+	}
+	return rejected
+}
+
+// Generations returns each switch's accepted generation id in dpid
+// order — the bank-side view of the fence.
+func (b *Bank) Generations() []uint64 {
+	out := make([]uint64, 0, len(b.switches))
+	for _, sw := range b.switches {
+		gen, _ := sw.agent.GenerationID()
+		out = append(out, gen)
+	}
+	return out
+}

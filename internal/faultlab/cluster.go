@@ -1,0 +1,450 @@
+package faultlab
+
+// Cluster failover campaign (E26): the same seed-deterministic
+// schedule played three ways — on an N-replica controller ensemble
+// with induced primary crashes, partitions, and asymmetric links; on
+// a single supervised controller facing the same crashes (the
+// cold-replay baseline); and on an unfaulted single controller (the
+// ground truth). Because the ensemble defers slots while leaderless,
+// re-homes in-flight events on failover, and replicates the log
+// byte-identically, its converged state must fingerprint-match the
+// unfaulted run — crashes and all.
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"sdnbugs/internal/cluster"
+	"sdnbugs/internal/metrics"
+	"sdnbugs/internal/resilience"
+	"sdnbugs/internal/sdn"
+	"sdnbugs/internal/supervise"
+)
+
+// cleanController builds the lab topology and app with no fault
+// middleware — the cluster campaign induces failures externally
+// (crashes, partitions), never inside the controller, so replicas
+// replaying the same log converge byte-identically.
+func cleanController() (*sdn.Controller, error) {
+	net, err := sdn.LinearTopology(topologySize)
+	if err != nil {
+		return nil, err
+	}
+	env := sdn.NewEnvironment(services...)
+	expected := map[string]int{}
+	for _, s := range services {
+		expected[s] = env.Versions[s]
+	}
+	return sdn.NewController(net, env, sdn.NewL2Switch(expected)), nil
+}
+
+// clusterEpisode is one induced control-plane failure.
+type clusterEpisode int
+
+const (
+	// epCrashPrimary fail-stops the serving primary.
+	epCrashPrimary clusterEpisode = iota
+	// epPartitionPrimary isolates the primary from both standbys.
+	epPartitionPrimary
+	// epAsymPartition isolates the primary and additionally breaks one
+	// direction of the standby-standby link, so the first elections
+	// fail for want of a bidirectional majority.
+	epAsymPartition
+	// epHeal restores all links and revives crashed replicas.
+	epHeal
+)
+
+func (e clusterEpisode) String() string {
+	switch e {
+	case epCrashPrimary:
+		return "crash-primary"
+	case epPartitionPrimary:
+		return "partition-primary"
+	case epAsymPartition:
+		return "asymmetric-partition"
+	case epHeal:
+		return "heal"
+	}
+	return "unknown"
+}
+
+// buildClusterEpisodes derives the failure schedule from the seed
+// alone: disruptions cycle crash → partition → asymmetric, each
+// healed a few slots after the lease would expire, with breathing
+// room between episodes and a quiet tail for convergence.
+func buildClusterEpisodes(seed int64, slots, leaseSlots int) map[int]clusterEpisode {
+	rng := rand.New(rand.NewSource(seed*15485863 + 11))
+	eps := make(map[int]clusterEpisode)
+	kinds := []clusterEpisode{epCrashPrimary, epPartitionPrimary, epAsymPartition}
+	cursor := 40 + rng.Intn(30)
+	k := 0
+	for cursor < slots-(leaseSlots+60) {
+		eps[cursor] = kinds[k%len(kinds)]
+		k++
+		heal := cursor + leaseSlots + 4 + rng.Intn(10)
+		eps[heal] = epHeal
+		cursor = heal + 30 + rng.Intn(40)
+	}
+	return eps
+}
+
+// ClusterCampaignConfig parameterizes one failover campaign.
+type ClusterCampaignConfig struct {
+	Seed int64
+	// Events is the schedule length (default 1500 slots).
+	Events int
+	// Replicas is the ensemble size (default 3).
+	Replicas int
+	// LeaseSlots is the standby lease in slots (default 3).
+	LeaseSlots int
+	// Metrics, when set, receives the cluster_* counters and the
+	// failover-wall histogram. Purely observational.
+	Metrics *metrics.Registry
+}
+
+func (c ClusterCampaignConfig) withDefaults() ClusterCampaignConfig {
+	if c.Events <= 0 {
+		c.Events = 1500
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 3
+	}
+	if c.LeaseSlots <= 0 {
+		c.LeaseSlots = 3
+	}
+	return c
+}
+
+// ClusterRunResult is one mode's aggregate. All fields are logical,
+// so results are byte-identical across runs at the same seed.
+type ClusterRunResult struct {
+	Mode string
+
+	Offered   int
+	Processed int
+	Lost      int
+
+	Elections        int
+	FailedElections  int
+	Failovers        int
+	FencedRejects    int
+	FencedLeaks      int
+	WireStaleRejects int
+	LeaseWaitTicks   int
+
+	Restarts     int
+	ColdRestores int
+
+	MeanFailoverTicks    float64
+	MeanColdRestoreTicks float64
+
+	UptimeTicks   int
+	DowntimeTicks int
+
+	BroadcastProbes  int
+	WireFaultsSkipped int
+
+	LogLen      int
+	Fingerprint string
+	// ReplicaFingerprints holds every replica's converged fingerprint
+	// (cluster mode only) — all must be equal.
+	ReplicaFingerprints []string
+}
+
+// TimeAvailability is uptime over total logical time.
+func (r ClusterRunResult) TimeAvailability() float64 {
+	total := r.UptimeTicks + r.DowntimeTicks
+	if total == 0 {
+		return 1
+	}
+	return float64(r.UptimeTicks) / float64(total)
+}
+
+// ClusterCampaignResult bundles the three modes.
+type ClusterCampaignResult struct {
+	Seed   int64
+	Events int
+
+	Cluster   ClusterRunResult
+	Baseline  ClusterRunResult
+	Unfaulted ClusterRunResult
+}
+
+// Identical reports the campaign's core replication claim: the
+// ensemble's converged state — and every individual replica — is
+// byte-identical to the unfaulted single-controller run.
+func (r ClusterCampaignResult) Identical() bool {
+	if r.Cluster.Fingerprint == "" || r.Cluster.Fingerprint != r.Unfaulted.Fingerprint {
+		return false
+	}
+	for _, fp := range r.Cluster.ReplicaFingerprints {
+		if fp != r.Cluster.Fingerprint {
+			return false
+		}
+	}
+	return true
+}
+
+// Fingerprint is a canonical serialization for byte-identity checks
+// across runs at the same seed.
+func (r ClusterCampaignResult) Fingerprint() string {
+	return fmt.Sprintf("%+v", r)
+}
+
+// RunClusterCampaign plays the schedule in all three modes.
+func RunClusterCampaign(cfg ClusterCampaignConfig) (ClusterCampaignResult, error) {
+	cfg = cfg.withDefaults()
+	probe, err := cleanController()
+	if err != nil {
+		return ClusterCampaignResult{}, err
+	}
+	hosts := probe.Net.Hosts()
+	dpids := probe.Net.Switches()
+	schedule := buildSchedule(cfg.Seed, cfg.Events, hosts, dpids)
+	episodes := buildClusterEpisodes(cfg.Seed, cfg.Events, cfg.LeaseSlots)
+	res := ClusterCampaignResult{Seed: cfg.Seed, Events: cfg.Events}
+	if res.Cluster, err = runClusterMode(cfg, schedule, episodes, hosts); err != nil {
+		return res, err
+	}
+	if res.Baseline, err = runBaselineMode(cfg, schedule, episodes, hosts); err != nil {
+		return res, err
+	}
+	if res.Unfaulted, err = runUnfaultedMode(schedule, hosts); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// runClusterMode plays the schedule on the replicated ensemble.
+// Wire-fault slots are skipped identically in all modes (the cluster
+// campaign induces failures at the control plane, not the wire).
+// While the ensemble is leaderless (partitioned primary, election
+// pending) slots are deferred, not dropped: they replay in order the
+// moment a primary is serving again, which is what keeps the final
+// state byte-identical to the unfaulted run.
+func runClusterMode(cfg ClusterCampaignConfig, schedule []scheduleItem, episodes map[int]clusterEpisode, hosts []uint64) (ClusterRunResult, error) {
+	ens, err := cluster.New(cluster.Config{
+		Replicas:   cfg.Replicas,
+		LeaseSlots: cfg.LeaseSlots,
+		Factory:    cleanController,
+		Classify:   ClassifyEvent,
+		Metrics:    cfg.Metrics,
+	})
+	if err != nil {
+		return ClusterRunResult{}, err
+	}
+	res := ClusterRunResult{Mode: "cluster"}
+	flushBatch := func(events []sdn.Event) {
+		ens.Primary().C.ReserveLog(len(events))
+		for _, ev := range events {
+			ens.Submit(ev)
+		}
+	}
+	play := func(it scheduleItem) {
+		switch it.kind {
+		case itemConfig, itemPoisonConfig, itemExternal, itemReboot:
+			// Management events reach a crashed primary through the
+			// supervisor, whose exhausted restart budget escalates to the
+			// ensemble failover — the detection-by-request path.
+			ens.Submit(it.ev)
+		case itemUnicast:
+			// Traffic re-homes before packets flow: switches notice a dead
+			// master by keepalive timeout and the ensemble fails over
+			// before injection, so the packets land on the serving net.
+			ens.EnsureServing()
+			pump(ens.Primary().C.Net, it.src, sdn.Packet{EthDst: it.dst, EthType: 0x0800}, flushBatch)
+		case itemBroadcast:
+			ens.EnsureServing()
+			res.BroadcastProbes++
+			pump(ens.Primary().C.Net, it.src, sdn.Packet{EthDst: sdn.BroadcastMAC, EthType: 0x0806}, flushBatch)
+		case itemMirrorBroadcast:
+			ens.EnsureServing()
+			res.BroadcastProbes++
+			pump(ens.Primary().C.Net, it.src, sdn.Packet{EthDst: sdn.BroadcastMAC, EthType: 0x0806, VlanID: PoisonVLAN}, flushBatch)
+		}
+	}
+	var pending []scheduleItem
+	for i, it := range schedule {
+		if ep, ok := episodes[i]; ok {
+			applyEpisode(ens, ep)
+		}
+		if it.kind == itemWireFault {
+			res.WireFaultsSkipped++
+			ens.EndSlot()
+			continue
+		}
+		if !ens.Available() {
+			pending = append(pending, it)
+			ens.EndSlot()
+			continue
+		}
+		for _, p := range pending {
+			play(p)
+		}
+		pending = pending[:0]
+		play(it)
+		ens.EndSlot()
+	}
+	// Quiet tail: heal everything, drain any leftover deferred slots,
+	// and drive replication to convergence.
+	ens.HealLinks()
+	ens.EnsureServing()
+	for _, p := range pending {
+		play(p)
+	}
+	if err := ens.Sync(); err != nil {
+		return res, err
+	}
+	m := ens.Metrics
+	res.Offered = m.Offered
+	res.Processed = m.Processed
+	res.Lost = m.Lost
+	res.Elections = m.Elections
+	res.FailedElections = m.FailedElections
+	res.Failovers = m.Failovers
+	res.FencedRejects = m.FencedRejects
+	res.FencedLeaks = m.FencedLeaks
+	res.WireStaleRejects = m.WireStaleRejects
+	res.LeaseWaitTicks = m.LeaseWaitTicks
+	res.MeanFailoverTicks = m.MeanFailoverTicks()
+	res.UptimeTicks = m.UptimeTicks
+	res.DowntimeTicks = m.DowntimeTicks
+	res.LogLen = len(ens.Primary().C.Log)
+	res.Fingerprint = cluster.StateFingerprint(ens.Primary().C)
+	for _, rep := range ens.Reps {
+		res.ReplicaFingerprints = append(res.ReplicaFingerprints, cluster.StateFingerprint(rep.C))
+	}
+	return res, nil
+}
+
+// applyEpisode translates one failure episode into ensemble state.
+func applyEpisode(ens *cluster.Ensemble, ep clusterEpisode) {
+	switch ep {
+	case epCrashPrimary:
+		ens.CrashPrimary()
+	case epPartitionPrimary:
+		ens.Isolate(ens.Primary().ID)
+	case epAsymPartition:
+		p := ens.Primary().ID
+		ens.Isolate(p)
+		// Break one direction between the first two standbys.
+		var standbys []int
+		for i := range ens.Reps {
+			if i != p {
+				standbys = append(standbys, i)
+			}
+		}
+		if len(standbys) >= 2 {
+			ens.BreakLink(standbys[0], standbys[1])
+		}
+	case epHeal:
+		ens.HealLinks()
+		for i := range ens.Reps {
+			_ = ens.Revive(i)
+		}
+	}
+}
+
+// runBaselineMode plays the schedule on a single supervised
+// controller facing the same crash episodes. Partitions and
+// asymmetric links are no-ops (there is nothing to partition from);
+// every crash is healed by a supervised restart with a cold full-log
+// replay — the recovery cost failover is measured against.
+func runBaselineMode(cfg ClusterCampaignConfig, schedule []scheduleItem, episodes map[int]clusterEpisode, hosts []uint64) (ClusterRunResult, error) {
+	c, err := cleanController()
+	if err != nil {
+		return ClusterRunResult{}, err
+	}
+	sup := supervise.New(c, supervise.Config{
+		Backoff:  resilience.Policy{BaseDelay: 2 * time.Millisecond, MaxDelay: 64 * time.Millisecond},
+		Budget:   resilience.NewBudget(64, 0.25),
+		Classify: ClassifyEvent,
+	})
+	res := ClusterRunResult{Mode: "baseline-single"}
+	flushBatch := func(events []sdn.Event) {
+		c.ReserveLog(len(events))
+		for _, ev := range events {
+			sup.Submit(ev)
+		}
+	}
+	for i, it := range schedule {
+		if ep, ok := episodes[i]; ok && ep == epCrashPrimary {
+			c.State = sdn.StateCrashed
+		}
+		switch it.kind {
+		case itemConfig, itemPoisonConfig, itemExternal, itemReboot:
+			sup.Submit(it.ev)
+		case itemUnicast:
+			pump(c.Net, it.src, sdn.Packet{EthDst: it.dst, EthType: 0x0800}, flushBatch)
+		case itemBroadcast:
+			res.BroadcastProbes++
+			pump(c.Net, it.src, sdn.Packet{EthDst: sdn.BroadcastMAC, EthType: 0x0806}, flushBatch)
+		case itemMirrorBroadcast:
+			res.BroadcastProbes++
+			pump(c.Net, it.src, sdn.Packet{EthDst: sdn.BroadcastMAC, EthType: 0x0806, VlanID: PoisonVLAN}, flushBatch)
+		case itemWireFault:
+			res.WireFaultsSkipped++
+		}
+	}
+	m := sup.Metrics
+	res.Offered = m.EventsOffered
+	res.Processed = m.EventsProcessed
+	res.Lost = m.EventsLost
+	res.Restarts = m.Restarts
+	res.ColdRestores = m.ColdRestores
+	if m.ColdRestores > 0 {
+		res.MeanColdRestoreTicks = float64(m.ColdRestoreTicks) / float64(m.ColdRestores)
+	}
+	res.UptimeTicks = m.UptimeTicks
+	res.DowntimeTicks = m.RecoveryTicks
+	res.LogLen = len(c.Log)
+	res.Fingerprint = cluster.StateFingerprint(c)
+	return res, nil
+}
+
+// runUnfaultedMode plays the schedule on one clean controller with no
+// failures — the ground truth the cluster must match byte-for-byte.
+func runUnfaultedMode(schedule []scheduleItem, hosts []uint64) (ClusterRunResult, error) {
+	c, err := cleanController()
+	if err != nil {
+		return ClusterRunResult{}, err
+	}
+	res := ClusterRunResult{Mode: "unfaulted"}
+	submit := func(ev sdn.Event) error {
+		res.Offered++
+		before := c.Stats.TotalCost
+		if err := c.Submit(ev); err != nil {
+			res.Lost++
+			return err
+		}
+		res.UptimeTicks += c.Stats.TotalCost - before
+		res.Processed++
+		return nil
+	}
+	flushBatch := func(events []sdn.Event) {
+		c.ReserveLog(len(events))
+		for _, ev := range events {
+			_ = submit(ev)
+		}
+	}
+	for _, it := range schedule {
+		switch it.kind {
+		case itemConfig, itemPoisonConfig, itemExternal, itemReboot:
+			_ = submit(it.ev)
+		case itemUnicast:
+			pump(c.Net, it.src, sdn.Packet{EthDst: it.dst, EthType: 0x0800}, flushBatch)
+		case itemBroadcast:
+			res.BroadcastProbes++
+			pump(c.Net, it.src, sdn.Packet{EthDst: sdn.BroadcastMAC, EthType: 0x0806}, flushBatch)
+		case itemMirrorBroadcast:
+			res.BroadcastProbes++
+			pump(c.Net, it.src, sdn.Packet{EthDst: sdn.BroadcastMAC, EthType: 0x0806, VlanID: PoisonVLAN}, flushBatch)
+		case itemWireFault:
+			res.WireFaultsSkipped++
+		}
+	}
+	res.LogLen = len(c.Log)
+	res.Fingerprint = cluster.StateFingerprint(c)
+	return res, nil
+}

@@ -1,0 +1,109 @@
+package faultlab
+
+import (
+	"testing"
+)
+
+func TestClusterCampaignLosslessAndIdentical(t *testing.T) {
+	res, err := RunClusterCampaign(ClusterCampaignConfig{Seed: 1, Events: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := res.Cluster
+	if cl.Failovers == 0 {
+		t.Fatal("campaign induced no failovers")
+	}
+	if cl.Lost != 0 {
+		t.Fatalf("cluster lost %d events", cl.Lost)
+	}
+	if cl.FencedLeaks != 0 {
+		t.Fatalf("%d fenced writes leaked", cl.FencedLeaks)
+	}
+	if cl.FencedRejects == 0 || cl.WireStaleRejects == 0 {
+		t.Fatalf("no fencing evidence: %+v", cl)
+	}
+	if cl.LogLen != res.Unfaulted.LogLen {
+		t.Fatalf("cluster log %d, unfaulted %d", cl.LogLen, res.Unfaulted.LogLen)
+	}
+	if !res.Identical() {
+		t.Fatalf("cluster state diverged: cluster=%s replicas=%v unfaulted=%s",
+			cl.Fingerprint, cl.ReplicaFingerprints, res.Unfaulted.Fingerprint)
+	}
+}
+
+func TestClusterCampaignBeatsBaseline(t *testing.T) {
+	res, err := RunClusterCampaign(ClusterCampaignConfig{Seed: 1, Events: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Baseline.ColdRestores == 0 {
+		t.Fatal("baseline never cold-restored; the comparison is vacuous")
+	}
+	if res.Cluster.MeanFailoverTicks >= res.Baseline.MeanColdRestoreTicks {
+		t.Fatalf("failover (%.1f ticks) not cheaper than cold replay (%.1f ticks)",
+			res.Cluster.MeanFailoverTicks, res.Baseline.MeanColdRestoreTicks)
+	}
+	if res.Cluster.TimeAvailability() <= res.Baseline.TimeAvailability() {
+		t.Fatalf("cluster availability %.4f not above baseline %.4f",
+			res.Cluster.TimeAvailability(), res.Baseline.TimeAvailability())
+	}
+}
+
+func TestClusterCampaignDeterministic(t *testing.T) {
+	a, err := RunClusterCampaign(ClusterCampaignConfig{Seed: 7, Events: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunClusterCampaign(ClusterCampaignConfig{Seed: 7, Events: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("same seed produced different campaign results")
+	}
+	c, err := RunClusterCampaign(ClusterCampaignConfig{Seed: 8, Events: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("different seeds produced identical campaign results")
+	}
+}
+
+func TestClusterEpisodesWellFormed(t *testing.T) {
+	eps := buildClusterEpisodes(1, 1500, 3)
+	var disruptions, heals int
+	open := false
+	// Walk slots in order: disruptions and heals must alternate, and
+	// the schedule must end healed with a quiet tail.
+	last := 0
+	for i := 0; i < 1500; i++ {
+		ep, ok := eps[i]
+		if !ok {
+			continue
+		}
+		last = i
+		if ep == epHeal {
+			if !open {
+				t.Fatalf("heal at slot %d without a preceding disruption", i)
+			}
+			open = false
+			heals++
+		} else {
+			if open {
+				t.Fatalf("disruption at slot %d while another is open", i)
+			}
+			open = true
+			disruptions++
+		}
+	}
+	if open {
+		t.Fatal("schedule ends with an unhealed disruption")
+	}
+	if disruptions < 3 || heals != disruptions {
+		t.Fatalf("episodes: %d disruptions, %d heals", disruptions, heals)
+	}
+	if last > 1500-40 {
+		t.Fatalf("no quiet tail: last episode at slot %d", last)
+	}
+}

@@ -232,7 +232,9 @@ func (c *Conn) RecvBatch(dst []Frame) ([]Frame, error) {
 	if c.closed {
 		return dst, ErrClosed
 	}
-	return c.frameReader().ReadBatch(dst)
+	c.armReadDeadline()
+	out, err := c.frameReader().ReadBatch(dst)
+	return out, wrapDeadPeer(err)
 }
 
 // SendFrames stages every frame (using each frame's own xid) and
@@ -311,6 +313,10 @@ func (a *SwitchAgent) ServeBatch() (int, error) {
 			// The reply payload must outlive this batch's buffer.
 			data := append([]byte(nil), m.Data...)
 			replies = append(replies, Frame{Msg: &openflow.EchoReply{Data: data}, Xid: f.Xid})
+		case *openflow.RoleRequest:
+			// Role requests have no sliced payload, so the reply (or the
+			// stale-generation error) is safe to stage as-is.
+			replies = append(replies, a.roleReply(m, f.Xid))
 		default:
 			if firstErr == nil {
 				firstErr = fmt.Errorf("ofconn: unexpected controller message %v", f.Msg.Type())

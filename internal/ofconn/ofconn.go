@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"sdnbugs/internal/openflow"
 	"sdnbugs/internal/sdn"
@@ -38,6 +39,12 @@ type Conn struct {
 	// it instead of the raw transport or buffered frames would be lost.
 	fr *FrameReader
 	fw *FrameWriter
+
+	// deadliner/readTimeout implement SetReadTimeout (keepalive.go):
+	// armed before every blocking read so a stalled peer surfaces as
+	// ErrPeerDead instead of hanging Recv forever. Guarded by readMu.
+	deadliner   deadlineReader
+	readTimeout time.Duration
 }
 
 // New wraps rw. The caller retains ownership of closing the underlying
@@ -89,10 +96,13 @@ func (c *Conn) Recv() (openflow.Message, uint32, error) {
 	if c.closed {
 		return nil, 0, ErrClosed
 	}
+	c.armReadDeadline()
 	if c.fr != nil {
-		return c.fr.ReadOne()
+		msg, xid, err := c.fr.ReadOne()
+		return msg, xid, wrapDeadPeer(err)
 	}
-	return openflow.ReadMessage(c.rw)
+	msg, xid, err := openflow.ReadMessage(c.rw)
+	return msg, xid, wrapDeadPeer(err)
 }
 
 // Handshake runs the version negotiation from the initiating side:
@@ -140,6 +150,13 @@ type SwitchAgent struct {
 	// scratch and replies are ServeBatch's reusable frame slices.
 	scratch []Frame
 	replies []Frame
+
+	// role/gen/hasGen are the mastership state (role.go): the granted
+	// controller role and the highest generation id accepted, used to
+	// reject stale role requests from a deposed master.
+	role   openflow.ControllerRole
+	gen    uint64
+	hasGen bool
 }
 
 // Start performs the switch-side session setup: handshake, then answer
@@ -176,7 +193,8 @@ func (a *SwitchAgent) PuntPacket(inPort uint32, p sdn.Packet) error {
 }
 
 // ServeOne reads and applies exactly one controller message (flow-mod,
-// packet-out, or echo request). It returns the message type served.
+// packet-out, echo request, or role request). It returns the message
+// type served.
 func (a *SwitchAgent) ServeOne() (openflow.MsgType, error) {
 	msg, xid, err := a.Conn.Recv()
 	if err != nil {
@@ -193,6 +211,11 @@ func (a *SwitchAgent) ServeOne() (openflow.MsgType, error) {
 		}
 	case *openflow.EchoRequest:
 		if err := a.Conn.SendWithXid(&openflow.EchoReply{Data: m.Data}, xid); err != nil {
+			return msg.Type(), err
+		}
+	case *openflow.RoleRequest:
+		reply := a.roleReply(m, xid)
+		if err := a.Conn.SendWithXid(reply.Msg, reply.Xid); err != nil {
 			return msg.Type(), err
 		}
 	default:

@@ -1,0 +1,85 @@
+package ofconn
+
+import (
+	"errors"
+	"fmt"
+
+	"sdnbugs/internal/openflow"
+)
+
+// ErrStaleRole reports that a switch rejected a role request because
+// its generation id was older than the highest the switch has seen —
+// the wire form of a fencing-token rejection: a deposed master cannot
+// reclaim the dataplane.
+var ErrStaleRole = errors.New("ofconn: role request rejected as stale")
+
+// Role returns the controller role this agent last granted (RoleEqual
+// until a role request arrives, matching OpenFlow's default).
+func (a *SwitchAgent) Role() openflow.ControllerRole {
+	if a.role == 0 {
+		return openflow.RoleEqual
+	}
+	return a.role
+}
+
+// GenerationID returns the highest generation id the agent has
+// accepted, and whether it has accepted one at all.
+func (a *SwitchAgent) GenerationID() (uint64, bool) { return a.gen, a.hasGen }
+
+// roleReply applies one role request and returns the reply frame: a
+// RoleReply on success, or an OFPET_ROLE_REQUEST_FAILED/OFPRRFC_STALE
+// error when the request's generation id is older than the highest the
+// switch has observed (OpenFlow 1.3 §6.3.4).
+func (a *SwitchAgent) roleReply(m *openflow.RoleRequest, xid uint32) Frame {
+	switch m.Role {
+	case openflow.RoleNoChange:
+		// Report without mutating.
+	case openflow.RoleMaster, openflow.RoleSlave:
+		if a.hasGen && m.GenerationID < a.gen {
+			return Frame{Msg: &openflow.ErrorMsg{
+				ErrType: openflow.ErrTypeRoleRequestFailed,
+				Code:    openflow.RoleCodeStale,
+			}, Xid: xid}
+		}
+		a.gen, a.hasGen = m.GenerationID, true
+		a.role = m.Role
+	case openflow.RoleEqual:
+		// Equal drops out of the master/slave protocol; the generation
+		// id is not checked for this transition (per the spec).
+		a.role = m.Role
+	default:
+		return Frame{Msg: &openflow.ErrorMsg{
+			ErrType: openflow.ErrTypeRoleRequestFailed,
+			Code:    1, // OFPRRFC_UNSUP
+		}, Xid: xid}
+	}
+	return Frame{Msg: &openflow.RoleReply{Role: a.Role(), GenerationID: a.gen}, Xid: xid}
+}
+
+// RequestRole asks the switch to grant role under the given generation
+// id and waits for the verdict. A stale generation id yields
+// ErrStaleRole — the deposed-primary fence at the wire layer.
+func (s *ControllerSession) RequestRole(role openflow.ControllerRole, gen uint64) (openflow.ControllerRole, uint64, error) {
+	xid, err := s.Conn.Send(&openflow.RoleRequest{Role: role, GenerationID: gen})
+	if err != nil {
+		return 0, 0, err
+	}
+	msg, gotXid, err := s.Conn.Recv()
+	if err != nil {
+		return 0, 0, err
+	}
+	if gotXid != xid {
+		return 0, 0, fmt.Errorf("ofconn: role reply xid %d, want %d", gotXid, xid)
+	}
+	switch m := msg.(type) {
+	case *openflow.RoleReply:
+		return m.Role, m.GenerationID, nil
+	case *openflow.ErrorMsg:
+		if m.ErrType == openflow.ErrTypeRoleRequestFailed && m.Code == openflow.RoleCodeStale {
+			return 0, 0, fmt.Errorf("%w (gen %d)", ErrStaleRole, gen)
+		}
+		return 0, 0, fmt.Errorf("ofconn: role request failed: type %d code %d", m.ErrType, m.Code)
+	default:
+		return 0, 0, fmt.Errorf("ofconn: expected role reply, got %v", msg.Type())
+	}
+}

@@ -13,8 +13,9 @@ import (
 // need to retain a message must copy it out — the convenience Decode
 // function does exactly that, for one allocation per message.
 type Codec struct {
-	// scratch holds one lazily created reusable message per wire type.
-	scratch [TypeFlowMod + 1]Message
+	// scratch holds one lazily created reusable message per wire type
+	// (sized by the highest wire type the codec speaks, the role reply).
+	scratch [TypeRoleReply + 1]Message
 	// readBuf is ReadMessage's reusable frame buffer.
 	readBuf []byte
 	// zeroCopy makes payload fields alias the input buffer instead of

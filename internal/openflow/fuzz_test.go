@@ -25,6 +25,8 @@ func seedFrames(t interface{ Fatalf(string, ...any) }) [][]byte {
 		&FlowMod{DatapathID: 1, Command: FlowAdd, Priority: 10,
 			Match:   Match{MatchInPort: true, InPort: 1, EthDst: 42},
 			Actions: []Action{{Type: ActionOutput, Port: 2}}},
+		&RoleRequest{Role: RoleMaster, GenerationID: 3},
+		&RoleReply{Role: RoleSlave, GenerationID: 4},
 	}
 	var frames [][]byte
 	for _, m := range msgs {

@@ -42,6 +42,8 @@ const (
 	TypePortStatus    MsgType = 12
 	TypePacketOut     MsgType = 13
 	TypeFlowMod       MsgType = 14
+	TypeRoleRequest   MsgType = 24
+	TypeRoleReply     MsgType = 25
 )
 
 func (t MsgType) String() string {
@@ -68,6 +70,10 @@ func (t MsgType) String() string {
 		return "packet-out"
 	case TypeFlowMod:
 		return "flow-mod"
+	case TypeRoleRequest:
+		return "role-request"
+	case TypeRoleReply:
+		return "role-reply"
 	default:
 		return fmt.Sprintf("type-%d", uint8(t))
 	}
@@ -495,6 +501,88 @@ func (e *ErrorMsg) decodeBody(b []byte, zc bool) error {
 	return nil
 }
 
+// ControllerRole is a controller's mastership role over a switch
+// (OpenFlow 1.3 §6.3.4 OFPCR_ROLE_*).
+type ControllerRole uint32
+
+// Controller roles.
+const (
+	RoleNoChange ControllerRole = 0
+	RoleEqual    ControllerRole = 1
+	RoleMaster   ControllerRole = 2
+	RoleSlave    ControllerRole = 3
+)
+
+func (r ControllerRole) String() string {
+	switch r {
+	case RoleNoChange:
+		return "nochange"
+	case RoleEqual:
+		return "equal"
+	case RoleMaster:
+		return "master"
+	case RoleSlave:
+		return "slave"
+	default:
+		return fmt.Sprintf("role-%d", uint32(r))
+	}
+}
+
+// Role-request error identifiers (OFPET_ROLE_REQUEST_FAILED and its
+// OFPRRFC_STALE code): a switch answers a role request that carries a
+// generation id older than the highest it has seen with this error,
+// which is what fences a deposed master off the dataplane.
+const (
+	ErrTypeRoleRequestFailed uint16 = 11
+	RoleCodeStale            uint16 = 0
+)
+
+// RoleRequest asks a switch to set (or report) this connection's
+// mastership role. GenerationID is the fencing token: a switch accepts
+// master/slave transitions only when the generation id is at least the
+// highest it has observed.
+type RoleRequest struct {
+	Role         ControllerRole
+	GenerationID uint64
+}
+
+// Type implements Message.
+func (RoleRequest) Type() MsgType { return TypeRoleRequest }
+func (r RoleRequest) appendBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(r.Role))
+	return binary.BigEndian.AppendUint64(dst, r.GenerationID)
+}
+func (r *RoleRequest) decodeBody(b []byte, _ bool) error {
+	if len(b) < 12 {
+		return ErrTruncated
+	}
+	r.Role = ControllerRole(binary.BigEndian.Uint32(b[:4]))
+	r.GenerationID = binary.BigEndian.Uint64(b[4:12])
+	return nil
+}
+
+// RoleReply reports the role the switch granted and the generation id
+// it now holds.
+type RoleReply struct {
+	Role         ControllerRole
+	GenerationID uint64
+}
+
+// Type implements Message.
+func (RoleReply) Type() MsgType { return TypeRoleReply }
+func (r RoleReply) appendBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(r.Role))
+	return binary.BigEndian.AppendUint64(dst, r.GenerationID)
+}
+func (r *RoleReply) decodeBody(b []byte, _ bool) error {
+	if len(b) < 12 {
+		return ErrTruncated
+	}
+	r.Role = ControllerRole(binary.BigEndian.Uint32(b[:4]))
+	r.GenerationID = binary.BigEndian.Uint64(b[4:12])
+	return nil
+}
+
 // newMessage returns a fresh zero message of the given wire type.
 func newMessage(t MsgType) (Message, error) {
 	switch t {
@@ -520,6 +608,10 @@ func newMessage(t MsgType) (Message, error) {
 		return &PacketOut{}, nil
 	case TypeFlowMod:
 		return &FlowMod{}, nil
+	case TypeRoleRequest:
+		return &RoleRequest{}, nil
+	case TypeRoleReply:
+		return &RoleReply{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrBadType, uint8(t))
 	}

@@ -1,0 +1,102 @@
+package supervise
+
+import (
+	"testing"
+
+	"sdnbugs/internal/resilience"
+	"sdnbugs/internal/sdn"
+)
+
+// crashController crashes the supervised controller out-of-band, the
+// way a faultlab crash episode does: the next Submit sees a dead
+// process and the event never reaches the log.
+func crashController(c *sdn.Controller) {
+	c.State = sdn.StateCrashed
+}
+
+func TestRetryOnExternallyCrashedControllerIsLogged(t *testing.T) {
+	app := &scriptApp{}
+	s := newScripted(app, Config{})
+	s.Submit(cfgEvent("warm", "1"))
+	crashController(s.C)
+	out := s.Submit(cfgEvent("late", "1"))
+	if out != OutcomeHealed {
+		t.Fatalf("outcome = %v, want healed", out)
+	}
+	// The healed event must appear in the log exactly once: an event
+	// that never reached the log before the crash is retried through
+	// Submit, not Reprocess, or downstream log replication would miss
+	// it.
+	var n int
+	for _, ev := range s.C.Log {
+		if ev.Key == "late" {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("healed event logged %d times, want 1", n)
+	}
+	if s.C.Config["late"] != "1" {
+		t.Fatalf("healed event not applied: %q", s.C.Config["late"])
+	}
+}
+
+func TestRetryAfterMidProcessingCrashNotDoubleLogged(t *testing.T) {
+	app := &scriptApp{crashes: map[string]int{"boom": 1}}
+	s := newScripted(app, Config{})
+	out := s.Submit(cfgEvent("boom", "1"))
+	if out != OutcomeHealed {
+		t.Fatalf("outcome = %v, want healed", out)
+	}
+	// Submit logs before processing, so the crash-mid-processing retry
+	// must reuse the logged entry.
+	var n int
+	for _, ev := range s.C.Log {
+		if ev.Key == "boom" {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("retried event logged %d times, want 1", n)
+	}
+}
+
+func TestFailoverHookRunsOnBudgetExhaustion(t *testing.T) {
+	app := &scriptApp{crashes: map[string]int{"poison": -1}}
+	var got []*sdn.Event
+	s := newScripted(app, Config{
+		Budget: resilience.NewBudget(1, 0),
+		Failover: func(retry *sdn.Event) bool {
+			got = append(got, retry)
+			return true
+		},
+	})
+	out := s.Submit(cfgEvent("poison", "1"))
+	if out != OutcomeHealed {
+		t.Fatalf("outcome = %v, want healed via failover", out)
+	}
+	if len(got) != 1 || got[0] == nil || got[0].Key != "poison" {
+		t.Fatalf("failover hook saw %+v", got)
+	}
+	if s.Metrics.Failovers != 1 {
+		t.Fatalf("Failovers = %d, want 1", s.Metrics.Failovers)
+	}
+	if s.ClassShed("configuration") || len(s.ShedClasses()) != 0 {
+		t.Fatalf("failover must not shed: %v", s.ShedClasses())
+	}
+}
+
+func TestFailoverDeclinedFallsBackToDegrade(t *testing.T) {
+	app := &scriptApp{crashes: map[string]int{"poison": -1}}
+	s := newScripted(app, Config{
+		Budget:   resilience.NewBudget(1, 0),
+		Failover: func(*sdn.Event) bool { return false },
+	})
+	out := s.Submit(cfgEvent("poison", "1"))
+	if out != OutcomeDegraded {
+		t.Fatalf("outcome = %v, want degraded", out)
+	}
+	if s.Metrics.Failovers != 0 || s.Metrics.Degradations != 1 {
+		t.Fatalf("metrics = %+v", s.Metrics)
+	}
+}

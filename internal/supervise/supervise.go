@@ -74,6 +74,13 @@ type Config struct {
 	// OnRestart runs immediately before every supervised restart; the
 	// fault lab advances fault incarnations here.
 	OnRestart func()
+	// Failover, when set, runs as the last resort before degradation:
+	// if the restart budget is exhausted the supervisor offers the
+	// incident (and the unprocessed retry event, when there is one) to
+	// the hook instead of shedding. Returning true means another
+	// replica took over — the cluster layer re-homes the event on the
+	// new primary — and the incident counts as healed here.
+	Failover func(retry *sdn.Event) bool
 	// OnShed runs after a class is newly shed — the automatic repair
 	// loop's trigger: it synthesizes candidate patches for the shed
 	// class, validates them, and calls LiftShed on success. The hook
@@ -160,6 +167,7 @@ type Metrics struct {
 	Degradations  int // classes shed
 	ShedLifts     int // sheds lifted by a validated repair
 	BudgetDenials int
+	Failovers     int // incidents handed to the Failover hook
 
 	Checkpoints            int
 	CheckpointRestores     int
@@ -301,6 +309,7 @@ func (s *Supervisor) Submit(ev sdn.Event) Outcome {
 		s.Metrics.EventsShed++
 		return OutcomeShed
 	}
+	logLen := len(s.C.Log)
 	cost := s.runEvent(ev, false)
 	s.pushCost(cost)
 	h := s.Probe()
@@ -314,12 +323,18 @@ func (s *Supervisor) Submit(ev sdn.Event) Outcome {
 	s.noteSymptom(h.Symptom)
 	// Fail-stop means the event's effect was lost: retry it after the
 	// restart. Stalls and perf regressions processed the event (slowly);
-	// only the condition needs clearing.
+	// only the condition needs clearing. An event submitted to an
+	// already-crashed controller never reached the log, so its retry
+	// must go through Submit (which logs) rather than Reprocess —
+	// otherwise the healed event would be missing from the log and
+	// replication downstream of it would silently diverge.
 	var retry *sdn.Event
+	retryLogged := true
 	if h.Symptom == taxonomy.SymptomFailStop {
 		retry = &ev
+		retryLogged = len(s.C.Log) > logLen
 	}
-	if s.heal(class, retry, nil) {
+	if s.heal(class, retry, retryLogged, nil) {
 		s.Metrics.EventsHealed++
 		s.Metrics.EventsProcessed++
 		return OutcomeHealed
@@ -340,7 +355,7 @@ func (s *Supervisor) ReportDivergence(class string, verify func() bool) bool {
 	}
 	s.Metrics.Divergences++
 	s.count("supervise_divergences_total")
-	return s.heal(class, nil, verify)
+	return s.heal(class, nil, true, verify)
 }
 
 // WireError records a connection-layer fault the session layer
@@ -359,7 +374,7 @@ func (s *Supervisor) WireError(err error) {
 // either retry the failed event, re-run the caller's verification, or
 // trust the probe. A class that keeps failing past DegradeAfter
 // attempts is shed.
-func (s *Supervisor) heal(class string, retry *sdn.Event, verify func() bool) bool {
+func (s *Supervisor) heal(class string, retry *sdn.Event, retryLogged bool, verify func() bool) bool {
 	s.Metrics.Incidents++
 	for {
 		s.consec[class]++
@@ -369,12 +384,28 @@ func (s *Supervisor) heal(class string, retry *sdn.Event, verify func() bool) bo
 		}
 		if s.cfg.Budget != nil && !s.cfg.Budget.Withdraw() {
 			s.Metrics.BudgetDenials++
+			if s.cfg.Failover != nil && s.cfg.Failover(retry) {
+				// Another replica took over; the incident is resolved
+				// without degrading the class on this (deposed) one.
+				s.Metrics.Failovers++
+				s.count("supervise_failovers_total")
+				return true
+			}
 			s.degrade(class)
 			return false
 		}
 		s.restart(s.consec[class] - 1)
 		if retry != nil {
-			cost := s.runEvent(*retry, true)
+			var cost int
+			if retryLogged {
+				cost = s.runEvent(*retry, true)
+			} else {
+				// First successful append wins; later loop iterations
+				// must not log the event twice.
+				before := len(s.C.Log)
+				cost = s.runEvent(*retry, false)
+				retryLogged = len(s.C.Log) > before
+			}
 			s.Metrics.RecoveryTicks += cost
 			h := s.Probe()
 			if h.Ready {

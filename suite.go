@@ -17,7 +17,7 @@ import (
 // ExperimentResult is one reproduced table or figure with its
 // paper-vs-measured checks and renderable artifacts.
 type ExperimentResult struct {
-	// ID is the experiment id from DESIGN.md (E01..E25).
+	// ID is the experiment id from DESIGN.md (E01..E26).
 	ID string
 	// Title names the paper artifact.
 	Title string
@@ -171,7 +171,7 @@ func (s *Suite) Validator() (*study.Validator, error) {
 	return s.validator, s.valErr
 }
 
-// Registry returns the suite's experiment registry: E01–E25 and
+// Registry returns the suite's experiment registry: E01–E26 and
 // A01–A07 in paper order, each bound to this suite's shared
 // artifacts. The registry is built once and shared; it is safe for
 // concurrent lookups and selection.
@@ -185,6 +185,7 @@ func (s *Suite) Registry() *engine.Registry[ExperimentResult] {
 		s.registerDurabilityExperiments(r)
 		s.registerPerfuzzExperiments(r)
 		s.registerRepairExperiments(r)
+		s.registerClusterExperiments(r)
 		s.registerAblations(r)
 		s.reg = r
 	})
@@ -273,7 +274,7 @@ func (s *Suite) runKind(k engine.Kind) ([]ExperimentResult, error) {
 	return run.Results()
 }
 
-// Experiments runs every experiment (E01–E25) in order. It is a thin
+// Experiments runs every experiment (E01–E26) in order. It is a thin
 // sequential wrapper over Run; use Run directly for parallelism,
 // ID selection and per-experiment outcomes.
 func (s *Suite) Experiments() ([]ExperimentResult, error) {

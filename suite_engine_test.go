@@ -12,12 +12,12 @@ import (
 
 func TestRegistryContents(t *testing.T) {
 	reg := sharedSuite.Registry()
-	if reg.Len() != 32 {
-		t.Fatalf("registry holds %d experiments, want 32 (E01–E25 + A01–A07)", reg.Len())
+	if reg.Len() != 33 {
+		t.Fatalf("registry holds %d experiments, want 33 (E01–E26 + A01–A07)", reg.Len())
 	}
 	exps := reg.OfKind(engine.KindExperiment)
-	if len(exps) != 25 {
-		t.Fatalf("experiments = %d, want 25", len(exps))
+	if len(exps) != 26 {
+		t.Fatalf("experiments = %d, want 26", len(exps))
 	}
 	for i, e := range exps {
 		if want := fmt.Sprintf("E%02d", i+1); e.ID != want {
@@ -49,7 +49,7 @@ func TestRegistryContents(t *testing.T) {
 // run-to-run stable, so its retry counters are not byte-comparable.
 var fastIDs = []string{"E01", "E02", "E03", "E04", "E05", "E06", "E07", "E08",
 	"E10", "E13", "E14", "E15", "E16", "E17", "E18", "E20", "E22", "E23", "E24",
-	"E25"}
+	"E25", "E26"}
 
 // renderRun flattens a run's checks and tables into one comparable
 // string (durations excluded — they are measurements, not artifacts).
